@@ -1,0 +1,25 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one paper artifact (figure/table) and
+archives its rows under ``results/``.  Simulated-performance points are
+deterministic, so each benchmark runs exactly once
+(``benchmark.pedantic(rounds=1)``); the pytest-benchmark timing then
+reports the harness cost, while the *scientific* output is the table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Run a benchmark body exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    def _run(fn):
+        return run_once(benchmark, fn)
+
+    return _run

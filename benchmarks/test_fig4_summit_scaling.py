@@ -1,0 +1,60 @@
+"""Figure 4 — SLATE-GPU scalability on Summit (E7).
+
+Paper: Tflop/s vs size, one curve per node count {1, 4, 8, 16, 32};
+"while the strong scalability for a fixed problem size is limited, it
+achieves good weak scalability at the largest problem size for each
+number of nodes."
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_series, format_table, write_result
+from repro.machines import summit
+from repro.perf import scaling_series
+
+NODES = (1, 4, 8, 16, 32)
+# Per-node-count maxima follow the memory-footprint model.
+SIZES = {
+    1: (10_000, 20_000, 40_000),
+    4: (40_000, 60_000, 80_000),
+    8: (40_000, 80_000, 125_000),
+    16: (80_000, 120_000, 175_000),
+    32: (80_000, 160_000, 250_000),
+}
+
+
+def test_fig4_scaling(once):
+    out = once(lambda: scaling_series(summit(), NODES,
+                                      sizes_per_nodes=SIZES,
+                                      max_tiles=12))
+
+    all_sizes = sorted({n for ns in SIZES.values() for n in ns})
+    series = {}
+    for nodes in NODES:
+        col = []
+        by_n = {p.n: p.tflops for p in out[nodes]}
+        for n in all_sizes:
+            col.append(by_n.get(n, ""))
+        series[f"{nodes} nodes"] = col
+    text = format_series(
+        "Fig 4: SLATE-GPU scalability on Summit (Tflop/s, simulated)",
+        "n", all_sizes, series)
+    write_result("fig4_summit_scaling", text)
+
+    # Weak scaling: best Tflop/s per node count grows with nodes.
+    best = [max(p.tflops for p in out[nodes]) for nodes in NODES]
+    assert all(b2 > b1 for b1, b2 in zip(best, best[1:]))
+    # ... and with reasonable parallel efficiency from 1 -> 32 nodes.
+    assert best[-1] / best[0] > 8
+
+    # Strong scaling is limited: at the shared size n=40k, the speedup
+    # from 1 to 32 nodes falls well short of 32x.
+    t1 = next(p.tflops for p in out[1] if p.n == 40_000)
+    t32 = next(p.tflops for p in out[8] if p.n == 40_000)
+    strong = [["n=40k", t1, t32, t32 / t1, 8.0]]
+    write_result("fig4_strong_scaling", format_table(
+        "Fig 4 detail: strong scaling at fixed n=40k, 1 -> 8 nodes",
+        ["size", "1 node TF", "8 nodes TF", "speedup", "ideal"],
+        strong))
+    assert t32 / t1 < 7.2  # short of ideal 8x
+    assert t32 / t1 > 1.5  # but still scaling

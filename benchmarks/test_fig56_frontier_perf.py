@@ -1,0 +1,61 @@
+"""Figures 5 and 6 — Frontier performance and scalability (E8, E9).
+
+Paper: on 16 Frontier nodes (128 MI250X GCDs) SLATE-QDWH reaches ~180
+Tflop/s at the largest testable size n = 175k; performance increases
+with both node count and matrix size; GPU-aware MPI helps because the
+NICs attach to the GPUs.
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_series, write_result
+from repro.machines import frontier
+from repro.perf import figure_series, scaling_series
+
+FIG5_SIZES = (40_000, 80_000, 120_000, 150_000, 175_000)
+FIG6_NODES = (1, 2, 4, 8, 16)
+FIG6_SIZES = {
+    1: (20_000, 40_000, 80_000),
+    2: (40_000, 80_000, 100_000),
+    4: (40_000, 80_000, 120_000),
+    8: (80_000, 120_000, 150_000),
+    16: (80_000, 120_000, 175_000),
+}
+
+
+def test_fig5_frontier_16nodes(once):
+    series = once(lambda: {
+        impl: [p.tflops for p in pts]
+        for impl, pts in figure_series(
+            frontier(), 16, ("slate_gpu", "slate_cpu"), FIG5_SIZES,
+            max_tiles=12).items()})
+    text = format_series(
+        "Fig 5: Frontier, 16 nodes (128 GCDs) — Tflop/s vs size "
+        "(simulated; paper: ~180 TF at n=175k)",
+        "n", FIG5_SIZES, series)
+    write_result("fig5_frontier_16nodes", text)
+
+    gpu = series["slate_gpu"]
+    assert all(a < b for a, b in zip(gpu, gpu[1:]))  # grows with n
+    # Paper's headline level: ~180 Tflop/s at n = 175k (wide band — the
+    # machine model is calibrated, not fitted point-wise).
+    assert 120 < gpu[-1] < 260
+
+
+def test_fig6_frontier_scaling(once):
+    out = once(lambda: scaling_series(frontier(), FIG6_NODES,
+                                      sizes_per_nodes=FIG6_SIZES,
+                                      max_tiles=12))
+    all_sizes = sorted({n for ns in FIG6_SIZES.values() for n in ns})
+    series = {}
+    for nodes in FIG6_NODES:
+        by_n = {p.n: p.tflops for p in out[nodes]}
+        series[f"{nodes} nodes"] = [by_n.get(n, "") for n in all_sizes]
+    text = format_series(
+        "Fig 6: SLATE-GPU scalability on Frontier (Tflop/s, simulated)",
+        "n", all_sizes, series)
+    write_result("fig6_frontier_scaling", text)
+
+    best = [max(p.tflops for p in out[nodes]) for nodes in FIG6_NODES]
+    assert all(b2 > b1 for b1, b2 in zip(best, best[1:]))
+    assert best[-1] > 100

@@ -1,0 +1,62 @@
+"""E10, E11 — tile-size tuning and the 18x headline speedup.
+
+Paper (Section 7.2): "a tile size of nb = 320 provided the best
+performance [on GPUs] ... for tests on CPUs, nb = 192 gave the best
+performance"; "SLATE-QDWH is faster by up to 18x on 1 and 4 nodes,
+and by approximately 13x on 8 nodes."
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_series, format_table, write_result
+from repro.machines import summit
+from repro.perf import speedup_table, tile_size_sweep
+
+NBS = (64, 128, 192, 320, 512, 1024)
+TUNE_N = 2560  # small enough to simulate the true tiling (no coarsening)
+
+
+def test_tile_size_tuning(once):
+    def body():
+        gpu = tile_size_sweep(summit(), TUNE_N, "slate_gpu", NBS,
+                              max_tiles=64)
+        cpu = tile_size_sweep(summit(), TUNE_N, "slate_cpu", NBS,
+                              max_tiles=64)
+        return {"slate_gpu": [p.tflops for p in gpu],
+                "slate_cpu": [p.tflops for p in cpu]}
+
+    series = once(body)
+    text = format_series(
+        f"E10: tile-size tuning on 1 Summit node (n={TUNE_N}, "
+        "simulated; paper tunes nb=320 GPU / nb=192 CPU at full scale)",
+        "nb", NBS, series)
+    write_result("tuning_tile_size", text)
+
+    for name, perf in series.items():
+        best = NBS[perf.index(max(perf))]
+        # Interior optimum: the kernel-efficiency / parallelism
+        # trade-off peaks strictly inside the sweep.
+        assert NBS[0] < best < NBS[-1], (name, best)
+    # GPUs want larger tiles than CPUs.
+    gbest = NBS[series["slate_gpu"].index(max(series["slate_gpu"]))]
+    cbest = NBS[series["slate_cpu"].index(max(series["slate_cpu"]))]
+    assert gbest >= cbest
+
+
+def test_headline_speedup(once):
+    sizes = {1: (20_000, 40_000),
+             4: (60_000, 80_000),
+             8: (80_000, 125_000)}
+    rows = once(lambda: speedup_table(summit(), [1, 4, 8], sizes=sizes,
+                                      max_tiles=12))
+    text = format_table(
+        "E11: max SLATE-GPU speedup over ScaLAPACK (paper: up to 18x "
+        "at 1 and 4 nodes, ~13x at 8 nodes)",
+        ["nodes", "speedup", "at n"],
+        [[r["nodes"], r["speedup"], r["at_n"]] for r in rows])
+    write_result("headline_speedup", text)
+
+    for r in rows:
+        # Same regime as the paper's 13-18x (the simulator lands in a
+        # 12-30x band depending on size; see EXPERIMENTS.md).
+        assert 8 < r["speedup"] < 35, r

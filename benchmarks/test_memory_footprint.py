@@ -1,0 +1,47 @@
+"""E8 detail — the memory-footprint ceiling (Section 7.2).
+
+Paper: "The maximum matrix size that can be tested on this number of
+nodes [16 Frontier nodes] is 175k, due to the large memory footprint
+of the algorithm."
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_table, write_result
+from repro.machines import frontier, summit
+from repro.perf.memory import max_feasible_n, qdwh_footprint, round_down_to
+
+
+def test_memory_ceiling(once):
+    def body():
+        rows = []
+        for mach, rpn, nodes_list in (
+            (frontier(), 8, (1, 4, 8, 16)),
+            (summit(), 2, (1, 4, 8, 16, 32)),
+        ):
+            for nodes in nodes_list:
+                nmax = round_down_to(
+                    max_feasible_n(mach, nodes, ranks_per_node=rpn,
+                                   use_gpu=True))
+                fp = qdwh_footprint(mach, nodes, nmax,
+                                    ranks_per_node=rpn, use_gpu=True)
+                rows.append([mach.name, nodes, nmax,
+                             fp.per_rank_bytes / 2 ** 30,
+                             fp.capacity_bytes / 2 ** 30])
+        return rows
+
+    rows = once(body)
+    text = format_table(
+        "E8 detail: largest feasible n per configuration (QDWH "
+        "workspace model; paper reports 175k on 16 Frontier nodes)",
+        ["machine", "nodes", "max n", "per-rank GiB", "capacity GiB"],
+        rows)
+    write_result("memory_footprint", text)
+
+    frontier16 = next(r for r in rows
+                      if r[0] == "frontier" and r[1] == 16)
+    assert frontier16[2] == 175_000  # the paper's exact ceiling
+    # Feasible n grows with node count on both machines.
+    for mach in ("frontier", "summit"):
+        ns = [r[2] for r in rows if r[0] == mach]
+        assert ns == sorted(ns)

@@ -1,0 +1,76 @@
+"""Related-work and Section 7.1 quantitative claims.
+
+RW1 (Section 3): "the POLAR QDWH implementation ... outperforms the
+SVD-based implementation by up to 5x on ill-conditioned matrices" —
+the structural reason (Section 4) being the SVD's unremovable
+memory-bound Level-2 work.
+
+E15 (Section 7.1): "The condition number has the most significant
+effect on the convergence of QDWH and, consequently, its performance"
+— a well-conditioned matrix needs ~2-3 cheap Cholesky iterations vs
+the worst case's 3 QR + 3 Cholesky.
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_table, write_result
+from repro.machines import summit
+from repro.perf.model import simulate_qdwh
+from repro.perf.svd_model import simulate_svd_polar
+
+
+def test_rw1_qdwh_vs_svd_polar(once):
+    cases = ((1, 40_000), (4, 80_000), (8, 125_000))
+
+    def body():
+        rows = []
+        for nodes, n in cases:
+            svd = simulate_svd_polar(summit(), nodes, n,
+                                     ranks_per_node=2)
+            q = simulate_qdwh(summit(), nodes, n, "scalapack",
+                              max_tiles=12)
+            rows.append([nodes, n, q.makespan, svd.makespan,
+                         svd.makespan / q.makespan,
+                         svd.level2_share])
+        return rows
+
+    rows = once(body)
+    text = format_table(
+        "RW1: QDWH vs SVD-based polar decomposition (CPU, kappa=1e16; "
+        "paper cites up to 5x in favor of QDWH at scale)",
+        ["nodes", "n", "qdwh (s)", "svd-polar (s)", "qdwh speedup",
+         "svd L2 share"], rows)
+    write_result("rw1_qdwh_vs_svd", text)
+
+    speedups = [r[4] for r in rows]
+    # QDWH's advantage *grows with scale* (the actual claim): modest at
+    # one node, factor-5 territory by 4-8 nodes.
+    assert speedups == sorted(speedups)
+    assert speedups[0] > 0.8          # already competitive at 1 node
+    assert 3.0 < speedups[1] < 8.0    # the "up to 5x" regime
+    # The SVD baseline is Level-2 bound at scale — the paper's reason.
+    assert rows[-1][5] > 0.9
+
+
+def test_e15_condition_number_effect(once):
+    n, nodes = 60_000, 4
+    conds = (2.0, 1e4, 1e16)
+
+    def body():
+        return [simulate_qdwh(summit(), nodes, n, "slate_gpu",
+                              cond=c, max_tiles=12) for c in conds]
+
+    pts = once(body)
+    rows = [[f"{c:.0e}", p.it_qr, p.it_chol, p.makespan, p.tflops]
+            for c, p in zip(conds, pts)]
+    write_result("condition_effect", format_table(
+        "E15: condition number vs QDWH cost (4 Summit nodes, GPU, "
+        "n=60k, simulated)",
+        ["kappa", "#it_QR", "#it_Chol", "time (s)", "Tflop/s"], rows))
+
+    times = [p.makespan for p in pts]
+    # Worst case (3 QR + 3 Chol) costs ~2-4x the well-conditioned run.
+    assert times[0] < times[1] <= times[2]
+    assert 1.8 < times[2] / times[0] < 6.0
+    # QR iterations only appear as kappa grows.
+    assert pts[0].it_qr <= 1 and pts[2].it_qr == 3

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Re-orthogonalizing a strapdown attitude matrix (Bar-Itzhack, 1975).
+
+The paper's introduction cites aerospace computations as a classic
+polar-decomposition application: a direction-cosine (rotation) matrix
+integrated from gyro rates drifts away from the orthogonal group;
+the *optimal* (Frobenius-nearest) orthogonal correction is exactly the
+unitary polar factor.
+
+This example integrates a rigid-body attitude with a crude integrator,
+watches orthogonality drift, and repairs it with QDWH.
+
+Run:  python examples/aerospace_attitude.py
+"""
+
+import numpy as np
+
+from repro import qdwh
+from repro.matrices.metrics import orthogonality_error
+
+
+def skew(w: np.ndarray) -> np.ndarray:
+    return np.array([[0.0, -w[2], w[1]],
+                     [w[2], 0.0, -w[0]],
+                     [-w[1], w[0], 0.0]])
+
+
+def integrate_attitude(steps: int, dt: float) -> np.ndarray:
+    """Euler-integrate dR/dt = R * skew(omega) — deliberately sloppy,
+    like a cheap onboard integrator."""
+    rng = np.random.default_rng(0)
+    r = np.eye(3)
+    for k in range(steps):
+        omega = np.array([0.3 * np.sin(0.01 * k),
+                          0.2 * np.cos(0.013 * k),
+                          0.1]) + 0.01 * rng.standard_normal(3)
+        r = r @ (np.eye(3) + dt * skew(omega))  # first-order update
+    return r
+
+
+def main() -> None:
+    print("Integrating body rates with a first-order scheme "
+          "(10k steps, dt = 0.05)...")
+    r_drifted = integrate_attitude(10_000, 0.05)
+    drift = orthogonality_error(r_drifted)
+    print(f"  orthogonality drift ||I - R^T R||_F / sqrt(3): {drift:.3e}")
+    print(f"  det(R) = {np.linalg.det(r_drifted):.6f} (should be 1)")
+
+    print("\nRepairing with the polar decomposition (QDWH)...")
+    res = qdwh(r_drifted)
+    r_fixed = res.u
+    print(f"  iterations: {res.iterations}")
+    print(f"  orthogonality after repair: "
+          f"{orthogonality_error(r_fixed):.3e}")
+    print(f"  det(R) = {np.linalg.det(r_fixed):.12f}")
+
+    # Optimality: the polar factor is the *nearest* orthogonal matrix.
+    dist_polar = np.linalg.norm(r_fixed - r_drifted)
+    q_gs, _ = np.linalg.qr(r_drifted)  # Gram-Schmidt alternative
+    q_gs *= np.sign(np.diag(np.linalg.qr(r_drifted)[1]))[None, :]
+    dist_gs = np.linalg.norm(q_gs - r_drifted)
+    print("\nDistance from the drifted matrix (smaller = better):")
+    print(f"  polar factor (optimal):   {dist_polar:.6e}")
+    print(f"  Gram-Schmidt (QR) repair: {dist_gs:.6e}")
+    assert dist_polar <= dist_gs + 1e-12
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""A miniature version of the paper's benchmarking campaign.
+
+Sweeps matrix sizes on the Summit and Frontier machine models and
+prints the Tflop/s series behind Figures 2 and 5, plus the headline
+GPU-vs-ScaLAPACK speedup.  Everything is simulated (see DESIGN.md);
+run the full `pytest benchmarks/ --benchmark-only` harness for the
+complete figure set.
+
+Run:  python examples/performance_campaign.py
+"""
+
+from repro.bench import format_series, format_table
+from repro.machines import frontier, summit
+from repro.perf import figure_series, speedup_table
+
+
+def main() -> None:
+    sizes = (10_000, 20_000, 40_000, 80_000)
+    print("Simulating QDWH on 1 Summit node (42 P9 cores + 6 V100)...")
+    series = figure_series(summit(), 1,
+                           ("slate_gpu", "slate_cpu", "scalapack"),
+                           sizes, max_tiles=12)
+    print(format_series(
+        "Summit, 1 node - Tflop/s vs matrix size (cf. Fig 2a)",
+        "n", sizes,
+        {k: [round(p.tflops, 2) for p in v] for k, v in series.items()}))
+
+    print("Simulating QDWH on 4 Frontier nodes (32 MI250X GCDs)...")
+    fsizes = (20_000, 40_000, 80_000, 120_000)
+    fseries = figure_series(frontier(), 4, ("slate_gpu",), fsizes,
+                            max_tiles=12)
+    print(format_series(
+        "Frontier, 4 nodes - Tflop/s vs matrix size (cf. Fig 5/6)",
+        "n", fsizes,
+        {"slate_gpu": [round(p.tflops, 1) for p in fseries["slate_gpu"]]}))
+
+    print("Headline speedup (cf. the paper's 18x claim):")
+    rows = speedup_table(summit(), [1, 4],
+                         sizes={1: (40_000, 80_000), 4: (80_000,)},
+                         max_tiles=12)
+    print(format_table(
+        "max SLATE-GPU / ScaLAPACK speedup",
+        ["nodes", "speedup", "at n"],
+        [[r["nodes"], round(r["speedup"], 1), r["at_n"]] for r in rows]))
+
+
+if __name__ == "__main__":
+    main()

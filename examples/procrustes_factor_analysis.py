@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Orthogonal Procrustes via the polar decomposition (Schoenemann, 1966).
+
+The paper's second application citation: in factor analysis one seeks
+the rotation T minimizing ||A T - B||_F over orthogonal T — the answer
+is the unitary polar factor of A^H B.
+
+This example rotates a noisy factor-loading matrix back onto a target
+configuration and compares QDWH against the SVD route.
+
+Run:  python examples/procrustes_factor_analysis.py
+"""
+
+import numpy as np
+
+from repro import polar_svd, qdwh
+from repro.matrices.generator import random_unitary
+
+
+def procrustes(a: np.ndarray, b: np.ndarray, method: str = "qdwh"):
+    """argmin_{T orthogonal} ||A T - B||_F  =  polar factor of A^H B."""
+    m = a.conj().T @ b
+    if method == "qdwh":
+        return qdwh(m).u
+    return polar_svd(m).u
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    n_subjects, n_factors = 300, 8
+
+    print("Setting up a factor-analysis alignment problem...")
+    b = rng.standard_normal((n_subjects, n_factors))     # target loadings
+    t_true = random_unitary(n_factors, seed=4)           # hidden rotation
+    a = b @ t_true.T + 0.05 * rng.standard_normal(b.shape)  # observed
+
+    print(f"  loadings: {n_subjects} subjects x {n_factors} factors, "
+          "5% noise, hidden orthogonal rotation")
+
+    misfit_before = np.linalg.norm(a - b)
+    t_qdwh = procrustes(a, b, "qdwh")
+    t_svd = procrustes(a, b, "svd")
+
+    misfit_after = np.linalg.norm(a @ t_qdwh - b)
+    print(f"\n  misfit before alignment: {misfit_before:.3f}")
+    print(f"  misfit after alignment:  {misfit_after:.3f}")
+    print(f"  rotation recovery error ||T - T_true||_F: "
+          f"{np.linalg.norm(t_qdwh - t_true):.4f}")
+    print(f"  qdwh vs svd route agreement: "
+          f"{np.abs(t_qdwh - t_svd).max():.3e}")
+
+    # The Procrustes optimum is a true minimum: random orthogonal
+    # perturbations can only increase the misfit.
+    for trial in range(3):
+        q = random_unitary(n_factors, seed=10 + trial)
+        worse = np.linalg.norm(a @ q - b)
+        assert worse >= misfit_after
+    print("  verified: random rotations all fit worse (optimality).")
+
+
+if __name__ == "__main__":
+    main()

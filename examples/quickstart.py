@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Quickstart: compute a polar decomposition with QDWH.
+
+Generates an ill-conditioned test matrix (the paper's worst-case
+workload), runs the QDWH polar decomposition, and checks the two
+accuracy metrics from the paper's Figure 1.
+
+Run:  python examples/quickstart.py [n]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import ill_conditioned, polar, polar_report, qdwh
+
+
+def main(n: int = 512) -> None:
+    print(f"Generating an ill-conditioned {n} x {n} matrix "
+          f"(kappa = 1e16, the paper's worst case)...")
+    a = ill_conditioned(n, seed=42)
+
+    print("Running QDWH (Algorithm 1)...")
+    result = qdwh(a)
+    print(f"  converged in {result.iterations} iterations "
+          f"({result.it_qr} QR-based + {result.it_chol} Cholesky-based; "
+          f"the paper reports 3 + 3 for this workload)")
+    print(f"  two-norm estimate alpha = {result.alpha:.4f}")
+    print(f"  initial lower bound l0  = {result.l0:.3e}")
+
+    rep = polar_report(a, result.u, result.h)
+    print("\nAccuracy (Fig. 1 metrics):")
+    print(f"  orthogonality ||I - U^H U||_F / sqrt(n) = "
+          f"{rep.orthogonality:.3e}")
+    print(f"  backward error ||A - U H||_F / ||A||_F  = "
+          f"{rep.backward:.3e}")
+    print(f"  H Hermitian defect                       = "
+          f"{rep.h_hermitian:.3e}")
+    print(f"  H negative-eigenvalue defect             = "
+          f"{rep.h_psd_defect:.3e}")
+
+    print("\nCross-checking against the SVD-based baseline...")
+    ref = polar(a, method="svd")
+    print(f"  ||U_qdwh - U_svd||_max = {np.abs(result.u - ref.u).max():.3e}")
+
+    print("\nOther methods on the same matrix:")
+    for method in ("newton_scaled", "zolo"):
+        r = polar(a, method=method)
+        rep_m = polar_report(a, r.u, r.h)
+        print(f"  {method:>14}: {r.iterations} iterations, "
+              f"backward error {rep_m.backward:.3e}")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 512)

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Partial eigensolves by spectrum slicing — the paper's future work.
+
+Section 8: "we would like to use QDWH polar decomposition as the main
+building block to develop partial EVD implementations, to support more
+economical partial spectrum requirements."
+
+One polar decomposition of A - sigma*I yields the matrix sign function
+and with it the spectral projector onto the eigenvalues above sigma;
+only that invariant subspace is then diagonalized.  This example
+extracts the occupied states of a model Hamiltonian (the classic
+electronic-structure use case) without ever solving the full problem.
+
+Run:  python examples/spectrum_slicing.py
+"""
+
+import numpy as np
+
+from repro.core.qdwh_eig import qdwh_eigh, qdwh_partial_eigh
+
+
+def model_hamiltonian(n: int, gap_at: float = 0.0,
+                      seed: int = 0) -> np.ndarray:
+    """A dense symmetric 'Hamiltonian' with a spectral gap at E=0:
+    half the states below (occupied), half above (virtual)."""
+    rng = np.random.default_rng(seed)
+    occupied = np.sort(rng.uniform(-6.0, -1.0, n // 2))
+    virtual = np.sort(rng.uniform(1.0, 6.0, n - n // 2))
+    w = np.concatenate([occupied, virtual])
+    from repro.matrices.generator import random_unitary
+    q = random_unitary(n, seed=seed + 1)
+    return (q * w[None, :]) @ q.T, w
+
+
+def main() -> None:
+    n = 300
+    h, w_true = model_hamiltonian(n)
+    n_occ = n // 2
+    print(f"Model Hamiltonian: n = {n}, {n_occ} occupied states below "
+          "the gap at E = 0")
+
+    print("\nSlicing at E = 0 with one polar decomposition...")
+    part = qdwh_partial_eigh(h, sigma=0.0, side="below", min_block=48)
+    print(f"  polar decompositions used: {part.polar_calls}")
+    print(f"  states found: {part.w.size} (expected {n_occ})")
+    err = np.abs(np.sort(part.w) - w_true[:n_occ]).max()
+    print(f"  max eigenvalue error vs ground truth: {err:.3e}")
+    res = np.linalg.norm(h @ part.v - part.v * part.w)
+    print(f"  residual ||H V - V W||: {res:.3e}")
+
+    # Band energy (the quantity electronic structure actually needs).
+    e_band = part.w.sum()
+    print(f"  band energy: {e_band:.6f} "
+          f"(exact {w_true[:n_occ].sum():.6f})")
+
+    print("\nFor contrast, the full divide-and-conquer EVD:")
+    full = qdwh_eigh(h, min_block=48)
+    print(f"  polar decompositions used: {full.polar_calls} "
+          "(the slice needed far fewer)")
+    assert full.polar_calls > part.polar_calls
+
+    print("\nSlicing a window (0 < E < 3) with two slices:")
+    lo = qdwh_partial_eigh(h, sigma=0.0, side="above", min_block=48)
+    inside = lo.w[lo.w < 3.0]
+    expected = w_true[(w_true > 0) & (w_true < 3.0)]
+    print(f"  states in window: {inside.size} (expected {expected.size})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""SVD through the polar decomposition (Higham-Papadimitriou).
+
+The paper's Section 3 motivation: A = Up H, then the EVD H = V L V^H
+gives A = (Up V) L V^H = U Sigma V^H.  Also demonstrates the
+"light-weight" partial SVD the introduction mentions for extreme
+adaptive optics (Ltaief et al., PASC'18): recover only the singular
+triplets above a threshold from one polar decomposition.
+
+Run:  python examples/svd_via_polar.py
+"""
+
+import numpy as np
+
+from repro import generate_matrix
+from repro.core.qdwh_svd import qdwh_partial_svd, qdwh_svd
+
+
+def full_svd_demo() -> None:
+    print("=== Full SVD via QDWH polar decomposition ===")
+    a = generate_matrix(400, 200, cond=1e10, seed=0)
+    r = qdwh_svd(a, eig_min_block=32)
+    recon = (r.u * r.s[None, :]) @ r.vh
+    print(f"  matrix: 400 x 200, kappa = 1e10")
+    print(f"  polar stage: {r.polar_iterations} QDWH iterations")
+    print(f"  reconstruction error: "
+          f"{np.linalg.norm(recon - a) / np.linalg.norm(a):.3e}")
+    s_ref = np.linalg.svd(a, compute_uv=False)
+    print(f"  singular-value error vs LAPACK: "
+          f"{np.abs(r.s - s_ref).max() / s_ref[0]:.3e}")
+
+
+def partial_svd_demo() -> None:
+    print("\n=== Partial SVD: the adaptive-optics use case ===")
+    # A measurement-like matrix with a strong low-rank signal plus a
+    # long tail of weak modes — keep only the significant ones.
+    rng = np.random.default_rng(1)
+    n_strong = 12
+    sigma = np.concatenate([
+        np.linspace(100.0, 20.0, n_strong),      # signal modes
+        np.geomspace(0.5, 1e-3, 188),            # noise tail
+    ])
+    a = generate_matrix(500, 200, sigma=sigma, seed=2)
+    del rng
+
+    r = qdwh_partial_svd(a, threshold=10.0)
+    print(f"  requested: singular values > 10 "
+          f"(true count: {np.sum(sigma > 10.0)})")
+    print(f"  recovered: {r.s.size} triplets")
+    print(f"  largest: {r.s[0]:.2f}, smallest kept: {r.s[-1]:.2f}")
+    rank_k = (r.u * r.s[None, :]) @ r.vh
+    tail_energy = np.sqrt(np.sum(sigma[sigma <= 10.0] ** 2))
+    err = np.linalg.norm(a - rank_k)
+    print(f"  truncation error {err:.4f} vs discarded-tail energy "
+          f"{tail_energy:.4f} (optimal)")
+
+
+def main() -> None:
+    full_svd_demo()
+    partial_svd_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""repro — reproduction of "Task-Based Polar Decomposition Using SLATE
+on Massively Parallel Systems with Hardware Accelerators" (SC-W 2023).
+
+Public API (see README for the architecture overview):
+
+* Numerics — :func:`polar`, :func:`qdwh`, baselines, Zolo-PD, the
+  QDWH-based EVD/SVD applications, mixed precision.
+* Substrate — :mod:`repro.dist` (block-cyclic tiled matrices),
+  :mod:`repro.tiled` (tiled kernels/algorithms), :mod:`repro.runtime`
+  (task DAG + schedulers), :mod:`repro.comm` (network model).
+* Performance — :mod:`repro.machines` (Summit/Frontier models),
+  :mod:`repro.perf` (the simulated benchmarking campaign).
+"""
+
+from .core import (
+    QdwhParams,
+    QdwhResult,
+    dynamical_weights,
+    parameter_schedule,
+    polar,
+    polar_dwh,
+    polar_newton,
+    polar_newton_scaled,
+    polar_svd,
+    predict_iterations,
+    qdwh,
+    qdwh_eigh,
+    qdwh_mixed_precision,
+    qdwh_svd,
+    zolo_degree,
+    zolo_pd,
+)
+from .core.estimators import gecondest, norm2est, trcondest
+from .core.tiled_qdwh import TiledQdwhResult, tiled_qdwh
+from .dist import BlockCyclic, DistMatrix, ProcessGrid
+from .machines import frontier, summit
+from .perf import simulate_qdwh
+from .runtime import Runtime, simulate
+from .matrices import (
+    SingularValueMode,
+    generate_matrix,
+    ill_conditioned,
+    polar_report,
+    well_conditioned,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "QdwhParams",
+    "QdwhResult",
+    "dynamical_weights",
+    "parameter_schedule",
+    "predict_iterations",
+    "polar",
+    "qdwh",
+    "polar_svd",
+    "polar_newton",
+    "polar_newton_scaled",
+    "polar_dwh",
+    "zolo_pd",
+    "zolo_degree",
+    "qdwh_eigh",
+    "qdwh_svd",
+    "qdwh_mixed_precision",
+    "norm2est",
+    "gecondest",
+    "trcondest",
+    "SingularValueMode",
+    "generate_matrix",
+    "ill_conditioned",
+    "well_conditioned",
+    "polar_report",
+    "tiled_qdwh",
+    "TiledQdwhResult",
+    "DistMatrix",
+    "ProcessGrid",
+    "BlockCyclic",
+    "Runtime",
+    "simulate",
+    "simulate_qdwh",
+    "summit",
+    "frontier",
+    "__version__",
+]

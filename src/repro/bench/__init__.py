@@ -1,0 +1,7 @@
+"""Benchmark-harness utilities: table/series formatting and result
+persistence, so every benchmark prints the same rows/series the paper's
+figures plot and archives them under ``results/``."""
+
+from .tables import format_series, format_table, write_result
+
+__all__ = ["format_series", "format_table", "write_result"]

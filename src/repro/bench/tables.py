@@ -1,0 +1,63 @@
+"""Row/series formatting for the benchmark harness.
+
+Every figure/table benchmark renders its data through these helpers so
+the output matches the paper's axes (matrix size on x, Tflop/s or error
+on y, one column per implementation/node count) and lands both on
+stdout and in ``results/<experiment>.txt``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Sequence
+
+#: Where benchmark tables are archived (relative to the repo root /
+#: current working directory of the pytest run).
+RESULTS_DIR = os.environ.get("REPRO_RESULTS_DIR", "results")
+
+
+def format_table(title: str, headers: Sequence[str],
+                 rows: Sequence[Sequence[object]]) -> str:
+    """Fixed-width table with a title rule."""
+    cols = len(headers)
+    str_rows = [[_fmt(c) for c in r] for r in rows]
+    widths = [max(len(headers[i]),
+                  max((len(r[i]) for r in str_rows), default=0))
+              for i in range(cols)]
+    line = "  ".join(h.rjust(w) for h, w in zip(headers, widths))
+    rule = "-" * len(line)
+    body = "\n".join("  ".join(c.rjust(w) for c, w in zip(r, widths))
+                     for r in str_rows)
+    return f"{title}\n{rule}\n{line}\n{rule}\n{body}\n"
+
+
+def format_series(title: str, x_name: str, xs: Sequence[object],
+                  series: Dict[str, Sequence[object]]) -> str:
+    """One x column plus one column per named series (a figure's data)."""
+    headers = [x_name] + list(series)
+    rows: List[List[object]] = []
+    for i, x in enumerate(xs):
+        rows.append([x] + [series[k][i] if i < len(series[k]) else ""
+                           for k in series])
+    return format_table(title, headers, rows)
+
+
+def write_result(name: str, text: str, echo: bool = True) -> str:
+    """Persist a benchmark table under results/ and echo it."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as fh:
+        fh.write(text)
+    if echo:
+        print(f"\n{text}[saved to {path}]")
+    return path
+
+
+def _fmt(v: object) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000 or abs(v) < 1e-3:
+            return f"{v:.3e}"
+        return f"{v:.3f}"
+    return str(v)

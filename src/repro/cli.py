@@ -1,0 +1,186 @@
+"""Command-line interface.
+
+Three subcommands, mirroring how a downstream user would drive the
+library:
+
+* ``repro polar FILE.npy``      — decompose a matrix from disk.
+* ``repro simulate``            — one performance point on a machine model.
+* ``repro sweep``               — a figure-style size sweep.
+* ``repro memory``              — feasibility limits from the footprint model.
+* ``repro validate``            — run the acceptance matrix (paper claims).
+
+Run ``python -m repro.cli --help`` (or the ``repro`` console script).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+
+def _machine(name: str):
+    from .machines import aurora, frontier, summit
+
+    try:
+        return {"summit": summit, "frontier": frontier,
+                "aurora": aurora}[name]()
+    except KeyError:
+        raise SystemExit(f"unknown machine {name!r}; "
+                         f"expected summit, frontier, or aurora") from None
+
+
+def cmd_polar(args: argparse.Namespace) -> int:
+    from . import polar, polar_report
+
+    a = np.load(args.matrix)
+    if a.ndim != 2:
+        raise SystemExit(f"{args.matrix} does not hold a matrix")
+    res = polar(a, method=args.method)
+    rep = polar_report(a, res.u, res.h)
+    print(f"method={args.method} iterations={res.iterations}")
+    print(f"orthogonality={rep.orthogonality:.3e} "
+          f"backward={rep.backward:.3e}")
+    if args.output:
+        np.savez(args.output, u=res.u, h=res.h)
+        print(f"factors saved to {args.output}")
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    from .perf import simulate_qdwh
+    from .runtime.trace import kernel_breakdown
+
+    machine = _machine(args.machine)
+    p = simulate_qdwh(machine, args.nodes, args.n, args.impl,
+                      cond=args.cond, nb=args.nb,
+                      max_tiles=args.max_tiles)
+    print(f"{args.machine} x{args.nodes} nodes, n={args.n}, "
+          f"{args.impl} (nb={p.nb}, sim nb={p.nb_sim})")
+    print(f"  iterations: {p.it_qr} QR + {p.it_chol} Cholesky")
+    print(f"  makespan:   {p.makespan:.2f} s ({p.task_count} tasks)")
+    print(f"  Tflop/s:    {p.tflops:.2f} (paper flop model) / "
+          f"{p.executed_tflops:.2f} (executed)")
+    for kind, _busy, share in kernel_breakdown(p.schedule)[:5]:
+        print(f"    {kind:>8}: {share * 100:5.1f}% of busy time")
+    if args.trace:
+        from .runtime.trace import export_chrome_trace
+
+        q = simulate_qdwh(machine, args.nodes, args.n, args.impl,
+                          cond=args.cond, nb=args.nb,
+                          max_tiles=args.max_tiles, keep_trace=True)
+        path = export_chrome_trace(q.schedule, args.trace)
+        print(f"  chrome trace written to {path} "
+              "(open in chrome://tracing or Perfetto)")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from .bench.tables import format_series
+    from .perf import figure_series
+
+    machine = _machine(args.machine)
+    sizes = args.sizes or None
+    out = figure_series(machine, args.nodes, args.impls, sizes,
+                        max_tiles=args.max_tiles)
+    xs = [p.n for p in next(iter(out.values()))]
+    series = {impl: [round(p.tflops, 3) for p in pts]
+              for impl, pts in out.items()}
+    print(format_series(
+        f"{args.machine}, {args.nodes} node(s): Tflop/s vs matrix size",
+        "n", xs, series))
+    return 0
+
+
+def cmd_memory(args: argparse.Namespace) -> int:
+    from .perf.memory import max_feasible_n, qdwh_footprint, round_down_to
+
+    machine = _machine(args.machine)
+    rpn = args.ranks_per_node
+    if rpn is None:
+        rpn = 2 if args.machine == "summit" else 8
+    nmax = round_down_to(max_feasible_n(machine, args.nodes,
+                                        ranks_per_node=rpn,
+                                        use_gpu=not args.cpu))
+    fp = qdwh_footprint(machine, args.nodes, nmax, ranks_per_node=rpn,
+                        use_gpu=not args.cpu)
+    print(f"{args.machine} x{args.nodes} nodes "
+          f"({rpn} ranks/node, {'CPU' if args.cpu else 'GPU'}):")
+    print(f"  largest feasible n: {nmax}")
+    print(f"  per-rank workspace: {fp.per_rank_bytes / 2**30:.1f} GiB "
+          f"of {fp.capacity_bytes / 2**30:.0f} GiB")
+    print(f"  workspace overhead: {fp.overhead_factor:.1f}x the input")
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    from .validation import validate_all
+
+    rep = validate_all(n_numeric=args.n, max_tiles=args.max_tiles)
+    print(rep.summary())
+    return 0 if rep.passed else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    ap = argparse.ArgumentParser(
+        prog="repro",
+        description="Task-based QDWH polar decomposition "
+                    "(SC-W 2023 reproduction)")
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("polar", help="decompose a .npy matrix")
+    p.add_argument("matrix", help="path to a .npy file (m x n, m >= n)")
+    p.add_argument("--method", default="qdwh",
+                   choices=["qdwh", "svd", "newton", "newton_scaled",
+                            "dwh", "zolo"])
+    p.add_argument("--output", help="save factors to this .npz path")
+    p.set_defaults(fn=cmd_polar)
+
+    p = sub.add_parser("simulate", help="one simulated performance point")
+    p.add_argument("--machine", default="summit")
+    p.add_argument("--nodes", type=int, default=1)
+    p.add_argument("--n", type=int, default=40_000)
+    p.add_argument("--impl", default="slate_gpu",
+                   choices=["slate_gpu", "slate_cpu", "scalapack"])
+    p.add_argument("--cond", type=float, default=1e16)
+    p.add_argument("--nb", type=int, default=None)
+    p.add_argument("--max-tiles", type=int, default=16)
+    p.add_argument("--trace", help="write a chrome://tracing JSON here")
+    p.set_defaults(fn=cmd_simulate)
+
+    p = sub.add_parser("sweep", help="Tflop/s vs size sweep")
+    p.add_argument("--machine", default="summit")
+    p.add_argument("--nodes", type=int, default=1)
+    p.add_argument("--impls", nargs="+",
+                   default=["slate_gpu", "scalapack"])
+    p.add_argument("--sizes", nargs="+", type=int)
+    p.add_argument("--max-tiles", type=int, default=12)
+    p.set_defaults(fn=cmd_sweep)
+
+    p = sub.add_parser("memory", help="feasibility from the footprint model")
+    p.add_argument("--machine", default="frontier")
+    p.add_argument("--nodes", type=int, default=16)
+    p.add_argument("--ranks-per-node", type=int, default=None)
+    p.add_argument("--cpu", action="store_true",
+                   help="CPU-only run (host memory capacity)")
+    p.set_defaults(fn=cmd_memory)
+
+    p = sub.add_parser("validate",
+                       help="run the paper-claim acceptance matrix")
+    p.add_argument("--n", type=int, default=256,
+                   help="size of the measured (numeric) checks")
+    p.add_argument("--max-tiles", type=int, default=10,
+                   help="granularity of the simulated checks")
+    p.set_defaults(fn=cmd_validate)
+    return ap
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,25 @@
+"""Communication modeling: alpha-beta links, collectives, counters.
+
+The simulated analogue of MPI + GPU-aware interconnects.  Transfer
+times feed the schedule simulation; message/byte counters feed the
+communication-volume analyses (gemmA ablation, GPU-aware MPI ablation).
+"""
+
+from .network import NetworkModel, TransferPath
+from .collectives import (
+    bcast_time,
+    reduce_time,
+    allreduce_time,
+    barrier_time,
+)
+from .counters import CommCounters
+
+__all__ = [
+    "NetworkModel",
+    "TransferPath",
+    "bcast_time",
+    "reduce_time",
+    "allreduce_time",
+    "barrier_time",
+    "CommCounters",
+]

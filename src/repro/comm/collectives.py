@@ -1,0 +1,57 @@
+"""Cost models for MPI collectives (tree algorithms).
+
+Used for the scalar reductions in QDWH (norm estimates, convergence
+checks) and the fork-join barrier penalty of the ScaLAPACK execution
+model.  Standard formulas:
+
+* binomial-tree broadcast / reduce: ``ceil(log2 P) * (alpha + n/beta)``
+* recursive-doubling allreduce:    ``log2 P * alpha + 2 n/beta`` (small n)
+* barrier (dissemination):         ``ceil(log2 P) * alpha``
+"""
+
+from __future__ import annotations
+
+import math
+
+from .network import NetworkModel, TransferPath
+
+
+def _log2ceil(p: int) -> int:
+    if p < 1:
+        raise ValueError(f"need >= 1 ranks, got {p}")
+    return max(0, math.ceil(math.log2(p)))
+
+
+def bcast_time(net: NetworkModel, nbytes: int, ranks: int,
+               inter_node: bool = True) -> float:
+    """Binomial-tree broadcast of one buffer to ``ranks`` ranks."""
+    path = TransferPath.INTER_NODE if inter_node else TransferPath.INTRA_NODE
+    return _log2ceil(ranks) * net.transfer_time(nbytes, path)
+
+
+def reduce_time(net: NetworkModel, nbytes: int, ranks: int,
+                inter_node: bool = True) -> float:
+    """Binomial-tree reduction (same wire pattern as broadcast)."""
+    return bcast_time(net, nbytes, ranks, inter_node)
+
+
+def allreduce_time(net: NetworkModel, nbytes: int, ranks: int,
+                   inter_node: bool = True) -> float:
+    """Recursive-doubling allreduce (latency-dominated for scalars)."""
+    if ranks == 1:
+        return 0.0
+    path = TransferPath.INTER_NODE if inter_node else TransferPath.INTRA_NODE
+    steps = _log2ceil(ranks)
+    lat = net.inter_latency if inter_node else net.intra_latency
+    bw = net.inter_bandwidth if inter_node else net.intra_bandwidth
+    del path
+    return steps * lat + 2.0 * nbytes / bw
+
+
+def barrier_time(net: NetworkModel, ranks: int,
+                 inter_node: bool = True) -> float:
+    """Dissemination barrier: log2(P) zero-byte rounds."""
+    if ranks == 1:
+        return 0.0
+    lat = net.inter_latency if inter_node else net.intra_latency
+    return _log2ceil(ranks) * lat

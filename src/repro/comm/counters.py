@@ -1,0 +1,60 @@
+"""Communication counters for a simulated run.
+
+Accumulated by the scheduler per transfer path; the gemmA and GPU-aware
+MPI ablations read these to compare communication volume, not just
+wall time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from .network import TransferPath
+
+
+@dataclass
+class CommCounters:
+    """Message and byte totals per transfer path."""
+
+    messages: Dict[TransferPath, int] = field(
+        default_factory=lambda: {p: 0 for p in TransferPath})
+    bytes: Dict[TransferPath, int] = field(
+        default_factory=lambda: {p: 0 for p in TransferPath})
+
+    def record(self, path: TransferPath, nbytes: int) -> None:
+        if path is TransferPath.LOCAL:
+            return
+        self.messages[path] += 1
+        self.bytes[path] += nbytes
+
+    @property
+    def total_messages(self) -> int:
+        return sum(self.messages.values())
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.bytes.values())
+
+    @property
+    def inter_node_bytes(self) -> int:
+        return self.bytes[TransferPath.INTER_NODE]
+
+    @property
+    def staging_bytes(self) -> int:
+        """Bytes moved across the CPU-GPU boundary (H2D + D2H)."""
+        return self.bytes[TransferPath.H2D] + self.bytes[TransferPath.D2H]
+
+    def merged(self, other: "CommCounters") -> "CommCounters":
+        out = CommCounters()
+        for p in TransferPath:
+            out.messages[p] = self.messages[p] + other.messages[p]
+            out.bytes[p] = self.bytes[p] + other.bytes[p]
+        return out
+
+    def as_dict(self) -> Dict[str, Dict[str, int]]:
+        """JSON-friendly view for reports."""
+        return {
+            "messages": {p.value: v for p, v in self.messages.items() if v},
+            "bytes": {p.value: v for p, v in self.bytes.items() if v},
+        }

@@ -1,0 +1,79 @@
+"""Alpha-beta network model with NIC placement.
+
+Transfer cost between ranks: ``alpha + bytes / beta`` with different
+(alpha, beta) for intra-node (shared memory / Infinity Fabric / NVLink)
+and inter-node (InfiniBand / Slingshot) paths.
+
+NIC placement is the paper's Section 7.2 point: on Frontier the NICs
+attach to the GPUs, so GPU-aware MPI moves GPU-resident tiles straight
+to the wire; on Summit the NICs attach to the CPUs, so a GPU tile pays
+D2H before the wire and H2D after it, whether MPI hides that staging
+or not.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TransferPath(enum.Enum):
+    """Where a tile moves."""
+
+    LOCAL = "local"              # same rank, same device
+    H2D = "h2d"                  # host -> device within a rank
+    D2H = "d2h"                  # device -> host within a rank
+    INTRA_NODE = "intra_node"    # different rank, same node
+    INTER_NODE = "inter_node"    # different node
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Link parameters of one machine.
+
+    Bandwidths in bytes/s, latencies in seconds.  ``nic_on_gpu=True``
+    (Frontier) lets GPU-resident tiles reach the network without
+    staging; ``False`` (Summit) adds the D2H/H2D hops around every
+    inter-node transfer touching GPU memory.
+    """
+
+    inter_latency: float = 2.0e-6
+    inter_bandwidth: float = 12.5e9
+    intra_latency: float = 0.7e-6
+    intra_bandwidth: float = 50.0e9
+    h2d_latency: float = 5.0e-6
+    h2d_bandwidth: float = 40.0e9
+    nic_on_gpu: bool = False
+
+    def transfer_time(self, nbytes: int, path: TransferPath) -> float:
+        """Time for one message of ``nbytes`` along ``path``."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        if path is TransferPath.LOCAL:
+            return 0.0
+        if path in (TransferPath.H2D, TransferPath.D2H):
+            return self.h2d_latency + nbytes / self.h2d_bandwidth
+        if path is TransferPath.INTRA_NODE:
+            return self.intra_latency + nbytes / self.intra_bandwidth
+        return self.inter_latency + nbytes / self.inter_bandwidth
+
+    def remote_gpu_transfer_time(self, nbytes: int, same_node: bool,
+                                 src_on_gpu: bool, dst_on_gpu: bool) -> float:
+        """Rank-to-rank transfer including NIC-placement staging.
+
+        Models the full path of a tile from ``src`` memory space to
+        ``dst`` memory space across ranks, adding D2H/H2D staging hops
+        whenever the wire cannot see GPU memory directly.
+        """
+        path = TransferPath.INTRA_NODE if same_node else TransferPath.INTER_NODE
+        t = self.transfer_time(nbytes, path)
+        if same_node:
+            # Intra-node GPU<->GPU moves ride NVLink/Infinity Fabric,
+            # already captured by the intra-node link parameters.
+            return t
+        if not self.nic_on_gpu:
+            if src_on_gpu:
+                t += self.transfer_time(nbytes, TransferPath.D2H)
+            if dst_on_gpu:
+                t += self.transfer_time(nbytes, TransferPath.H2D)
+        return t

@@ -1,0 +1,59 @@
+"""The paper's primary contribution: QDWH-based polar decomposition.
+
+Layout:
+
+* :mod:`.params` — the scalar (a, b, c, L) dynamical-weight recurrence
+  shared by every variant, plus iteration-count prediction.
+* :mod:`.qdwh_dense` — reference dense implementation (Algorithm 1) on
+  plain numpy arrays, all four dtypes, rectangular m >= n.
+* :mod:`.tiled_qdwh` — the SLATE-style implementation on the tiled,
+  block-cyclic, task-recorded substrate (:mod:`repro.dist`,
+  :mod:`repro.tiled`, :mod:`repro.runtime`).
+* :mod:`.baselines` — SVD-based polar, Newton, scaled Newton, DWH.
+* :mod:`.zolo` — Zolo-PD (the paper's future-work variant).
+* :mod:`.qdwh_eig`, :mod:`.qdwh_svd` — spectral divide-and-conquer
+  applications built on the polar decomposition.
+* :mod:`.mixed_precision` — low-precision iterations + high-precision
+  cleanup (future-work item).
+* :mod:`.polar` — the top-level dispatching API.
+"""
+
+from .params import (
+    QdwhParams,
+    dynamical_weights,
+    parameter_schedule,
+    predict_iterations,
+    schedule_table,
+)
+from .qdwh_dense import qdwh, QdwhResult
+from .baselines import (
+    polar_svd,
+    polar_newton,
+    polar_newton_scaled,
+    polar_dwh,
+)
+from .polar import polar
+from .zolo import zolo_pd, zolo_degree
+from .qdwh_eig import qdwh_eigh
+from .qdwh_svd import qdwh_svd
+from .mixed_precision import qdwh_mixed_precision
+
+__all__ = [
+    "QdwhParams",
+    "dynamical_weights",
+    "parameter_schedule",
+    "predict_iterations",
+    "schedule_table",
+    "qdwh",
+    "QdwhResult",
+    "polar",
+    "polar_svd",
+    "polar_newton",
+    "polar_newton_scaled",
+    "polar_dwh",
+    "zolo_pd",
+    "zolo_degree",
+    "qdwh_eigh",
+    "qdwh_svd",
+    "qdwh_mixed_precision",
+]

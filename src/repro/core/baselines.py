@@ -1,0 +1,169 @@
+"""Baseline polar-decomposition algorithms the paper compares against.
+
+* :func:`polar_svd` — the direct SVD route ``A = U S V^H = (U V^H)(V S V^H)``
+  (Golub & Van Loan; Trefethen & Bau).  Fewer flops than QDWH but built
+  on memory-bound bidiagonalization — the paper's Section 3 notes POLAR
+  beats it by up to 5x on ill-conditioned matrices at scale.
+* :func:`polar_newton` — Newton's iteration ``X <- (X + X^{-H})/2``.
+  Requires explicit inversion each step (the numerical-stability problem
+  QDWH was designed to avoid); square nonsingular matrices only.
+* :func:`polar_newton_scaled` — Newton with Higham's 1,inf-norm scaling
+  (Byers & Xu / Kenney & Laub lineage), far fewer iterations.
+* :func:`polar_dwh` — dynamically weighted Halley with explicit inverse
+  (the pre-QDWH form of the same rational iteration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+import scipy.linalg as sla
+
+from ..config import check_dtype, eps
+from .params import dynamical_weights
+
+
+@dataclass
+class PolarResult:
+    """Polar factors from a baseline algorithm, with iteration metadata."""
+
+    u: np.ndarray
+    h: np.ndarray
+    iterations: int
+    method: str
+    conv_history: List[float] = field(default_factory=list)
+    converged: bool = True
+
+
+def _finalize(a: np.ndarray, u: np.ndarray, method: str, iterations: int,
+              history: List[float], converged: bool = True) -> PolarResult:
+    h = u.conj().T @ a
+    h = 0.5 * (h + h.conj().T)
+    return PolarResult(u=u, h=h, iterations=iterations, method=method,
+                       conv_history=history, converged=converged)
+
+
+def polar_svd(a: np.ndarray) -> PolarResult:
+    """Polar decomposition through the SVD (the flop-optimal baseline)."""
+    a = np.asarray(a)
+    check_dtype(a.dtype)
+    m, n = a.shape
+    if m < n:
+        raise ValueError(f"requires m >= n, got {m} x {n}")
+    u_svd, s, vh = np.linalg.svd(a, full_matrices=False)
+    up = u_svd @ vh
+    h = (vh.conj().T * s[None, :]) @ vh
+    h = 0.5 * (h + h.conj().T)
+    return PolarResult(u=up, h=h, iterations=0, method="svd")
+
+
+def _require_square_nonsingular(a: np.ndarray, method: str) -> None:
+    if a.shape[0] != a.shape[1]:
+        raise ValueError(f"{method} requires a square matrix, got {a.shape}")
+
+
+def polar_newton(a: np.ndarray, max_iter: int = 100) -> PolarResult:
+    """Unscaled Newton iteration ``X <- (X + X^{-H}) / 2``.
+
+    Converges quadratically near U but can crawl for ill-conditioned
+    inputs (its iteration count grows with log2 of the condition
+    number) and each step inverts the current iterate explicitly.
+    """
+    a = np.asarray(a)
+    check_dtype(a.dtype)
+    _require_square_nonsingular(a, "polar_newton")
+    tol = 10 * a.shape[0] * eps(a.dtype)
+    x = a.astype(a.dtype, copy=True)
+    history: List[float] = []
+    for it in range(1, max_iter + 1):
+        xinv_h = np.linalg.inv(x).conj().T
+        x_next = 0.5 * (x + xinv_h)
+        delta = float(np.linalg.norm(x_next - x, "fro")
+                      / max(np.linalg.norm(x_next, "fro"), 1e-300))
+        history.append(delta)
+        x = x_next
+        if delta < tol:
+            return _finalize(a, x, "newton", it, history)
+    return _finalize(a, x, "newton", max_iter, history, converged=False)
+
+
+def polar_newton_scaled(a: np.ndarray, max_iter: int = 100) -> PolarResult:
+    """Newton iteration with Higham's (1, inf)-norm scaling.
+
+    ``gamma = (||X^{-1}||_1 ||X^{-1}||_inf / (||X||_1 ||X||_inf))^{1/4}``
+    rescales each iterate toward the unitary group, cutting the
+    iteration count to ~9 even at kappa = 1e16.
+    """
+    a = np.asarray(a)
+    check_dtype(a.dtype)
+    _require_square_nonsingular(a, "polar_newton_scaled")
+    tol = 10 * a.shape[0] * eps(a.dtype)
+    x = a.astype(a.dtype, copy=True)
+    history: List[float] = []
+    scaling_active = True
+    for it in range(1, max_iter + 1):
+        xinv = np.linalg.inv(x)
+        if scaling_active:
+            num = (np.linalg.norm(xinv, 1) * np.linalg.norm(xinv, np.inf))
+            den = (np.linalg.norm(x, 1) * np.linalg.norm(x, np.inf))
+            gamma = (num / den) ** 0.25
+            # Once close to unitarity, freeze scaling (standard practice:
+            # scaling hurts terminal quadratic convergence).
+            if abs(gamma - 1.0) < 1e-2:
+                scaling_active = False
+                gamma = 1.0
+        else:
+            gamma = 1.0
+        x_next = 0.5 * (gamma * x + xinv.conj().T / gamma)
+        delta = float(np.linalg.norm(x_next - x, "fro")
+                      / max(np.linalg.norm(x_next, "fro"), 1e-300))
+        history.append(delta)
+        x = x_next
+        if delta < tol:
+            return _finalize(a, x, "newton_scaled", it, history)
+    return _finalize(a, x, "newton_scaled", max_iter, history, converged=False)
+
+
+def polar_dwh(a: np.ndarray, max_iter: int = 50) -> PolarResult:
+    """Dynamically weighted Halley with explicit inversion.
+
+    The same (a_k, b_k, c_k) rational map as QDWH,
+
+        X <- X (a I + b X^H X)(I + c X^H X)^{-1},
+
+    but evaluated by forming and inverting ``I + c X^H X`` — the
+    numerically risky formulation that motivated the inverse-free QR
+    reformulation (Nakatsukasa et al.).
+    """
+    a = np.asarray(a)
+    check_dtype(a.dtype)
+    m, n = a.shape
+    if m < n:
+        raise ValueError(f"requires m >= n, got {m} x {n}")
+    alpha = float(np.linalg.norm(a, 2))
+    if alpha == 0.0:
+        u = np.zeros((m, n), dtype=a.dtype)
+        u[:n, :n] = np.eye(n, dtype=a.dtype)
+        return PolarResult(u=u, h=np.zeros((n, n), dtype=a.dtype),
+                           iterations=0, method="dwh")
+    x = a / a.dtype.type(alpha)
+    smin = float(np.linalg.svd(x, compute_uv=False)[-1])
+    li = max(smin, float(np.finfo(np.float64).tiny))
+    tol = 10 * n * eps(a.dtype)
+    history: List[float] = []
+    for it in range(1, max_iter + 1):
+        wa, wb, wc, li = dynamical_weights(li)
+        g = x.conj().T @ x
+        num = wa * x + wb * (x @ g)
+        den = wc * g
+        den[np.diag_indices(n)] += 1.0
+        x_next = sla.solve(den.conj().T, num.conj().T,
+                           assume_a="her", check_finite=False).conj().T
+        delta = float(np.linalg.norm(x_next - x, "fro"))
+        history.append(delta)
+        x = x_next
+        if delta < tol and abs(li - 1.0) < 10 * eps(a.dtype):
+            return _finalize(a, x, "dwh", it, history)
+    return _finalize(a, x, "dwh", max_iter, history, converged=False)

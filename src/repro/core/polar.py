@@ -1,0 +1,59 @@
+"""Top-level polar-decomposition API.
+
+``polar(A)`` dispatches between the QDWH implementations and the
+baselines so examples/benchmarks can switch algorithms with a string.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from .baselines import (
+    PolarResult,
+    polar_dwh,
+    polar_newton,
+    polar_newton_scaled,
+    polar_svd,
+)
+from .qdwh_dense import QdwhResult, qdwh
+
+#: Methods accepted by :func:`polar`.
+METHODS = ("qdwh", "svd", "newton", "newton_scaled", "dwh", "zolo")
+
+
+def polar(a: np.ndarray, method: str = "qdwh",
+          **kwargs) -> Union[QdwhResult, PolarResult]:
+    """Compute the polar decomposition ``A = U @ H``.
+
+    Parameters
+    ----------
+    a:
+        m x n matrix, m >= n, any of the four standard dtypes.
+    method:
+        One of ``"qdwh"`` (the paper's algorithm, default), ``"svd"``,
+        ``"newton"``, ``"newton_scaled"``, ``"dwh"``, or ``"zolo"``
+        (the future-work Zolotarev variant).
+    **kwargs:
+        Forwarded to the chosen implementation (e.g. ``cond_est=`` for
+        qdwh, ``max_iter=`` for the iterative baselines).
+
+    Returns
+    -------
+    An object with at least ``.u``, ``.h``, and ``.iterations``.
+    """
+    if method == "qdwh":
+        return qdwh(a, **kwargs)
+    if method == "svd":
+        return polar_svd(a, **kwargs)
+    if method == "newton":
+        return polar_newton(a, **kwargs)
+    if method == "newton_scaled":
+        return polar_newton_scaled(a, **kwargs)
+    if method == "dwh":
+        return polar_dwh(a, **kwargs)
+    if method == "zolo":
+        from .zolo import zolo_pd
+        return zolo_pd(a, **kwargs)
+    raise ValueError(f"unknown method {method!r}; expected one of {METHODS}")

@@ -1,0 +1,339 @@
+"""QDWH polar decomposition on the tiled/distributed substrate.
+
+This is the reproduction's analogue of the paper's SLATE implementation
+(Algorithm 1): every operation is a tiled, task-recorded, owner-computes
+computation over a block-cyclic DistMatrix — norm2est, the QR-based
+condition estimate, the stacked-QR iterations, the Cholesky iterations,
+and the final H formation.
+
+Two execution modes share this one code path:
+
+* **numeric** — tiles hold real data; convergence tests read the actual
+  scalar reductions; results match :func:`repro.core.qdwh` to roundoff.
+* **symbolic** — no data; the loop is driven by the scalar weight
+  schedule (which is data-independent given the condition estimate),
+  emitting the exact task graph a run of that size would execute.  The
+  performance model simulates this graph on a machine model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..config import (
+    QDWH_HARD_ITERATION_CAP,
+    qdwh_inner_tolerance,
+    qdwh_weight_tolerance,
+)
+from ..dist.matrix import DistMatrix
+from ..runtime.executor import Runtime
+from ..runtime.task import TaskKind
+from ..tiled.blas3 import add, copy, gemm, herk, scale, transpose_conj
+from ..tiled.cholesky import posv
+from ..tiled.estimators import norm2est_tiled, trcondest_tiled
+from ..tiled.norms import norm_fro, norm_one
+from ..tiled.qr import geqrf, qr_explicit
+from .params import QdwhParams, dynamical_weights, parameter_schedule
+
+
+@dataclass
+class TiledQdwhResult:
+    """Outcome of a tiled QDWH run."""
+
+    u: DistMatrix
+    h: DistMatrix
+    iterations: int
+    it_qr: int
+    it_chol: int
+    conv_history: List[float] = field(default_factory=list)
+    alpha: float = 0.0
+    l0: float = 0.0
+    converged: bool = True
+
+
+def _copy_scaled(rt: Runtime, alpha: float, src: DistMatrix,
+                 dst: DistMatrix, row_offset: int) -> None:
+    """dst[offset tiles ...] = alpha * src (builds the sqrt(c)A block)."""
+    for i in range(src.mt):
+        di = i + row_offset
+        for j in range(src.nt):
+
+            def body(i=i, j=j, di=di):
+                dst.tile(di, j)[...] = (dst.dtype.type(alpha)
+                                        * src.tile(i, j))
+
+            rt.submit(TaskKind.COPY, reads=(src.ref(i, j),),
+                      writes=(dst.ref(di, j),), rank=dst.owner(di, j),
+                      flops=float(src.tile_rows(i) * src.tile_cols(j)),
+                      tile_dim=dst.nb, fn=body,
+                      label=f"cpysc({i},{j})")
+
+
+def _set_identity_block(rt: Runtime, w: DistMatrix, row_offset: int) -> None:
+    """w[offset block] = I (the bottom block of [sqrt(c)A; I])."""
+    nt = w.nt
+    for i in range(nt):
+        di = i + row_offset
+        for j in range(nt):
+
+            def body(i=i, j=j, di=di):
+                t = w.tile(di, j)
+                t[...] = 0
+                if i == j:
+                    d = min(t.shape)
+                    t[np.arange(d), np.arange(d)] = 1
+
+            rt.submit(TaskKind.SET, reads=(), writes=(w.ref(di, j),),
+                      rank=w.owner(di, j),
+                      flops=float(w.tile_rows(di) * w.tile_cols(j)),
+                      tile_dim=w.nb, fn=body, label=f"wident({di},{j})")
+
+
+def _split_rows(rt: Runtime, q: DistMatrix, top_mt: int,
+                template_top: DistMatrix) -> Tuple[DistMatrix, DistMatrix]:
+    """Split Q (stacked) into Q1 (top_mt tile rows) and Q2 (rest).
+
+    Q2's layout is shifted so each copy is owner-local (zero traffic) —
+    the analogue of SLATE's submatrix views.
+    """
+    q1 = DistMatrix(rt, template_top.m, q.n, q.nb, q.dtype,
+                    layout=q.layout, name="Q1",
+                    row_heights=q.row_heights[:top_mt],
+                    col_widths=q.col_widths)
+    q2 = DistMatrix(rt, q.m - template_top.m, q.n, q.nb, q.dtype,
+                    layout=q.layout.shifted(top_mt, 0), name="Q2",
+                    row_heights=q.row_heights[top_mt:],
+                    col_widths=q.col_widths)
+    for i in range(q.mt):
+        dst, di = (q1, i) if i < top_mt else (q2, i - top_mt)
+        for j in range(q.nt):
+
+            def body(i=i, j=j, dst=dst, di=di):
+                dst.tile(di, j)[...] = q.tile(i, j)
+
+            rt.submit(TaskKind.COPY, reads=(q.ref(i, j),),
+                      writes=(dst.ref(di, j),), rank=dst.owner(di, j),
+                      flops=float(q.tile_rows(i) * q.tile_cols(j)),
+                      tile_dim=q.nb, fn=body, label=f"split({i},{j})")
+    return q1, q2
+
+
+def _symmetrize(rt: Runtime, h: DistMatrix) -> None:
+    """H = (H + H^H) / 2, tile-pair-wise."""
+    for i in range(h.mt):
+        for j in range(i + 1):
+            if i == j:
+
+                def body(i=i):
+                    t = h.tile(i, i)
+                    t[...] = 0.5 * (t + t.conj().T)
+
+                rt.submit(TaskKind.ADD, reads=(h.ref(i, i),),
+                          writes=(h.ref(i, i),), rank=h.owner(i, i),
+                          flops=float(h.tile_rows(i) ** 2),
+                          tile_dim=h.nb, fn=body, label=f"symm({i},{i})")
+            else:
+
+                def body(i=i, j=j):
+                    lo = h.tile(i, j)
+                    up = h.tile(j, i)
+                    s = 0.5 * (lo + up.conj().T)
+                    lo[...] = s
+                    up[...] = s.conj().T
+
+                rt.submit(TaskKind.ADD,
+                          reads=(h.ref(i, j), h.ref(j, i)),
+                          writes=(h.ref(i, j), h.ref(j, i)),
+                          rank=h.owner(i, j),
+                          flops=2.0 * h.tile_rows(i) * h.tile_cols(j),
+                          tile_dim=h.nb, fn=body, label=f"symm({i},{j})")
+
+
+def _qr_iteration(rt: Runtime, a: DistMatrix, wa: float, wb: float,
+                  wc: float) -> None:
+    """Eq. (1): stacked QR of [sqrt(c)A; I], A <- theta Q1 Q2^H + beta A."""
+    sc = math.sqrt(wc)
+    w = DistMatrix(rt, a.m + a.n, a.n, a.nb, a.dtype, layout=a.layout,
+                   name="W",
+                   row_heights=a.row_heights + a.col_widths,
+                   col_widths=a.col_widths)
+    rt.advance_phase()
+    _copy_scaled(rt, sc, a, w, 0)
+    _set_identity_block(rt, w, a.mt)
+    _fac, q = qr_explicit(rt, w)
+    q1, q2 = _split_rows(rt, q, a.mt, a)
+    theta = (wa - wb / wc) / sc
+    beta = wb / wc
+    rt.advance_phase()
+    gemm(rt, theta, q1, q2, beta, a, opb="C")
+
+
+def _chol_iteration(rt: Runtime, a: DistMatrix, wa: float, wb: float,
+                    wc: float) -> None:
+    """Eq. (2): Z = I + c A^H A, posv solve, A <- beta A + theta X^H."""
+    rt.advance_phase()
+    z = DistMatrix(rt, a.n, a.n, a.nb, a.dtype, layout=a.layout, name="Z",
+                   row_heights=a.col_widths, col_widths=a.col_widths)
+    _set_identity_block(rt, z, 0)
+    herk(rt, wc, a, 1.0, z, opa="C")
+    rhs = transpose_conj(rt, a)          # A^H, n x m
+    posv(rt, z, rhs)                     # X overwrites rhs
+    xt = transpose_conj(rt, rhs)         # X^H, m x n
+    beta = wb / wc
+    theta = wa - beta
+    rt.advance_phase()
+    add(rt, theta, xt, beta, a)
+
+
+def tiled_qdwh(rt: Runtime, a: DistMatrix, *,
+               cond_est: Optional[float] = None,
+               max_iter: int = QDWH_HARD_ITERATION_CAP,
+               norm2est_sweeps: Optional[int] = None,
+               condest_cycles: Optional[int] = None) -> TiledQdwhResult:
+    """Algorithm 1 on the tiled substrate.
+
+    Parameters
+    ----------
+    rt:
+        The runtime (numeric or symbolic).
+    a:
+        m x n DistMatrix (m >= n); overwritten by the polar factor U.
+    cond_est:
+        Known condition estimate.  Optional in numeric mode (the tiled
+        QR + trcondest stage runs otherwise); **required** in symbolic
+        mode, where the iteration schedule must be known a priori.
+        The planning bound is ``l0 = 1/(cond_est * sqrt(n))``, matching
+        the deflation the practical estimator applies.
+    norm2est_sweeps / condest_cycles:
+        Fixed estimator iteration counts for symbolic runs.
+
+    Returns
+    -------
+    TiledQdwhResult with ``u`` aliasing ``a`` (overwritten, as in the
+    paper) and a fresh ``h``.
+    """
+    m, n = a.shape
+    if m < n:
+        raise ValueError(f"QDWH requires m >= n, got {m} x {n}")
+    dt = a.dtype
+    inner_tol = qdwh_inner_tolerance(dt)
+    weight_tol = qdwh_weight_tolerance(dt)
+
+    if not rt.numeric and cond_est is None:
+        raise ValueError("symbolic tiled_qdwh requires cond_est")
+
+    # Backup A for the final H = U^H A (Algorithm 1, line 8).
+    acpy = DistMatrix(rt, m, n, a.nb, dt, layout=a.layout, name="Acpy",
+                      row_heights=a.row_heights, col_widths=a.col_widths)
+    copy(rt, a, acpy)
+
+    # --- Two-norm estimate and scaling (lines 10-13). ---
+    rt.advance_phase()
+    alpha_res = norm2est_tiled(rt, a, sweeps=norm2est_sweeps)
+    if rt.numeric:
+        alpha = alpha_res.value
+        if alpha == 0.0:
+            # Zero matrix: conventional polar factors U = [I; 0], H = 0.
+            _set_identity_block(rt, a, 0)  # writes top n x n block
+            h = DistMatrix(rt, n, n, a.nb, dt, layout=a.layout, name="H",
+                           row_heights=a.col_widths, col_widths=a.col_widths)
+            from ..tiled.blas3 import set_zero
+            set_zero(rt, h)
+            for i in range(a.nt, a.mt):
+                for j in range(a.nt):
+                    def zbody(i=i, j=j):
+                        a.tile(i, j)[...] = 0
+                    rt.submit(TaskKind.SET, reads=(), writes=(a.ref(i, j),),
+                              rank=a.owner(i, j), fn=zbody, label="uzero")
+            return TiledQdwhResult(u=a, h=h, iterations=0, it_qr=0,
+                                   it_chol=0, alpha=0.0, l0=0.0)
+        alpha *= 1.1  # estimator safety margin, as in the dense driver
+    else:
+        alpha = 1.0
+    rt.advance_phase()
+    scale(rt, 1.0 / alpha, a)
+
+    # --- Condition estimate -> l0 (lines 14-19). ---
+    if cond_est is not None:
+        l0 = 1.0 / (cond_est * math.sqrt(n))
+        if not rt.numeric:
+            # Emit the estimation stage's tasks anyway so the simulated
+            # cost includes the paper's stage 1 (QR + trcondest).
+            w1 = DistMatrix(rt, m, n, a.nb, dt, layout=a.layout, name="W1c",
+                            row_heights=a.row_heights,
+                            col_widths=a.col_widths)
+            copy(rt, a, w1)
+            fac = geqrf(rt, w1)
+            trcondest_tiled(rt, fac, cycles=condest_cycles)
+            norm_one(rt, a)
+    else:
+        w1 = DistMatrix(rt, m, n, a.nb, dt, layout=a.layout, name="W1c",
+                        row_heights=a.row_heights, col_widths=a.col_widths)
+        copy(rt, a, w1)
+        fac = geqrf(rt, w1)
+        rcond = trcondest_tiled(rt, fac, cycles=condest_cycles)
+        anorm = norm_one(rt, a)
+        l0 = anorm.value * rcond.value / math.sqrt(n)
+        if not np.isfinite(l0) or l0 <= 0.0:
+            l0 = float(np.finfo(np.float64).tiny)
+        l0 = min(l0, 1.0)
+
+    conv_history: List[float] = []
+    it = it_qr = it_chol = 0
+    converged = True
+
+    if rt.numeric:
+        li = l0
+        conv = 100.0
+        prev = DistMatrix(rt, m, n, a.nb, dt, layout=a.layout, name="prev",
+                          row_heights=a.row_heights, col_widths=a.col_widths)
+        while conv >= inner_tol or abs(li - 1.0) >= weight_tol:
+            if it >= max_iter:
+                converged = False
+                break
+            wa, wb, wc, li = dynamical_weights(li)
+            copy(rt, a, prev)
+            if wc > 100.0:
+                _qr_iteration(rt, a, wa, wb, wc)
+                it_qr += 1
+            else:
+                _chol_iteration(rt, a, wa, wb, wc)
+                it_chol += 1
+            rt.advance_phase()
+            add(rt, 1.0, a, -1.0, prev)  # prev = A_k - A_{k-1}
+            conv = norm_fro(rt, prev).value
+            conv_history.append(conv)
+            it += 1
+    else:
+        schedule: List[QdwhParams] = parameter_schedule(l0, dtype=dt,
+                                                        max_iter=max_iter)
+        prev = DistMatrix(rt, m, n, a.nb, dt, layout=a.layout, name="prev",
+                          row_heights=a.row_heights, col_widths=a.col_widths)
+        for p in schedule:
+            copy(rt, a, prev)
+            if p.use_qr:
+                _qr_iteration(rt, a, p.a, p.b, p.c)
+                it_qr += 1
+            else:
+                _chol_iteration(rt, a, p.a, p.b, p.c)
+                it_chol += 1
+            rt.advance_phase()
+            add(rt, 1.0, a, -1.0, prev)
+            norm_fro(rt, prev)
+            it += 1
+
+    # --- H = U^H A, symmetrized (line 52). ---
+    rt.advance_phase()
+    h = DistMatrix(rt, n, n, a.nb, dt, layout=a.layout, name="H",
+                   row_heights=a.col_widths, col_widths=a.col_widths)
+    gemm(rt, 1.0, a, acpy, 0.0, h, opa="C")
+    _symmetrize(rt, h)
+
+    return TiledQdwhResult(u=a, h=h, iterations=it, it_qr=it_qr,
+                           it_chol=it_chol, conv_history=conv_history,
+                           alpha=float(alpha), l0=float(l0),
+                           converged=converged)

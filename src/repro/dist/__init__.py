@@ -1,0 +1,16 @@
+"""Distributed-matrix substrate: process grids, 2D block-cyclic layout,
+and tiled matrices with explicit tile ownership.
+
+This is the simulated stand-in for SLATE's MPI layer: every tile has an
+owning rank determined by the block-cyclic map, and the runtime derives
+message traffic from cross-rank tile accesses, exactly as GPU-aware MPI
+transfers tiles between ranks in the real library.
+"""
+
+from .grid import ProcessGrid
+from .layout import BlockCyclic
+from .matrix import DistMatrix, TileRef
+from .redistribute import redistribute
+
+__all__ = ["ProcessGrid", "BlockCyclic", "DistMatrix", "TileRef",
+           "redistribute"]

@@ -1,0 +1,69 @@
+"""Process grids: the p x q arrangement of MPI ranks.
+
+SLATE (like ScaLAPACK) arranges ranks in a 2D grid and distributes
+tiles block-cyclically over it; near-square grids minimize the
+communication volume of factorizations (panel broadcasts scale with
+p + q rather than p*q).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+
+@dataclass(frozen=True)
+class ProcessGrid:
+    """A p x q grid of ranks, column-major rank numbering (ScaLAPACK
+    default): rank(r, c) = r + c * p.
+    """
+
+    p: int
+    q: int
+
+    def __post_init__(self) -> None:
+        if self.p < 1 or self.q < 1:
+            raise ValueError(f"grid dims must be >= 1, got {self.p} x {self.q}")
+
+    @property
+    def size(self) -> int:
+        """Total number of ranks."""
+        return self.p * self.q
+
+    def rank(self, row: int, col: int) -> int:
+        """Rank id of grid coordinate (row, col)."""
+        if not (0 <= row < self.p and 0 <= col < self.q):
+            raise IndexError(f"({row}, {col}) outside {self.p} x {self.q} grid")
+        return row + col * self.p
+
+    def coords(self, rank: int) -> Tuple[int, int]:
+        """Grid coordinate (row, col) of a rank id."""
+        if not (0 <= rank < self.size):
+            raise IndexError(f"rank {rank} outside grid of size {self.size}")
+        return rank % self.p, rank // self.p
+
+    def ranks(self) -> Iterator[int]:
+        """All rank ids."""
+        return iter(range(self.size))
+
+    def row_ranks(self, row: int) -> Tuple[int, ...]:
+        """Ranks in one grid row (a row-broadcast communicator)."""
+        return tuple(self.rank(row, c) for c in range(self.q))
+
+    def col_ranks(self, col: int) -> Tuple[int, ...]:
+        """Ranks in one grid column (a column-broadcast communicator)."""
+        return tuple(self.rank(r, col) for r in range(self.p))
+
+    @staticmethod
+    def near_square(size: int) -> "ProcessGrid":
+        """The most-square p x q factorization of ``size`` (p <= q).
+
+        This is how the paper's runs lay out ranks (e.g. 64 ranks ->
+        8 x 8; 42 -> 6 x 7).
+        """
+        if size < 1:
+            raise ValueError(f"size must be >= 1, got {size}")
+        p = int(size ** 0.5)
+        while size % p != 0:
+            p -= 1
+        return ProcessGrid(p, size // p)

@@ -1,0 +1,73 @@
+"""2D block-cyclic tile distribution (ScaLAPACK/SLATE style).
+
+Tile (i, j) of a tiled matrix lives on the rank at grid coordinate
+``(i mod p, j mod q)``.  All layout questions — who owns a tile, which
+tiles a rank owns, load balance — are answered here, so the rest of
+the code never hand-rolls modular arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from .grid import ProcessGrid
+
+
+@dataclass(frozen=True)
+class BlockCyclic:
+    """Block-cyclic map from tile indices to ranks on a process grid.
+
+    ``row_shift``/``col_shift`` support submatrix-consistent layouts
+    (a view starting at tile (i0, j0) keeps the parent's ownership by
+    shifting the cycle), mirroring ScaLAPACK's RSRC/CSRC.
+    """
+
+    grid: ProcessGrid
+    row_shift: int = 0
+    col_shift: int = 0
+
+    def owner_coords(self, i: int, j: int) -> Tuple[int, int]:
+        """Grid coordinates owning tile (i, j)."""
+        if i < 0 or j < 0:
+            raise IndexError(f"tile indices must be >= 0, got ({i}, {j})")
+        return ((i + self.row_shift) % self.grid.p,
+                (j + self.col_shift) % self.grid.q)
+
+    def owner(self, i: int, j: int) -> int:
+        """Rank owning tile (i, j)."""
+        r, c = self.owner_coords(i, j)
+        return self.grid.rank(r, c)
+
+    def tiles_of_rank(self, rank: int, mt: int, nt: int) -> Iterator[Tuple[int, int]]:
+        """All tiles of an mt x nt tiled matrix owned by ``rank``."""
+        r, c = self.grid.coords(rank)
+        i0 = (r - self.row_shift) % self.grid.p
+        j0 = (c - self.col_shift) % self.grid.q
+        for i in range(i0, mt, self.grid.p):
+            for j in range(j0, nt, self.grid.q):
+                yield (i, j)
+
+    def local_tile_count(self, rank: int, mt: int, nt: int) -> int:
+        """Number of tiles of an mt x nt matrix on ``rank``."""
+        r, c = self.grid.coords(rank)
+        i0 = (r - self.row_shift) % self.grid.p
+        j0 = (c - self.col_shift) % self.grid.q
+        rows = max(0, (mt - i0 + self.grid.p - 1) // self.grid.p)
+        cols = max(0, (nt - j0 + self.grid.q - 1) // self.grid.q)
+        return rows * cols
+
+    def load_imbalance(self, mt: int, nt: int) -> float:
+        """max/mean tile count over ranks (1.0 = perfectly balanced)."""
+        counts = [self.local_tile_count(r, mt, nt)
+                  for r in self.grid.ranks()]
+        mean = sum(counts) / len(counts)
+        if mean == 0:
+            return 1.0
+        return max(counts) / mean
+
+    def shifted(self, di: int, dj: int) -> "BlockCyclic":
+        """Layout of a sub-tiling starting at tile offset (di, dj)."""
+        return BlockCyclic(self.grid,
+                           (self.row_shift + di) % self.grid.p,
+                           (self.col_shift + dj) % self.grid.q)

@@ -1,0 +1,25 @@
+"""Machine models: device rates, node composition, network parameters.
+
+Presets model the paper's two testbeds:
+
+* :func:`summit` — IBM POWER9 + 6x NVIDIA V100 per node, NIC on CPU.
+* :func:`frontier` — AMD EPYC + 4x MI250X (8 GCDs) per node, NIC on GPU.
+
+Rates are calibrated so the simulated Tflop/s curves land in the
+paper's regime; see EXPERIMENTS.md for per-figure paper-vs-measured.
+"""
+
+from .machine import CpuModel, GpuModel, MachineModel, RankResources
+from .summit import summit
+from .frontier import frontier
+from .aurora import aurora
+
+__all__ = [
+    "CpuModel",
+    "GpuModel",
+    "MachineModel",
+    "RankResources",
+    "summit",
+    "frontier",
+    "aurora",
+]

@@ -1,0 +1,61 @@
+"""Aurora node model (ANL, HPE Cray EX — Intel exascale system).
+
+The paper's contribution list: "SLATE also supports SYCL for Intel
+GPUs on the upcoming *Aurora* system."  Aurora was 'upcoming' at
+publication time; this model uses the published specs so the
+portability claim can be exercised across all three vendors:
+
+* 2x 52-core Xeon Max 9470 (Sapphire Rapids + HBM); 8 cores reserved
+  -> 96 usable.
+* 6x Intel Data Center GPU Max 1550 (Ponte Vecchio), each with 2
+  stacks ("tiles") — by analogy with Frontier's GCDs, one rank per
+  stack: 12 GPU ranks per node.  Stack DP vector peak ~26 Tflop/s
+  (matrix engines ~52).
+* 8x HPE Slingshot-11 NICs per node, attached near the GPUs
+  (GPU-aware MPI effective, like Frontier).
+"""
+
+from __future__ import annotations
+
+from ..comm.network import NetworkModel
+from .machine import CpuModel, GpuModel, MachineModel
+
+SLATE_RANKS_PER_NODE = 12
+SCALAPACK_RANKS_PER_NODE = 96
+
+BEST_NB_GPU = 320
+BEST_NB_CPU = 192
+
+
+def aurora() -> MachineModel:
+    """The Aurora machine model (Intel CPU + GPU, SYCL backend)."""
+    return MachineModel(
+        name="aurora",
+        cores_per_node=96,
+        gpus_per_node=12,  # PVC stacks
+        cpu=CpuModel(
+            name="XeonMax-9470",
+            core_peak_gflops=44.8,  # 2.8 GHz x 16 DP flops/cycle (AVX-512)
+            nb_half=12,
+            kernel_overhead=1.0e-6,
+        ),
+        gpu=GpuModel(
+            name="PVC-stack",
+            # XMX matrix-engine DP peak per stack; far from saturated
+            # at nb = 320, like the MI250X GCDs.
+            peak_gflops=52000.0,
+            nb_half=1024,
+            kernel_overhead=10.0e-6,
+        ),
+        network=NetworkModel(
+            # 8 x 25 GB/s Slingshot NICs over 12 GPU ranks.
+            inter_latency=2.0e-6,
+            inter_bandwidth=16.6e9,
+            # Xe-Link between stacks.
+            intra_latency=0.5e-6,
+            intra_bandwidth=100.0e9,
+            h2d_latency=5.0e-6,
+            h2d_bandwidth=64.0e9,  # PCIe5 x16 + fabric
+            nic_on_gpu=True,
+        ),
+    )

@@ -1,0 +1,65 @@
+"""Frontier node model (ORNL, HPE Cray EX).
+
+Per the paper's Section 7.1: 64-core EPYC (8 reserved -> 56 usable),
+4 MI250X GPUs each exposing 2 GCDs (8 GCDs/node, each treated as one
+GPU), Slingshot NICs attached to the GPUs (GPU-aware MPI pays no
+staging penalty — the paper credits this for SLATE's Frontier
+behaviour).
+
+Rates:
+* MI250X GCD: 23.9 Tflop/s DP vector peak; sustained dgemm on
+  nb ~ 320 tiles is a modest fraction of that (large nb_half),
+  consistent with the paper's ~180 Tflop/s on 128 GCDs.
+* EPYC core: ~3.5 GHz x 16 DP flops/cycle ~ 56 Gflop/s nominal, but
+  QDWH-relevant sustained per-core throughput is lower; 36 Gflop/s.
+
+SLATE runs use 8 ranks/node (1 GCD each); ScaLAPACK runs use 56
+ranks/node — both from the paper.
+"""
+
+from __future__ import annotations
+
+from ..comm.network import NetworkModel
+from .machine import CpuModel, GpuModel, MachineModel
+
+SLATE_RANKS_PER_NODE = 8
+SCALAPACK_RANKS_PER_NODE = 56
+
+BEST_NB_GPU = 320
+BEST_NB_CPU = 192
+
+
+def frontier() -> MachineModel:
+    """The Frontier machine model."""
+    return MachineModel(
+        name="frontier",
+        cores_per_node=56,
+        gpus_per_node=8,  # GCDs
+        cpu=CpuModel(
+            name="EPYC-7A53",
+            core_peak_gflops=36.0,
+            nb_half=12,
+            kernel_overhead=1.0e-6,
+        ),
+        gpu=GpuModel(
+            name="MI250X-GCD",
+            # Matrix-core DP peak per GCD; dgemm engages the MFMA
+            # units (47.9 Tflop/s), far from saturated at nb = 320.
+            peak_gflops=47900.0,
+            nb_half=960,     # GCDs need very big tiles to saturate
+            kernel_overhead=10.0e-6,
+        ),
+        network=NetworkModel(
+            # Slingshot-11: 4 x 25 GB/s NICs per node -> ~12.5 GB/s
+            # per GCD-rank injection.
+            inter_latency=2.0e-6,
+            inter_bandwidth=12.5e9,
+            # Infinity Fabric between GCDs: 50-200 GB/s.
+            intra_latency=0.5e-6,
+            intra_bandwidth=100.0e9,
+            # CPU<->GCD Infinity Fabric: 36 GB/s each direction.
+            h2d_latency=5.0e-6,
+            h2d_bandwidth=36.0e9,
+            nic_on_gpu=True,  # the Frontier advantage
+        ),
+    )

@@ -1,0 +1,213 @@
+"""Device and machine rate models.
+
+Task duration = flops / effective_rate(kind, tile_dim) + launch
+overhead.  Effective rate = peak * kind_factor * saturation(tile_dim),
+with the classic ``n / (n + n_half)`` saturation curve: a device
+reaches half its kind-adjusted peak at tile edge ``n_half`` (GPUs need
+much larger tiles than CPU cores to saturate — this is why the paper
+tunes nb=320 for GPU runs but nb=192 for CPU runs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..comm.network import NetworkModel
+from ..runtime.task import ELEMENTWISE_KINDS, PANEL_KINDS, TaskKind
+
+#: Default kind factors: fraction of peak a well-saturated kernel of
+#: this class reaches.  Panel kernels (QR/Cholesky panels) are
+#: latency/bandwidth bound and far from peak on any device.
+_DEFAULT_KIND_FACTORS: Dict[TaskKind, float] = {
+    TaskKind.GEMM: 0.90,
+    TaskKind.HERK: 0.80,
+    TaskKind.TRSM: 0.65,
+    TaskKind.TRMM: 0.70,
+    TaskKind.POTRF: 0.35,
+    TaskKind.GEQRT: 0.25,
+    TaskKind.TPQRT: 0.30,
+    TaskKind.UNMQR: 0.75,
+    TaskKind.TPMQRT: 0.70,
+    TaskKind.ADD: 0.05,     # bandwidth bound
+    TaskKind.SCALE: 0.05,
+    TaskKind.COPY: 0.05,
+    TaskKind.SET: 0.05,
+    TaskKind.NORM: 0.05,
+    TaskKind.REDUCE: 0.02,
+    TaskKind.GEMV: 0.05,
+    TaskKind.SOLVE_VEC: 0.05,
+}
+
+
+#: CPU cores running vendor BLAS (ESSL, AMD AOCL) on cache-resident
+#: tiles get much closer to peak than a GPU does at the same tile size.
+_CPU_KIND_FACTORS: Dict[TaskKind, float] = {
+    **_DEFAULT_KIND_FACTORS,
+    TaskKind.GEMM: 0.95,
+    TaskKind.HERK: 0.90,
+    TaskKind.TRSM: 0.80,
+    TaskKind.TRMM: 0.85,
+    TaskKind.UNMQR: 0.88,
+    TaskKind.TPMQRT: 0.85,
+    TaskKind.POTRF: 0.45,
+    TaskKind.GEQRT: 0.30,
+    TaskKind.TPQRT: 0.35,
+}
+
+#: GPU kind factors.  BLAS-3 factors sit below the CPU's: streamed
+#: batched kernels on nb ~ 320 tiles lose to dispatch gaps, tile
+#: fragmentation, and imperfect batching (calibrated against the
+#: paper's achieved Tflop/s levels).  Elementwise kinds run at HBM
+#: bandwidth: 0.013 * 7.8 Tflop/s ~ 100e9 elements/s ~ 800 GB/s, the
+#: V100 HBM2 ballpark.
+_GPU_KIND_FACTORS: Dict[TaskKind, float] = {
+    **_DEFAULT_KIND_FACTORS,
+    TaskKind.GEMM: 0.78,
+    TaskKind.HERK: 0.68,
+    TaskKind.TRSM: 0.55,
+    TaskKind.TRMM: 0.60,
+    TaskKind.UNMQR: 0.64,
+    TaskKind.TPMQRT: 0.60,
+    **{k: 0.013 for k in ELEMENTWISE_KINDS},
+}
+
+
+@dataclass(frozen=True)
+class GpuModel:
+    """One accelerator (a V100, or one GCD of an MI250X)."""
+
+    name: str
+    peak_gflops: float              # double-precision peak
+    nb_half: int = 192              # tile edge at half saturation
+    kernel_overhead: float = 8.0e-6  # launch + batch dispatch
+    kind_factors: Dict[TaskKind, float] = field(
+        default_factory=lambda: dict(_GPU_KIND_FACTORS))
+
+    def rate(self, kind: TaskKind, tile_dim: int) -> float:
+        """Effective Gflop/s for a kernel of ``kind`` on nb x nb tiles."""
+        f = self.kind_factors.get(kind, 0.5)
+        nb = max(tile_dim, 1)
+        sat = nb / (nb + self.nb_half)
+        return self.peak_gflops * f * sat
+
+    def duration(self, kind: TaskKind, flops: float, tile_dim: int) -> float:
+        if flops <= 0.0:
+            return self.kernel_overhead
+        return self.kernel_overhead + flops / (self.rate(kind, tile_dim) * 1e9)
+
+
+@dataclass(frozen=True)
+class CpuModel:
+    """One CPU core (tasks are scheduled core-granular, as OpenMP does)."""
+
+    name: str
+    core_peak_gflops: float
+    nb_half: int = 12
+    kernel_overhead: float = 1.0e-6
+    kind_factors: Dict[TaskKind, float] = field(
+        default_factory=lambda: dict(_CPU_KIND_FACTORS))
+
+    def rate(self, kind: TaskKind, tile_dim: int) -> float:
+        f = self.kind_factors.get(kind, 0.5)
+        nb = max(tile_dim, 1)
+        sat = nb / (nb + self.nb_half)
+        return self.core_peak_gflops * f * sat
+
+    def duration(self, kind: TaskKind, flops: float, tile_dim: int) -> float:
+        if flops <= 0.0:
+            return self.kernel_overhead
+        return self.kernel_overhead + flops / (self.rate(kind, tile_dim) * 1e9)
+
+
+@dataclass(frozen=True)
+class RankResources:
+    """Execution resources of one MPI rank in a run configuration."""
+
+    cores: int
+    gpus: int
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ValueError("each rank needs at least one core")
+        if self.gpus < 0:
+            raise ValueError("gpus must be >= 0")
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """A full machine: node composition + device models + network."""
+
+    name: str
+    cores_per_node: int          # usable cores (OS-reserved excluded)
+    gpus_per_node: int
+    cpu: CpuModel
+    gpu: Optional[GpuModel]
+    network: NetworkModel
+
+    def ranks(self, nodes: int, ranks_per_node: int) -> int:
+        if nodes < 1 or ranks_per_node < 1:
+            raise ValueError("nodes and ranks_per_node must be >= 1")
+        if ranks_per_node > self.cores_per_node:
+            raise ValueError(
+                f"{ranks_per_node} ranks/node exceeds {self.cores_per_node} "
+                f"usable cores on {self.name}")
+        return nodes * ranks_per_node
+
+    def rank_resources(self, ranks_per_node: int, *,
+                       use_gpu: bool) -> RankResources:
+        """Split a node's cores/GPUs evenly over its ranks."""
+        cores = max(1, self.cores_per_node // ranks_per_node)
+        gpus = 0
+        if use_gpu:
+            if self.gpu is None:
+                raise ValueError(f"{self.name} has no GPU model")
+            gpus = self.gpus_per_node // ranks_per_node
+            if gpus == 0:
+                raise ValueError(
+                    f"{ranks_per_node} ranks/node leaves no GPU per rank "
+                    f"on {self.name} ({self.gpus_per_node} GPUs/node)")
+        return RankResources(cores=cores, gpus=gpus)
+
+    def node_of_rank(self, rank: int, ranks_per_node: int) -> int:
+        return rank // ranks_per_node
+
+    def task_duration(self, kind: TaskKind, flops: float, tile_dim: int,
+                      coarse: float, on_gpu: bool,
+                      host_cores: int = 1,
+                      gang: int = 1) -> float:
+        """Duration of one (possibly coarsened) task.
+
+        A task with ``coarse > 1`` stands for a *group* of real-nb
+        kernels with the same total flops (the perf model's tile-grid
+        coarsening).  Such a group is *gang-executed*: the scheduler
+        gives each rank a single aggregated slot and passes ``gang`` =
+        the number of physical devices (cores or GPUs) behind it, so
+        the group's throughput scales with the rank's hardware exactly
+        as real fine-grained tasks would spread over it.
+
+        For panel kinds the group further decomposes as ~coarse
+        independent nb-wide sub-panels (CPU-resident, panel rates,
+        spread over the rank's ``host_cores`` — the tree panel's
+        row-parallel geqrts) plus trailing updates (device BLAS-3
+        rates); pricing the whole group serially at panel rates would
+        wildly overcharge the critical path.
+        """
+        dev = self.gpu if (on_gpu and self.gpu is not None) else self.cpu
+        if flops <= 0.0:
+            return dev.kernel_overhead
+        gang_f = max(1.0, min(float(gang), coarse * coarse))
+        if kind in PANEL_KINDS and coarse > 1.01:
+            panel_frac = 1.0 / coarse
+            concurrency = max(1.0, min(coarse, float(host_cores)))
+            update_kind = (TaskKind.HERK if kind is TaskKind.POTRF
+                           else TaskKind.TPMQRT)
+            t_panel = (panel_frac * flops
+                       / (self.cpu.rate(kind, tile_dim) * 1e9
+                          * concurrency))
+            t_upd = ((1.0 - panel_frac) * flops
+                     / (dev.rate(update_kind, tile_dim) * 1e9 * gang_f))
+            return dev.kernel_overhead + t_panel + t_upd
+        return (dev.kernel_overhead
+                + (dev.duration(kind, flops, tile_dim)
+                   - dev.kernel_overhead) / gang_f)

@@ -1,0 +1,64 @@
+"""Summit node model (ORNL, IBM AC922).
+
+Per the paper's Section 7.1: 2x 22-core POWER9 (2 cores reserved for
+the OS -> 42 usable), 6 NVIDIA V100 GPUs on NVLink, dual-rail EDR
+InfiniBand NICs attached to the CPUs (so GPU-aware MPI does not help —
+all wire traffic stages through host memory).
+
+Rates:
+* V100 double-precision peak 7.8 Tflop/s; dgemm on nb ~ 320 tiles in
+  batched/stream mode lands well below peak — nb_half=224 captures the
+  measured saturation knee.
+* POWER9 core: 3.07 GHz x 8 DP flops/cycle ~ 24.6 Gflop/s peak;
+  ESSL dgemm reaches ~85% on cache-resident tiles (nb ~ 192).
+
+SLATE runs on Summit use 2 ranks/node (3 GPUs + 21 cores each);
+ScaLAPACK runs use 42 ranks/node (1 core each) — both from the paper.
+"""
+
+from __future__ import annotations
+
+from ..comm.network import NetworkModel
+from .machine import CpuModel, GpuModel, MachineModel
+
+#: Ranks-per-node settings used by the paper's runs.
+SLATE_RANKS_PER_NODE = 2
+SCALAPACK_RANKS_PER_NODE = 42
+
+#: Tile sizes the paper's tuning found best.
+BEST_NB_GPU = 320
+BEST_NB_CPU = 192
+
+
+def summit() -> MachineModel:
+    """The Summit machine model."""
+    return MachineModel(
+        name="summit",
+        cores_per_node=42,
+        gpus_per_node=6,
+        cpu=CpuModel(
+            name="POWER9",
+            core_peak_gflops=24.6,
+            nb_half=12,
+            kernel_overhead=1.0e-6,
+        ),
+        gpu=GpuModel(
+            name="V100",
+            peak_gflops=7800.0,
+            nb_half=224,
+            kernel_overhead=8.0e-6,
+        ),
+        network=NetworkModel(
+            # Dual-rail EDR: 2 x 12.5 GB/s injection per node, shared
+            # by the node's 2 SLATE ranks -> ~11.5 GB/s per rank.
+            inter_latency=1.5e-6,
+            inter_bandwidth=11.5e9,
+            # Shared-memory / X-bus within the node.
+            intra_latency=0.5e-6,
+            intra_bandwidth=64.0e9,
+            # NVLink2 CPU<->GPU: 50 GB/s per direction per GPU.
+            h2d_latency=5.0e-6,
+            h2d_bandwidth=45.0e9,
+            nic_on_gpu=False,  # NICs hang off the CPUs on Summit
+        ),
+    )

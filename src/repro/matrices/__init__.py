@@ -1,0 +1,38 @@
+"""Synthetic test-matrix generation and accuracy metrics.
+
+The paper (Section 7.1) generates matrices from a prescribed SVD:
+random unitary factors U, V (QR of random matrices) times a diagonal
+singular-value matrix chosen for a target condition number.
+"""
+
+from .generator import (
+    SingularValueMode,
+    generate_matrix,
+    random_unitary,
+    singular_values,
+    ill_conditioned,
+    well_conditioned,
+)
+from .metrics import (
+    orthogonality_error,
+    backward_error,
+    hermitian_error,
+    positive_semidefinite_defect,
+    polar_report,
+    PolarAccuracy,
+)
+
+__all__ = [
+    "SingularValueMode",
+    "generate_matrix",
+    "random_unitary",
+    "singular_values",
+    "ill_conditioned",
+    "well_conditioned",
+    "orthogonality_error",
+    "backward_error",
+    "hermitian_error",
+    "positive_semidefinite_defect",
+    "polar_report",
+    "PolarAccuracy",
+]

@@ -1,0 +1,149 @@
+"""Synthetic matrices with prescribed condition number and spectrum.
+
+Following Section 7.1 of the paper: draw random unitary matrices U and
+V by QR-factorizing Gaussian matrices, build a diagonal matrix of
+singular values realizing a target condition number, and form
+``A = U @ diag(sigma) @ V^H``.
+
+The singular-value *distribution* matters for convergence studies, so a
+few standard LAPACK-style modes are provided (geometric, arithmetic,
+clustered, single outlier, random log-uniform).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from ..config import check_dtype, is_complex, real_dtype
+
+
+class SingularValueMode(enum.Enum):
+    """Distribution of singular values between 1 and 1/kappa."""
+
+    #: sigma_i = kappa^{-(i-1)/(n-1)} — geometric decay (LAPACK mode 3).
+    GEOMETRIC = "geometric"
+    #: sigma_i = 1 - (i-1)/(n-1) * (1 - 1/kappa) — linear (LAPACK mode 4).
+    ARITHMETIC = "arithmetic"
+    #: sigma_1 = 1, all others 1/kappa (LAPACK mode 1).
+    CLUSTER_SMALL = "cluster_small"
+    #: sigma_n = 1/kappa, all others 1 (LAPACK mode 2).
+    CLUSTER_LARGE = "cluster_large"
+    #: log-uniform random in [1/kappa, 1] (LAPACK mode 5).
+    RANDOM = "random"
+
+
+def _rng(seed: Union[int, np.random.Generator, None]) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def random_unitary(n: int, dtype=np.float64, *, m: Optional[int] = None,
+                   seed: Union[int, np.random.Generator, None] = None) -> np.ndarray:
+    """Haar-ish random unitary (orthogonal) m x n matrix with orthonormal columns.
+
+    Obtained via QR of a Gaussian matrix with the R-diagonal sign fix so
+    the distribution does not collapse onto a QR-convention artifact.
+    """
+    dt = check_dtype(dtype)
+    if m is None:
+        m = n
+    if m < n:
+        raise ValueError(f"need m >= n to build orthonormal columns, got {m} < {n}")
+    rng = _rng(seed)
+    g = rng.standard_normal((m, n))
+    if is_complex(dt):
+        g = g + 1j * rng.standard_normal((m, n))
+    q, r = np.linalg.qr(g.astype(dt, copy=False))
+    d = np.diagonal(r).copy()
+    d[d == 0] = 1
+    q = q * (d / np.abs(d))
+    return np.ascontiguousarray(q.astype(dt, copy=False))
+
+
+def singular_values(n: int, cond: float,
+                    mode: SingularValueMode = SingularValueMode.GEOMETRIC,
+                    dtype=np.float64,
+                    seed: Union[int, np.random.Generator, None] = None) -> np.ndarray:
+    """Vector of n singular values in [1/cond, 1] following *mode*."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if cond < 1:
+        raise ValueError(f"condition number must be >= 1, got {cond}")
+    rdt = real_dtype(dtype)
+    if n == 1:
+        return np.ones(1, dtype=rdt)
+    lo = 1.0 / cond
+    if mode is SingularValueMode.GEOMETRIC:
+        s = np.power(cond, -np.arange(n) / (n - 1))
+    elif mode is SingularValueMode.ARITHMETIC:
+        s = 1.0 - np.arange(n) / (n - 1) * (1.0 - lo)
+    elif mode is SingularValueMode.CLUSTER_SMALL:
+        s = np.full(n, lo)
+        s[0] = 1.0
+    elif mode is SingularValueMode.CLUSTER_LARGE:
+        s = np.ones(n)
+        s[-1] = lo
+    elif mode is SingularValueMode.RANDOM:
+        rng = _rng(seed)
+        s = np.exp(rng.uniform(np.log(lo), 0.0, size=n))
+        s = np.sort(s)[::-1]
+        s[0], s[-1] = 1.0, lo  # pin the extremes so cond is exact
+    else:  # pragma: no cover - exhaustive enum
+        raise ValueError(f"unknown mode {mode}")
+    return np.asarray(s, dtype=rdt)
+
+
+def generate_matrix(m: int, n: Optional[int] = None, *,
+                    cond: float = 1e16,
+                    mode: SingularValueMode = SingularValueMode.GEOMETRIC,
+                    dtype=np.float64,
+                    seed: Union[int, np.random.Generator, None] = None,
+                    sigma: Optional[Sequence[float]] = None) -> np.ndarray:
+    """Random m x n matrix (m >= n) with prescribed condition number.
+
+    Builds ``A = U @ diag(sigma) @ V^H`` with random unitary U (m x n)
+    and V (n x n).  Pass an explicit *sigma* to override the mode-based
+    spectrum (its length must be n; values are used as given).
+
+    This is the generator the paper uses for its benchmarking campaign;
+    the ill-conditioned runs use ``cond=1e16``.
+    """
+    if n is None:
+        n = m
+    if m < n:
+        raise ValueError(f"generator requires m >= n, got {m} x {n}")
+    dt = check_dtype(dtype)
+    rng = _rng(seed)
+    if sigma is None:
+        s = singular_values(n, cond, mode, dtype=dt, seed=rng)
+    else:
+        s = np.asarray(sigma, dtype=real_dtype(dt))
+        if s.shape != (n,):
+            raise ValueError(f"sigma must have shape ({n},), got {s.shape}")
+    u = random_unitary(n, dt, m=m, seed=rng)
+    v = random_unitary(n, dt, seed=rng)
+    a = (u * s[None, :]) @ v.conj().T
+    return np.ascontiguousarray(a.astype(dt, copy=False))
+
+
+def ill_conditioned(m: int, n: Optional[int] = None, *, dtype=np.float64,
+                    seed: Union[int, np.random.Generator, None] = None) -> np.ndarray:
+    """The paper's worst-case workload: kappa = 1e16 (double precision).
+
+    For single-precision dtypes the condition number is capped near
+    1/eps of the type so the matrix is numerically (not just nominally)
+    ill-conditioned.
+    """
+    dt = check_dtype(dtype)
+    kappa = 1e16 if real_dtype(dt) == np.dtype(np.float64) else 1e7
+    return generate_matrix(m, n, cond=kappa, dtype=dt, seed=seed)
+
+
+def well_conditioned(m: int, n: Optional[int] = None, *, dtype=np.float64,
+                     seed: Union[int, np.random.Generator, None] = None) -> np.ndarray:
+    """A benign workload (kappa ~ 10): converges in ~2 Cholesky iterations."""
+    return generate_matrix(m, n, cond=10.0, dtype=dtype, seed=seed)

@@ -1,0 +1,80 @@
+"""Accuracy metrics for the computed polar decomposition.
+
+Exactly the two error measures of Section 7.2:
+
+* orthogonality of the polar factor:  ``||I - U^H U||_F / sqrt(n)``
+* backward error of the decomposition: ``||A - U H||_F / ||A||_F``
+
+plus sanity metrics on H (Hermitian-ness, positive semidefiniteness)
+that the paper asserts by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def orthogonality_error(u: np.ndarray) -> float:
+    """``||I - U^H U||_F / sqrt(n)`` for an m x n matrix U (m >= n)."""
+    n = u.shape[1]
+    g = u.conj().T @ u
+    g[np.diag_indices(n)] -= 1.0
+    return float(np.linalg.norm(g, "fro") / np.sqrt(n))
+
+
+def backward_error(a: np.ndarray, u: np.ndarray, h: np.ndarray) -> float:
+    """``||A - U H||_F / ||A||_F``."""
+    anorm = np.linalg.norm(a, "fro")
+    if anorm == 0:
+        return float(np.linalg.norm(u @ h, "fro"))
+    return float(np.linalg.norm(a - u @ h, "fro") / anorm)
+
+
+def hermitian_error(h: np.ndarray) -> float:
+    """``||H - H^H||_F / max(||H||_F, 1)`` — 0 for exactly Hermitian H."""
+    hnorm = max(np.linalg.norm(h, "fro"), 1.0)
+    return float(np.linalg.norm(h - h.conj().T, "fro") / hnorm)
+
+
+def positive_semidefinite_defect(h: np.ndarray) -> float:
+    """Magnitude of the most negative eigenvalue of (H+H^H)/2, scaled.
+
+    Zero (up to roundoff) for a valid polar factor H.  Uses eigvalsh on
+    the Hermitian part; returns ``max(0, -lambda_min) / max(||H||_2, 1)``.
+    """
+    hs = 0.5 * (h + h.conj().T)
+    w = np.linalg.eigvalsh(hs)
+    scale = max(float(w[-1]), 1.0)
+    return float(max(0.0, -float(w[0])) / scale)
+
+
+@dataclass(frozen=True)
+class PolarAccuracy:
+    """Bundle of the paper's accuracy metrics for one decomposition."""
+
+    n: int
+    m: int
+    orthogonality: float
+    backward: float
+    h_hermitian: float
+    h_psd_defect: float
+
+    def within(self, tol: float) -> bool:
+        """True when every metric is below *tol* (H-defect included)."""
+        return (self.orthogonality <= tol and self.backward <= tol
+                and self.h_hermitian <= tol and self.h_psd_defect <= tol)
+
+
+def polar_report(a: np.ndarray, u: np.ndarray, h: np.ndarray) -> PolarAccuracy:
+    """Compute all accuracy metrics for a polar decomposition A = U H."""
+    m, n = a.shape
+    return PolarAccuracy(
+        n=n,
+        m=m,
+        orthogonality=orthogonality_error(u),
+        backward=backward_error(a, u, h),
+        h_hermitian=hermitian_error(h),
+        h_psd_defect=positive_semidefinite_defect(h),
+    )

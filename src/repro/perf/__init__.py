@@ -1,0 +1,41 @@
+"""Performance model: the simulated benchmarking campaign.
+
+Builds symbolic QDWH task graphs at paper scale and simulates them on
+the Summit/Frontier machine models under the task-based (SLATE) or
+fork-join (ScaLAPACK/POLAR) execution models, reporting Tflop/s the way
+the paper does (useful algorithmic flops over wall time).
+"""
+
+from .model import (
+    IMPLEMENTATIONS,
+    PerfPoint,
+    build_qdwh_graph,
+    simulate_qdwh,
+)
+from .memory import (
+    MemoryFootprint,
+    max_feasible_n,
+    qdwh_footprint,
+    qdwh_workspace_elements,
+)
+from .sweep import (
+    figure_series,
+    scaling_series,
+    speedup_table,
+    tile_size_sweep,
+)
+
+__all__ = [
+    "IMPLEMENTATIONS",
+    "PerfPoint",
+    "build_qdwh_graph",
+    "simulate_qdwh",
+    "figure_series",
+    "scaling_series",
+    "speedup_table",
+    "tile_size_sweep",
+    "MemoryFootprint",
+    "qdwh_footprint",
+    "qdwh_workspace_elements",
+    "max_feasible_n",
+]

@@ -1,0 +1,53 @@
+"""Profiling-campaign reports (the paper's Section 1 "thorough
+performance benchmarking and profiling campaigns").
+
+Turns one :class:`~repro.perf.model.PerfPoint` into the breakdowns an
+HPC profiler would show: per-kernel busy shares, communication volume
+by path, rank utilization, and the critical-path composition.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..bench.tables import format_table
+from ..runtime.trace import kernel_breakdown, rank_utilization
+from .model import PerfPoint
+
+
+def profile_report(point: PerfPoint) -> str:
+    """A multi-section text report for one simulated run."""
+    s = point.schedule
+    lines: List[str] = []
+    lines.append(
+        f"=== {point.machine} x{point.nodes} nodes | n={point.n} "
+        f"| {point.impl} | nb={point.nb} ===")
+    lines.append(
+        f"iterations: {point.it_qr} QR + {point.it_chol} Cholesky | "
+        f"makespan {point.makespan:.2f} s | "
+        f"{point.tflops:.2f} Tflop/s (model) / "
+        f"{point.executed_tflops:.2f} (executed)")
+
+    rows = [[k, f"{busy:.1f}", f"{share * 100:.1f}%"]
+            for k, busy, share in kernel_breakdown(s)]
+    lines.append(format_table("kernel busy time",
+                              ["kind", "busy (s)", "share"], rows))
+
+    util = rank_utilization(s)
+    lines.append(
+        f"rank utilization: min {util['min']:.2f} / mean "
+        f"{util['mean']:.2f} / max {util['max']:.2f} "
+        "(busy-slot-seconds over makespan)")
+
+    comm = s.comm.as_dict()
+    crow = [[path, f"{b / 1e9:.2f}"]
+            for path, b in comm.get("bytes", {}).items()]
+    if crow:
+        lines.append(format_table("communication volume",
+                                  ["path", "GB"], crow))
+    else:
+        lines.append("communication volume: none (single rank)")
+    lines.append(
+        f"critical path: {s.critical_path:.2f} s "
+        f"({s.critical_path / point.makespan * 100:.0f}% of makespan)")
+    return "\n".join(lines) + "\n"

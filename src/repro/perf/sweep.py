@@ -1,0 +1,103 @@
+"""Parameter sweeps reproducing the paper's figures.
+
+Each helper returns plain data (lists of PerfPoint) so the benchmark
+harness can print the same rows/series the paper plots.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..machines.machine import MachineModel
+from .model import PerfPoint, simulate_qdwh
+
+#: Matrix sizes per node count, mirroring the paper's x-axes.  The
+#: largest size per node count respects the memory-footprint model
+#: (:mod:`repro.perf.memory`) — e.g. 175k on 16 Frontier nodes, the
+#: paper's stated ceiling.
+SUMMIT_SIZES: Dict[int, Sequence[int]] = {
+    1: (5_000, 10_000, 20_000, 30_000, 40_000),
+    4: (10_000, 20_000, 40_000, 60_000, 80_000),
+    8: (20_000, 40_000, 80_000, 100_000, 125_000),
+    16: (40_000, 80_000, 120_000, 175_000),
+    32: (40_000, 80_000, 160_000, 250_000),
+}
+
+FRONTIER_SIZES: Dict[int, Sequence[int]] = {
+    1: (10_000, 20_000, 40_000),
+    2: (20_000, 40_000, 60_000),
+    4: (20_000, 40_000, 80_000),
+    8: (40_000, 80_000, 120_000),
+    16: (40_000, 80_000, 120_000, 150_000, 175_000),
+}
+
+
+def figure_series(machine: MachineModel, nodes: int,
+                  impls: Iterable[str],
+                  sizes: Optional[Sequence[int]] = None, *,
+                  max_tiles: int = 20,
+                  cond: float = 1e16) -> Dict[str, List[PerfPoint]]:
+    """Tflop/s-vs-size series for one node count (Figs. 2, 3, 5)."""
+    if sizes is None:
+        table = SUMMIT_SIZES if machine.name == "summit" else FRONTIER_SIZES
+        sizes = table[nodes]
+    out: Dict[str, List[PerfPoint]] = {}
+    for impl in impls:
+        pts = []
+        for n in sizes:
+            pts.append(simulate_qdwh(machine, nodes, n, impl,
+                                     max_tiles=max_tiles, cond=cond))
+        out[impl] = pts
+    return out
+
+
+def scaling_series(machine: MachineModel, node_counts: Sequence[int],
+                   impl: str = "slate_gpu", *,
+                   sizes_per_nodes: Optional[Dict[int, Sequence[int]]] = None,
+                   max_tiles: int = 20) -> Dict[int, List[PerfPoint]]:
+    """Tflop/s-vs-size series per node count (Figs. 4 and 6)."""
+    if sizes_per_nodes is None:
+        sizes_per_nodes = (SUMMIT_SIZES if machine.name == "summit"
+                           else FRONTIER_SIZES)
+    out: Dict[int, List[PerfPoint]] = {}
+    for nodes in node_counts:
+        out[nodes] = [simulate_qdwh(machine, nodes, n, impl,
+                                    max_tiles=max_tiles)
+                      for n in sizes_per_nodes[nodes]]
+    return out
+
+
+def speedup_table(machine: MachineModel, node_counts: Sequence[int], *,
+                  sizes: Optional[Dict[int, Sequence[int]]] = None,
+                  max_tiles: int = 20) -> List[dict]:
+    """Max SLATE-GPU over ScaLAPACK speedup per node count (the 18x).
+
+    For each node count, simulates both implementations over the size
+    sweep and reports the largest ratio — the paper's headline metric.
+    """
+    rows = []
+    for nodes in node_counts:
+        series = figure_series(machine, nodes, ("slate_gpu", "scalapack"),
+                               sizes.get(nodes) if sizes else None,
+                               max_tiles=max_tiles)
+        best = 0.0
+        best_n = 0
+        for pg, ps in zip(series["slate_gpu"], series["scalapack"]):
+            if ps.tflops > 0 and pg.tflops / ps.tflops > best:
+                best = pg.tflops / ps.tflops
+                best_n = pg.n
+        rows.append({"nodes": nodes, "speedup": best, "at_n": best_n})
+    return rows
+
+
+def tile_size_sweep(machine: MachineModel, n: int, impl: str,
+                    nbs: Sequence[int], *, nodes: int = 1,
+                    max_tiles: int = 64) -> List[PerfPoint]:
+    """Tflop/s vs tile size (the paper's nb=320 GPU / nb=192 CPU tuning).
+
+    Run at a size small enough that the true tiling is simulated (no
+    coarsening), so the parallelism-vs-kernel-efficiency trade-off is
+    visible.
+    """
+    return [simulate_qdwh(machine, nodes, n, impl, nb=nb,
+                          max_tiles=max_tiles) for nb in nbs]

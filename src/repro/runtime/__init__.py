@@ -1,0 +1,36 @@
+"""Task-based runtime: dependency-inferred DAGs, eager numeric
+execution, and event-driven schedule simulation.
+
+The pieces map onto what SLATE gets from OpenMP + MPI:
+
+* :mod:`.task` — a task with declared read/write tile sets (the
+  analogue of ``omp task depend(in:...) depend(inout:...)``).
+* :mod:`.graph` — builds the DAG by last-writer/reader inference,
+  which is precisely the semantics OpenMP applies to depend clauses.
+* :mod:`.executor` — the :class:`Runtime` context: ops submit tasks,
+  numeric payloads run eagerly, the graph is recorded for simulation.
+* :mod:`.scheduler` — event-driven simulation of the DAG on a machine
+  model; the task-based mode allows arbitrary out-of-order execution
+  within a lookahead window, the fork-join mode inserts a barrier
+  after every phase (the ScaLAPACK/POLAR execution model).
+* :mod:`.trace` — per-kernel/per-rank breakdowns of a simulated run.
+"""
+
+from .task import Task, TaskKind, DEVICE_ELIGIBLE
+from .graph import TaskGraph
+from .executor import Runtime
+from .scheduler import ScheduleResult, simulate
+from .trace import kernel_breakdown, rank_utilization, critical_path_kinds
+
+__all__ = [
+    "Task",
+    "TaskKind",
+    "DEVICE_ELIGIBLE",
+    "TaskGraph",
+    "Runtime",
+    "ScheduleResult",
+    "simulate",
+    "kernel_breakdown",
+    "rank_utilization",
+    "critical_path_kinds",
+]

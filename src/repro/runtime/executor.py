@@ -1,0 +1,140 @@
+"""The Runtime context: tiled ops submit tasks here.
+
+A :class:`Runtime` binds a process grid and an execution mode:
+
+* ``numeric=True`` — each submitted task's payload closure runs
+  immediately (eager execution, like OpenMP tasks with a single
+  thread), so tiled algorithms produce real numbers; the DAG is
+  recorded on the side for scheduling analysis.
+* ``numeric=False`` — symbolic mode: payloads are skipped, only the
+  DAG is built.  This is how the performance model emits task graphs
+  for paper-scale matrices (n ~ 2e5) in milliseconds of real time.
+
+Phases: ops bump :meth:`advance_phase` at every panel step.  The
+fork-join (ScaLAPACK) scheduler model inserts a barrier between
+phases; the task-based model uses them only for the lookahead window.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Iterable, Optional, Sequence
+
+from ..dist.grid import ProcessGrid
+from ..dist.layout import BlockCyclic
+from .graph import TaskGraph
+from .task import Task, TaskKind, TileRef
+
+
+class Runtime:
+    """Execution context for tiled algorithms."""
+
+    def __init__(self, grid: ProcessGrid, *, numeric: bool = True,
+                 collect_graph: bool = True,
+                 tile_dim_hint: Optional[int] = None) -> None:
+        self.grid = grid
+        self.numeric = numeric
+        self.collect_graph = collect_graph or not numeric
+        #: When set, overrides every task's tile_dim for the machine
+        #: efficiency lookup.  The perf model simulates paper-scale
+        #: matrices with coarsened tiles (to bound task counts) while
+        #: rating each kernel at the *real* tile size the run would use.
+        self.tile_dim_hint = tile_dim_hint
+        #: Coarsening factor attached to every task (see Task.coarse).
+        self.coarse_hint = 1.0
+        #: Multiplier applied to every task's flops (complex arithmetic
+        #: costs ~4x real at the same dimensions; see
+        #: repro.flops.COMPLEX_FLOP_FACTOR).
+        self.flops_scale = 1.0
+        self.graph = TaskGraph()
+        self._matrix_ids = itertools.count()
+        self._task_ids = itertools.count()
+        self._phase = 0
+        self._op = 0
+        #: pseudo-matrix id for scalar results (reductions).
+        self.scalar_mat = self.new_matrix_id()
+        self._scalar_ids = itertools.count()
+
+    # ------------------------------------------------------------------
+    # Identifiers and phases
+    # ------------------------------------------------------------------
+
+    def new_matrix_id(self) -> int:
+        """Fresh matrix id for tile refs."""
+        return next(self._matrix_ids)
+
+    def new_scalar_ref(self, nbytes: int = 8) -> TileRef:
+        """A fresh pseudo-tile carrying a scalar reduction result."""
+        ref = (self.scalar_mat, next(self._scalar_ids), 0)
+        if self.collect_graph:
+            self.graph.register_tile(ref, nbytes)
+        return ref
+
+    @property
+    def phase(self) -> int:
+        return self._phase
+
+    def advance_phase(self) -> int:
+        """Start a new program phase (panel step)."""
+        self._phase += 1
+        return self._phase
+
+    def begin_op(self) -> int:
+        """Mark the start of a library operation (a ScaLAPACK-call
+        analogue); the fork-join execution model barriers between ops.
+        Also advances the phase counter.
+        """
+        self._op += 1
+        self._phase += 1
+        return self._op
+
+    def default_layout(self) -> BlockCyclic:
+        """Block-cyclic layout over this runtime's grid."""
+        return BlockCyclic(self.grid)
+
+    # ------------------------------------------------------------------
+    # Task submission
+    # ------------------------------------------------------------------
+
+    def submit(self, kind: TaskKind, *,
+               reads: Sequence[TileRef] = (),
+               writes: Sequence[TileRef] = (),
+               rank: Optional[int] = None,
+               flops: float = 0.0,
+               bytes_out: int = 0,
+               tile_dim: int = 0,
+               label: str = "",
+               fn: Optional[Callable[[], None]] = None) -> Task:
+        """Submit one task; runs ``fn`` now when in numeric mode.
+
+        ``rank=None`` is only valid when every write ref has been
+        registered with an owner through a DistMatrix; callers normally
+        pass the owner of the primary output tile (owner-computes).
+        """
+        task = Task(
+            tid=next(self._task_ids),
+            kind=kind,
+            reads=tuple(reads),
+            writes=tuple(writes),
+            rank=0 if rank is None else rank,
+            phase=self._phase,
+            flops=flops * self.flops_scale,
+            bytes_out=bytes_out,
+            tile_dim=(self.tile_dim_hint if self.tile_dim_hint
+                      else tile_dim),
+            coarse=self.coarse_hint,
+            op=self._op,
+            label=label,
+        )
+        if self.collect_graph:
+            self.graph.add(task)
+        if self.numeric and fn is not None:
+            fn()
+        return task
+
+    def register_tiles(self, refs: Iterable[TileRef], nbytes_each: int,
+                       owner: int = -1) -> None:
+        """Bulk tile-size registration (called by DistMatrix)."""
+        if self.collect_graph:
+            for ref in refs:
+                self.graph.register_tile(ref, nbytes_each, owner)

@@ -1,0 +1,113 @@
+"""DAG construction by read/write dependency inference.
+
+Implements exactly the semantics of OpenMP ``task depend`` clauses,
+which is how SLATE sequences its tiles:
+
+* read-after-write: a task reading tile t depends on t's last writer;
+* write-after-write: a task writing t depends on t's last writer;
+* write-after-read: a task writing t depends on every reader of t
+  since the last write.
+
+Tasks are added in program order; the builder maintains per-tile
+last-writer and reader sets and emits explicit dependency edges so the
+scheduler never needs the tile tables again.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from .task import Task, TileRef
+
+
+class TaskGraph:
+    """An append-only task DAG with dependency inference."""
+
+    def __init__(self) -> None:
+        self.tasks: List[Task] = []
+        self._last_writer: Dict[TileRef, int] = {}
+        self._readers: Dict[TileRef, Set[int]] = {}
+        #: bytes of each tile ref seen (for transfer costs).
+        self.tile_bytes: Dict[TileRef, int] = {}
+        #: owning rank of registered tiles (initial placement).
+        self.tile_owner: Dict[TileRef, int] = {}
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def add(self, task: Task) -> Task:
+        """Append a task, inferring its dependency edges."""
+        deps: Set[int] = set()
+        cold = []
+        for ref in task.reads:
+            w = self._last_writer.get(ref)
+            if w is not None:
+                deps.add(w)
+            elif ref in self.tile_owner:
+                cold.append(ref)
+        for ref in task.writes:
+            w = self._last_writer.get(ref)
+            if w is not None:
+                deps.add(w)
+            for r in self._readers.get(ref, ()):
+                deps.add(r)
+        deps.discard(task.tid)
+        task.deps = tuple(sorted(deps))
+        task.cold_reads = tuple(cold)
+        # Update tables after computing deps.
+        for ref in task.reads:
+            self._readers.setdefault(ref, set()).add(task.tid)
+        for ref in task.writes:
+            self._last_writer[ref] = task.tid
+            self._readers[ref] = set()
+        self.tasks.append(task)
+        return task
+
+    def register_tile(self, ref: TileRef, nbytes: int,
+                      owner: int = -1) -> None:
+        """Record a tile's byte size and (optionally) its owning rank."""
+        self.tile_bytes[ref] = nbytes
+        if owner >= 0:
+            self.tile_owner[ref] = owner
+
+    # ------------------------------------------------------------------
+    # Derived structure
+    # ------------------------------------------------------------------
+
+    def successors(self) -> List[List[int]]:
+        """Adjacency list task -> dependents (recomputed on demand)."""
+        succ: List[List[int]] = [[] for _ in self.tasks]
+        for t in self.tasks:
+            for d in t.deps:
+                succ[d].append(t.tid)
+        return succ
+
+    def validate_topological(self) -> bool:
+        """Program order must already be a topological order."""
+        return all(all(d < t.tid for d in t.deps) for t in self.tasks)
+
+    def critical_path_seconds(self, duration) -> float:
+        """Length of the critical path under ``duration(task) -> s``.
+
+        A lower bound on any schedule's makespan (ignores comm).
+        """
+        finish = [0.0] * len(self.tasks)
+        for t in self.tasks:
+            start = max((finish[d] for d in t.deps), default=0.0)
+            finish[t.tid] = start + duration(t)
+        return max(finish, default=0.0)
+
+    def total_flops(self) -> float:
+        """Sum of task flop counts (executed flops, not the paper model)."""
+        return sum(t.flops for t in self.tasks)
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        """Histogram of task kinds (used by tests and the profiler)."""
+        out: Dict[str, int] = {}
+        for t in self.tasks:
+            out[t.kind.value] = out.get(t.kind.value, 0) + 1
+        return out
+
+    def edges(self) -> List[Tuple[int, int]]:
+        """All (dep, task) edges; test/visualization helper."""
+        return [(d, t.tid) for t in self.tasks for d in t.deps]

@@ -1,0 +1,418 @@
+"""Event-driven schedule simulation of a task DAG on a machine model.
+
+Models what the paper's two runtimes do with the same algorithm:
+
+* **task-based (SLATE)** — tasks run as soon as their DAG dependencies
+  are satisfied and a core/GPU on their owning rank is free, with an
+  optional lookahead window bounding how many program phases ahead the
+  execution may run (SLATE's lookahead panels);
+* **fork-join (ScaLAPACK/POLAR)** — a barrier after every phase: no
+  task of phase p+1 starts before every task of phase <= p completed,
+  plus the barrier's own log(P) latency.  This is the bulk-synchronous
+  execution the paper identifies as POLAR's scalability bottleneck.
+
+Transfers: consumer-driven.  When a task reads a tile last written on
+another rank (or another device), the transfer is scheduled on the
+α-β link model with per-rank send/receive/staging serialization, and a
+broadcast cache ensures each tile version crosses each link once per
+destination (SLATE's tileBcast).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from ..comm.counters import CommCounters
+from ..comm.network import TransferPath
+from .graph import TaskGraph
+from .task import PANEL_KINDS, Task
+
+if TYPE_CHECKING:  # machines imports runtime.task; avoid the cycle
+    from ..machines.machine import MachineModel
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """One simulated run configuration."""
+
+    machine: "MachineModel"
+    nodes: int
+    ranks_per_node: int
+    use_gpu: bool
+    #: Lookahead window in gate units; ``None`` = unbounded (pure DAG
+    #: order), ``0`` = bulk-synchronous fork-join.
+    lookahead: Optional[int] = None
+    #: Charge an explicit barrier each time the gate advances.
+    barrier_per_phase: bool = False
+    #: Gate unit for the lookahead window: "phase" (panel steps —
+    #: SLATE's lookahead semantics) or "op" (whole library calls —
+    #: the ScaLAPACK fork-join semantics: each pdgeqrf/pdgemm is
+    #: internally parallel but calls never overlap).
+    barrier_granularity: str = "phase"
+
+    @property
+    def total_ranks(self) -> int:
+        return self.machine.ranks(self.nodes, self.ranks_per_node)
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of a simulated schedule."""
+
+    makespan: float
+    total_flops: float
+    task_count: int
+    comm: CommCounters
+    per_kind_busy: Dict[str, float]
+    per_rank_busy: List[float]
+    critical_path: float
+    config: RunConfig
+    start_times: Optional[List[float]] = None
+    finish_times: Optional[List[float]] = None
+    kinds: Optional[List[str]] = None
+    ranks: Optional[List[int]] = None
+
+    @property
+    def gflops(self) -> float:
+        """Achieved Gflop/s over the executed task flops."""
+        return self.total_flops / self.makespan / 1e9 if self.makespan else 0.0
+
+    def tflops(self, model_flops: Optional[float] = None) -> float:
+        """Tflop/s the paper's way: *useful* (model) flops over time."""
+        fl = self.total_flops if model_flops is None else model_flops
+        return fl / self.makespan / 1e12 if self.makespan else 0.0
+
+
+class _Pool:
+    """Execution slots of one (rank, device-class) pair."""
+
+    __slots__ = ("free",)
+
+    def __init__(self, slots: int) -> None:
+        self.free: List[float] = [0.0] * slots  # heap of slot-free times
+        heapq.heapify(self.free)
+
+
+def _duration(task: Task, cfg: RunConfig, on_gpu: bool,
+              host_cores: int = 1, gang: int = 1) -> float:
+    return cfg.machine.task_duration(task.kind, task.flops,
+                                     task.tile_dim, task.coarse, on_gpu,
+                                     host_cores=host_cores, gang=gang)
+
+
+def simulate(graph: TaskGraph, cfg: RunConfig, *,
+             keep_trace: bool = False) -> ScheduleResult:
+    """Simulate the DAG on the machine; returns makespan and breakdowns.
+
+    Task ranks in the graph must be < cfg.total_ranks.
+    """
+    tasks = graph.tasks
+    n_tasks = len(tasks)
+    ranks = cfg.total_ranks
+    res = cfg.machine.rank_resources(cfg.ranks_per_node, use_gpu=cfg.use_gpu)
+    net = cfg.machine.network
+    rpn = cfg.ranks_per_node
+
+    if any(t.rank >= ranks for t in tasks):
+        raise ValueError(
+            f"graph contains ranks >= {ranks}; build the graph on a grid "
+            f"matching the run configuration")
+
+    # Device routing: GPU-eligible kernels go to the GPU pool when the
+    # run uses GPUs; everything else runs on host cores.  Coarsened
+    # panel tasks are mostly trailing-update work and route to the GPU
+    # with a blended rate (see MachineModel.task_duration).
+    on_gpu = [cfg.use_gpu and res.gpus > 0
+              and (t.gpu_eligible
+                   or (t.coarse > 1.01 and t.kind in PANEL_KINDS))
+              for t in tasks]
+
+    # Gang scheduling for coarsened graphs: a coarse task models many
+    # real-nb kernels, which fine-grained execution would spread over
+    # all of a rank's devices.  Each rank then exposes one aggregated
+    # slot per device class whose rate scales with the device count.
+    ganged = any(t.coarse > 1.01 for t in tasks)
+    cpu_gang = res.cores if ganged else 1
+    gpu_gang = max(res.gpus, 1) if ganged else 1
+    cpu_pools = [_Pool(1 if ganged else res.cores) for _ in range(ranks)]
+    gpu_pools = ([_Pool(1 if ganged else res.gpus) for _ in range(ranks)]
+                 if cfg.use_gpu and res.gpus else None)
+
+    succ = graph.successors()
+    indeg = [len(t.deps) for t in tasks]
+
+    finish = [0.0] * n_tasks
+    start = [0.0] * n_tasks if keep_trace else None
+    done = [False] * n_tasks
+
+    # Window bookkeeping over the configured gate unit.
+    if cfg.barrier_granularity == "op":
+        gate = [t.op for t in tasks]
+    elif cfg.barrier_granularity == "phase":
+        gate = [t.phase for t in tasks]
+    else:
+        raise ValueError(
+            f"barrier_granularity must be 'phase' or 'op', got "
+            f"{cfg.barrier_granularity!r}")
+    max_phase = max(gate, default=0)
+    phase_remaining = [0] * (max_phase + 1)
+    for g in gate:
+        phase_remaining[g] += 1
+    completed_prefix = 0  # all tasks with phase < completed_prefix done
+    while (completed_prefix <= max_phase
+           and phase_remaining[completed_prefix] == 0):
+        completed_prefix += 1
+    parked: Dict[int, List[int]] = {}
+    barrier_floor = 0.0
+
+    # Link serialization state.
+    send_free = [0.0] * ranks
+    recv_free = [0.0] * ranks
+    stage_free = [0.0] * ranks  # CPU<->GPU staging link per rank
+    # Broadcast state: per produced tile version, the ranks that hold a
+    # copy and when it arrived.  A rank holding a copy can relay it
+    # onward, so repeated consumption forms a broadcast *tree* (SLATE's
+    # tileBcast / MPI tree bcast) rather than serializing the
+    # producer's injection link O(consumers) times.
+    copies: Dict[int, Dict[int, float]] = {}
+    # (producer_tid, dst_rank, dst_on_gpu) -> arrival on device class.
+    xfer_cache: Dict[Tuple[int, int, bool], float] = {}
+    # Same machinery for *initial* tiles (no producer task): they start
+    # in host memory on their owning rank at t=0.
+    cold_copies: Dict[Tuple[int, int, int], Dict[int, float]] = {}
+    cold_cache: Dict[Tuple[Tuple[int, int, int], int, bool], float] = {}
+
+    comm = CommCounters()
+    per_kind_busy: Dict[str, float] = {}
+    per_rank_busy = [0.0] * ranks
+
+    def window_ok(t: Task) -> bool:
+        if cfg.lookahead is None:
+            return True
+        return gate[t.tid] <= completed_prefix + cfg.lookahead
+
+    def transfer_in(dep: Task, t: Task, t_gpu: bool) -> float:
+        """Arrival time of dep's output at t's rank/device."""
+        d_gpu = on_gpu[dep.tid]
+        src, dst = dep.rank, t.rank
+        if src == dst and d_gpu == t_gpu:
+            return finish[dep.tid]
+        nbytes = 0
+        wr = set(dep.writes)
+        for ref in t.reads:
+            if ref in wr:
+                nbytes += graph.tile_bytes.get(ref, 0)
+        if nbytes == 0:
+            # Pure ordering edge (WAR) — no data moves.
+            return finish[dep.tid]
+        key = (dep.tid, dst, t_gpu)
+        cached = xfer_cache.get(key)
+        if cached is not None:
+            return cached
+        holders = copies.setdefault(dep.tid, {src: finish[dep.tid]})
+        if dst in holders:
+            # A copy already lives on this rank (relayed earlier or the
+            # producer itself); only cross-device staging may remain.
+            arrival = holders[dst]
+            if (dst == src and d_gpu != t_gpu) or (dst != src and t_gpu
+                                                   and not net.nic_on_gpu):
+                path = TransferPath.H2D if t_gpu else TransferPath.D2H
+                dur = net.transfer_time(nbytes, path)
+                beg = max(arrival, stage_free[dst])
+                stage_free[dst] = beg + dur
+                comm.record(path, nbytes)
+                arrival = beg + dur
+            elif dst == src:
+                arrival = holders[dst]
+            xfer_cache[key] = arrival
+            return arrival
+        # Pick the relay source whose copy + free link starts earliest.
+        best_src, best_beg = src, max(holders[src], send_free[src],
+                                      recv_free[dst])
+        for r, avail in holders.items():
+            beg = max(avail, send_free[r], recv_free[dst])
+            if beg < best_beg:
+                best_src, best_beg = r, beg
+        same_node = (cfg.machine.node_of_rank(best_src, rpn)
+                     == cfg.machine.node_of_rank(dst, rpn))
+        src_gpu = d_gpu if best_src == src else t_gpu
+        dur = net.remote_gpu_transfer_time(
+            nbytes, same_node, src_on_gpu=src_gpu, dst_on_gpu=t_gpu)
+        send_free[best_src] = best_beg + dur
+        recv_free[dst] = best_beg + dur
+        path = (TransferPath.INTRA_NODE if same_node
+                else TransferPath.INTER_NODE)
+        comm.record(path, nbytes)
+        if not same_node and not net.nic_on_gpu:
+            if src_gpu:
+                comm.record(TransferPath.D2H, nbytes)
+            if t_gpu:
+                comm.record(TransferPath.H2D, nbytes)
+        arrival = best_beg + dur
+        holders[dst] = arrival
+        xfer_cache[key] = arrival
+        return arrival
+
+    def cold_transfer(ref, t: Task, t_gpu: bool) -> float:
+        """Arrival of an initial tile at t's rank/device (owner-hosted)."""
+        src = graph.tile_owner[ref]
+        dst = t.rank
+        if src == dst and not t_gpu:
+            return 0.0
+        key = (ref, dst, t_gpu)
+        cached = cold_cache.get(key)
+        if cached is not None:
+            return cached
+        nbytes = graph.tile_bytes.get(ref, 0)
+        holders = cold_copies.setdefault(ref, {src: 0.0})
+        if dst in holders:
+            arrival = holders[dst]
+            if t_gpu and (dst == src or not net.nic_on_gpu):
+                dur = net.transfer_time(nbytes, TransferPath.H2D)
+                beg = max(arrival, stage_free[dst])
+                stage_free[dst] = beg + dur
+                comm.record(TransferPath.H2D, nbytes)
+                arrival = beg + dur
+            cold_cache[key] = arrival
+            return arrival
+        best_src, best_beg = src, max(holders[src], send_free[src],
+                                      recv_free[dst])
+        for r, avail in holders.items():
+            beg = max(avail, send_free[r], recv_free[dst])
+            if beg < best_beg:
+                best_src, best_beg = r, beg
+        same_node = (cfg.machine.node_of_rank(best_src, rpn)
+                     == cfg.machine.node_of_rank(dst, rpn))
+        dur = net.remote_gpu_transfer_time(
+            nbytes, same_node, src_on_gpu=False, dst_on_gpu=t_gpu)
+        send_free[best_src] = best_beg + dur
+        recv_free[dst] = best_beg + dur
+        comm.record(TransferPath.INTRA_NODE if same_node
+                    else TransferPath.INTER_NODE, nbytes)
+        if not same_node and t_gpu and not net.nic_on_gpu:
+            comm.record(TransferPath.H2D, nbytes)
+        arrival = best_beg + dur
+        holders[dst] = arrival
+        cold_cache[key] = arrival
+        return arrival
+
+    # Event queue of task completions.
+    events: List[Tuple[float, int]] = []
+
+    def dispatch(tid: int) -> None:
+        """Assign a ready-and-eligible task to a slot; create its event."""
+        t = tasks[tid]
+        t_gpu = on_gpu[tid]
+        pool = (gpu_pools[t.rank] if t_gpu else cpu_pools[t.rank])  # type: ignore[index]
+        data_ready = barrier_floor
+        for d in t.deps:
+            arr = transfer_in(tasks[d], t, t_gpu)
+            if arr > data_ready:
+                data_ready = arr
+        for ref in t.cold_reads:
+            arr = cold_transfer(ref, t, t_gpu)
+            if arr > data_ready:
+                data_ready = arr
+        slot_free = heapq.heappop(pool.free)
+        beg = max(data_ready, slot_free)
+        dur = _duration(t, cfg, t_gpu, res.cores,
+                        gpu_gang if t_gpu else cpu_gang)
+        end = beg + dur
+        heapq.heappush(pool.free, end)
+        finish[tid] = end
+        if start is not None:
+            start[tid] = beg
+        per_kind_busy[t.kind.value] = per_kind_busy.get(t.kind.value, 0.0) + dur
+        per_rank_busy[t.rank] += dur
+        heapq.heappush(events, (end, tid))
+
+    def make_eligible(tid: int) -> None:
+        t = tasks[tid]
+        if window_ok(t):
+            dispatch(tid)
+        else:
+            parked.setdefault(gate[tid], []).append(tid)
+
+    # Seed: all zero-indegree tasks.
+    for t in tasks:
+        if indeg[t.tid] == 0:
+            make_eligible(t.tid)
+
+    makespan = 0.0
+    completed = 0
+    while events:
+        now, tid = heapq.heappop(events)
+        if done[tid]:
+            continue
+        done[tid] = True
+        completed += 1
+        makespan = max(makespan, now)
+        t = tasks[tid]
+        phase_remaining[gate[tid]] -= 1
+        # Advance the phase window; release parked tasks.
+        while (completed_prefix <= max_phase
+               and phase_remaining[completed_prefix] == 0):
+            if cfg.barrier_per_phase:
+                from ..comm.collectives import barrier_time
+                barrier_floor = max(barrier_floor,
+                                    now + barrier_time(net, ranks))
+            completed_prefix += 1
+            if cfg.lookahead is not None:
+                release_upto = completed_prefix + cfg.lookahead
+                for ph in list(parked.keys()):
+                    if ph <= release_upto:
+                        for ptid in parked.pop(ph):
+                            dispatch(ptid)
+        for s in succ[tid]:
+            indeg[s] -= 1
+            if indeg[s] == 0:
+                make_eligible(s)
+
+    if completed != n_tasks:
+        raise RuntimeError(
+            f"schedule deadlock: {completed}/{n_tasks} tasks completed "
+            f"(cyclic graph or window bug)")
+
+    crit = graph.critical_path_seconds(
+        lambda t: _duration(t, cfg, on_gpu[t.tid], res.cores,
+                            gpu_gang if on_gpu[t.tid] else cpu_gang))
+
+    return ScheduleResult(
+        makespan=makespan,
+        total_flops=graph.total_flops(),
+        task_count=n_tasks,
+        comm=comm,
+        per_kind_busy=per_kind_busy,
+        per_rank_busy=per_rank_busy,
+        critical_path=crit,
+        config=cfg,
+        start_times=start,
+        finish_times=list(finish) if keep_trace else None,
+        kinds=[t.kind.value for t in tasks] if keep_trace else None,
+        ranks=[t.rank for t in tasks] if keep_trace else None,
+    )
+
+
+def forkjoin_config(machine: "MachineModel", nodes: int, ranks_per_node: int,
+                    *, use_gpu: bool = False,
+                    granularity: str = "op") -> RunConfig:
+    """The ScaLAPACK/POLAR execution model: fork-join over library
+    calls (each call internally parallel, calls never overlap), CPU
+    ranks.  ``granularity="phase"`` gives the stricter per-panel BSP
+    model (the A4 ablation's extreme point).
+    """
+    return RunConfig(machine=machine, nodes=nodes,
+                     ranks_per_node=ranks_per_node, use_gpu=use_gpu,
+                     lookahead=0, barrier_per_phase=True,
+                     barrier_granularity=granularity)
+
+
+def taskbased_config(machine: "MachineModel", nodes: int, ranks_per_node: int,
+                     *, use_gpu: bool, lookahead: Optional[int] = None
+                     ) -> RunConfig:
+    """The SLATE execution model: dependency-driven, optional lookahead."""
+    return RunConfig(machine=machine, nodes=nodes,
+                     ranks_per_node=ranks_per_node, use_gpu=use_gpu,
+                     lookahead=lookahead, barrier_per_phase=False)

@@ -1,0 +1,151 @@
+"""Post-mortem analysis of a simulated schedule (the paper's profiling
+campaign analogue): per-kernel time breakdowns, rank utilization, and
+critical-path composition.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .graph import TaskGraph
+from .scheduler import ScheduleResult
+
+
+def kernel_breakdown(result: ScheduleResult) -> List[Tuple[str, float, float]]:
+    """(kind, busy seconds, share of total busy time), sorted descending."""
+    total = sum(result.per_kind_busy.values())
+    if total == 0.0:
+        return []
+    rows = [(k, v, v / total) for k, v in result.per_kind_busy.items()]
+    rows.sort(key=lambda r: -r[1])
+    return rows
+
+
+def rank_utilization(result: ScheduleResult) -> Dict[str, float]:
+    """min/mean/max busy fraction over ranks (1.0 = always busy).
+
+    Note: busy time aggregates all slots of a rank, so the fraction is
+    relative to makespan * slots; we report the per-rank busy-seconds
+    normalized by makespan, which can exceed 1 for multi-slot ranks.
+    """
+    if result.makespan == 0.0 or not result.per_rank_busy:
+        return {"min": 0.0, "mean": 0.0, "max": 0.0}
+    fracs = [b / result.makespan for b in result.per_rank_busy]
+    return {
+        "min": min(fracs),
+        "mean": sum(fracs) / len(fracs),
+        "max": max(fracs),
+    }
+
+
+def critical_path_kinds(graph: TaskGraph, duration) -> List[Tuple[str, float]]:
+    """Time per kind along one critical path of the DAG.
+
+    Walks the longest path under ``duration(task) -> seconds`` and
+    attributes its length to kernel kinds — shows *what* serializes the
+    algorithm (panels, in QDWH's case).
+    """
+    tasks = graph.tasks
+    if not tasks:
+        return []
+    finish = [0.0] * len(tasks)
+    best_pred = [-1] * len(tasks)
+    for t in tasks:
+        s, p = 0.0, -1
+        for d in t.deps:
+            if finish[d] > s:
+                s, p = finish[d], d
+        finish[t.tid] = s + duration(t)
+        best_pred[t.tid] = p
+    tid = max(range(len(tasks)), key=lambda i: finish[i])
+    acc: Dict[str, float] = {}
+    while tid != -1:
+        t = tasks[tid]
+        acc[t.kind.value] = acc.get(t.kind.value, 0.0) + duration(t)
+        tid = best_pred[tid]
+    rows = sorted(acc.items(), key=lambda r: -r[1])
+    return rows
+
+
+def ascii_gantt(result: ScheduleResult, width: int = 78,
+                max_ranks: int = 16) -> str:
+    """A terminal Gantt chart of the simulated schedule.
+
+    One row per rank; each column is a makespan/width time bucket
+    showing the kind (first letter) of the task occupying most of that
+    bucket on that rank — enough to *see* pipeline bubbles and barrier
+    walls.  Requires ``keep_trace=True``.
+    """
+    if result.start_times is None or result.finish_times is None:
+        raise ValueError("simulate(..., keep_trace=True) required")
+    span = result.makespan or 1.0
+    n_ranks = min(len(result.per_rank_busy), max_ranks)
+    # occupancy[rank][bucket] -> {kind: seconds}
+    occ = [[{} for _ in range(width)] for _ in range(n_ranks)]
+    for rank, kind, beg, end in zip(result.ranks or [],
+                                    result.kinds or [],
+                                    result.start_times,
+                                    result.finish_times):
+        if rank >= n_ranks:
+            continue
+        b0 = min(int(beg / span * width), width - 1)
+        b1 = min(int(end / span * width), width - 1)
+        for b in range(b0, b1 + 1):
+            lo = max(beg, b * span / width)
+            hi = min(end, (b + 1) * span / width)
+            if hi > lo:
+                occ[rank][b][kind] = occ[rank][b].get(kind, 0.0) + hi - lo
+    lines = [f"gantt ({result.makespan:.3g} s makespan, "
+             f"{n_ranks} of {len(result.per_rank_busy)} ranks)"]
+    for rank in range(n_ranks):
+        row = []
+        for bucket in occ[rank]:
+            if not bucket:
+                row.append(".")
+            else:
+                row.append(max(bucket, key=bucket.get)[0])
+        lines.append(f"r{rank:<3}|" + "".join(row) + "|")
+    return "\n".join(lines) + "\n"
+
+
+def export_chrome_trace(result: ScheduleResult, path: str,
+                        limit: int = 200_000) -> str:
+    """Write the simulated schedule as a chrome://tracing JSON file.
+
+    Each rank becomes a process row; every task becomes a complete
+    ("X") event with microsecond timestamps, so the Gantt chart opens
+    directly in chrome://tracing or Perfetto.  Requires a schedule
+    simulated with ``keep_trace=True``.
+    """
+    import json
+
+    if result.start_times is None or result.finish_times is None:
+        raise ValueError("simulate(..., keep_trace=True) required")
+    events = []
+    rows = list(zip(result.ranks or [], result.kinds or [],
+                    result.start_times, result.finish_times))
+    for rank, kind, beg, end in rows[:limit]:
+        events.append({
+            "name": kind,
+            "cat": "task",
+            "ph": "X",
+            "ts": beg * 1e6,
+            "dur": max((end - beg) * 1e6, 0.01),
+            "pid": rank,
+            "tid": 0,
+        })
+    with open(path, "w") as fh:
+        json.dump({"traceEvents": events,
+                   "displayTimeUnit": "ms"}, fh)
+    return path
+
+
+def gantt_rows(result: ScheduleResult, limit: int = 2000
+               ) -> List[Tuple[int, str, float, float]]:
+    """(rank, kind, start, finish) rows for plotting; needs keep_trace."""
+    if result.start_times is None or result.finish_times is None:
+        raise ValueError("simulate(..., keep_trace=True) required for gantt")
+    rows = list(zip(result.ranks or [], result.kinds or [],
+                    result.start_times, result.finish_times))
+    rows.sort(key=lambda r: r[2])
+    return rows[:limit]

@@ -1,0 +1,120 @@
+"""Tests for the baseline polar-decomposition algorithms."""
+
+import numpy as np
+import pytest
+
+from repro import polar, polar_dwh, polar_newton, polar_newton_scaled, polar_svd
+from repro.matrices import generate_matrix, ill_conditioned, polar_report
+
+
+class TestPolarSvd:
+    def test_accuracy_square(self):
+        a = ill_conditioned(64, seed=0)
+        r = polar_svd(a)
+        assert polar_report(a, r.u, r.h).within(1e-12)
+
+    def test_accuracy_rectangular_complex(self):
+        a = generate_matrix(50, 30, cond=1e6, dtype=np.complex128, seed=1)
+        r = polar_svd(a)
+        assert polar_report(a, r.u, r.h).within(1e-12)
+
+    def test_rejects_wide(self):
+        with pytest.raises(ValueError):
+            polar_svd(np.ones((3, 5)))
+
+
+class TestNewton:
+    def test_well_conditioned_converges(self):
+        a = generate_matrix(32, cond=10.0, seed=2)
+        r = polar_newton(a)
+        assert r.converged
+        assert polar_report(a, r.u, r.h).within(1e-10)
+
+    def test_iteration_count_grows_with_condition(self):
+        fast = polar_newton(generate_matrix(32, cond=2.0, seed=3))
+        slow = polar_newton(generate_matrix(32, cond=1e8, seed=3))
+        assert slow.iterations > fast.iterations
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(ValueError):
+            polar_newton(np.ones((6, 4)))
+
+
+class TestScaledNewton:
+    def test_ill_conditioned_converges_quickly(self):
+        a = ill_conditioned(48, seed=4)
+        r = polar_newton_scaled(a)
+        assert r.converged
+        assert r.iterations <= 12
+        assert polar_report(a, r.u, r.h).orthogonality < 1e-12
+
+    def test_scaling_beats_unscaled(self):
+        a = generate_matrix(32, cond=1e10, seed=5)
+        scaled = polar_newton_scaled(a)
+        unscaled = polar_newton(a)
+        assert scaled.iterations < unscaled.iterations
+
+    def test_complex(self):
+        a = generate_matrix(24, cond=1e6, dtype=np.complex128, seed=6)
+        r = polar_newton_scaled(a)
+        assert polar_report(a, r.u, r.h).within(1e-10)
+
+
+class TestDwh:
+    def test_converges_like_qdwh_moderate_condition(self):
+        """DWH uses the same weights as QDWH; ~6 iterations worst case."""
+        a = generate_matrix(48, cond=1e4, seed=7)
+        r = polar_dwh(a)
+        assert r.converged
+        assert r.iterations <= 8
+        rep = polar_report(a, r.u, r.h)
+        assert rep.orthogonality < 1e-12
+        # DWH's backward error grows ~ kappa * eps (the inversion).
+        assert rep.backward < 1e-10
+
+    def test_instability_on_severe_condition_motivates_qdwh(self):
+        """The explicit inversion of I + c X^H X (condition kappa^2)
+        destroys the small singular directions — DWH converges to *an*
+        orthogonal matrix but not the right one.  This is precisely the
+        instability the inverse-free QDWH reformulation fixes
+        (Section 3 / Nakatsukasa et al.)."""
+        from repro import qdwh
+        a = generate_matrix(48, cond=1e12, seed=7)
+        import warnings
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            r_dwh = polar_dwh(a)
+        r_qdwh = qdwh(a)
+        be_dwh = polar_report(a, r_dwh.u, r_dwh.h).backward
+        be_qdwh = polar_report(a, r_qdwh.u, r_qdwh.h).backward
+        assert be_qdwh < 1e-13
+        assert be_dwh > 1e3 * be_qdwh  # orders of magnitude worse
+
+    def test_rectangular(self):
+        a = generate_matrix(40, 24, cond=1e4, seed=8)
+        r = polar_dwh(a)
+        assert polar_report(a, r.u, r.h).within(1e-10)
+
+    def test_zero_matrix(self):
+        r = polar_dwh(np.zeros((5, 3)))
+        assert r.iterations == 0
+        assert np.allclose(r.u.T @ r.u, np.eye(3))
+
+
+class TestPolarDispatch:
+    @pytest.mark.parametrize("method", ["qdwh", "svd", "newton",
+                                        "newton_scaled", "dwh", "zolo"])
+    def test_all_methods_agree_on_u(self, method):
+        a = generate_matrix(24, cond=100.0, seed=9)
+        r = polar(a, method=method)
+        ref = polar(a, method="svd")
+        assert np.allclose(r.u, ref.u, atol=1e-8)
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            polar(np.eye(3), method="cayley")
+
+    def test_kwargs_forwarded(self):
+        a = generate_matrix(16, cond=10, seed=10)
+        r = polar(a, method="qdwh", cond_est=10.0)
+        assert r.l0 == pytest.approx(0.1 / 4.0)  # sqrt(16) deflation

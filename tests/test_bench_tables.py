@@ -1,0 +1,63 @@
+"""Tests for the benchmark table formatting and DistMatrix I/O."""
+
+import numpy as np
+import pytest
+
+from repro.bench.tables import format_series, format_table, write_result
+
+from .conftest import make_runtime
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table("T", ["a", "long"], [[1, 2.5], [333, 4e-9]])
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        widths = {len(ln) for ln in lines[2:] if ln}
+        assert len(widths) <= 2  # header + rows share a width
+
+    def test_float_formats(self):
+        out = format_table("T", ["x"], [[0.0], [1234.5], [1e-9], [3.25]])
+        assert "0" in out and "1.234e+03" in out and "1.000e-09" in out
+        assert "3.250" in out
+
+    def test_series(self):
+        out = format_series("S", "n", [1, 2],
+                            {"a": [10, 20], "b": [30, 40]})
+        assert "n" in out and "a" in out and "b" in out
+        assert "40" in out
+
+    def test_series_ragged(self):
+        out = format_series("S", "n", [1, 2], {"a": [10]})
+        assert out.count("10") >= 1  # missing cells render empty
+
+    def test_write_result(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setattr("repro.bench.tables.RESULTS_DIR",
+                            str(tmp_path))
+        path = write_result("unit", "hello\n")
+        assert open(path).read() == "hello\n"
+        assert "saved to" in capsys.readouterr().out
+
+
+class TestDistMatrixIO:
+    def test_save_load_roundtrip(self, tmp_path, rng):
+        from repro.dist import DistMatrix
+        rt = make_runtime(2, 2)
+        a = rng.standard_normal((22, 17))
+        src = DistMatrix.from_array(rt, a, 5)
+        path = src.save(str(tmp_path / "m.npz"))
+        rt2 = make_runtime(2, 2)
+        back = DistMatrix.load(rt2, path)
+        assert np.array_equal(back.to_array(), a)
+        assert back.row_heights == src.row_heights
+
+    def test_load_symbolic(self, tmp_path, rng):
+        from repro.dist import DistMatrix
+        rt = make_runtime()
+        src = DistMatrix.from_array(rt, rng.standard_normal((8, 8)), 4)
+        path = src.save(str(tmp_path / "m.npz"))
+        rts = make_runtime(numeric=False)
+        back = DistMatrix.load(rts, path)
+        assert back.shape == (8, 8)
+        with pytest.raises(RuntimeError):
+            back.to_array()

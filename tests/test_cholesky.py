@@ -1,0 +1,111 @@
+"""Tiled Cholesky / posv tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dist import DistMatrix
+from repro.tiled import posv, potrf, trsm_lower
+
+from .conftest import make_runtime
+
+
+def spd(rng, n, cplx=False):
+    a = rng.standard_normal((n, n))
+    if cplx:
+        a = a + 1j * rng.standard_normal((n, n))
+    return a @ a.conj().T + n * np.eye(n)
+
+
+class TestPotrf:
+    @given(st.integers(1, 30), st.integers(1, 9), st.booleans())
+    def test_matches_numpy(self, n, nb, cplx):
+        rng = np.random.default_rng(n * 11 + nb)
+        rt = make_runtime(2, 2)
+        S = spd(rng, n, cplx)
+        dS = DistMatrix.from_array(rt, S, nb)
+        potrf(rt, dS)
+        L = np.tril(dS.to_array())
+        assert np.allclose(L @ L.conj().T, S, atol=1e-9)
+
+    def test_matches_lapack_factor(self, rng):
+        rt = make_runtime()
+        S = spd(rng, 16)
+        dS = DistMatrix.from_array(rt, S, 4)
+        potrf(rt, dS)
+        assert np.allclose(np.tril(dS.to_array()), np.linalg.cholesky(S),
+                           atol=1e-10)
+
+    def test_rejects_rectangular(self, rng):
+        rt = make_runtime()
+        d = DistMatrix.from_array(rt, rng.standard_normal((6, 4)), 2)
+        with pytest.raises(ValueError):
+            potrf(rt, d)
+
+    def test_rejects_nonsquare_tiles(self, rng):
+        rt = make_runtime()
+        d = DistMatrix(rt, 8, 8, 4, row_heights=(5, 3), col_widths=(4, 4))
+        with pytest.raises(ValueError):
+            potrf(rt, d)
+
+    def test_not_spd_raises(self, rng):
+        rt = make_runtime()
+        d = DistMatrix.from_array(rt, -np.eye(8), 4)
+        with pytest.raises(np.linalg.LinAlgError):
+            potrf(rt, d)
+
+
+class TestTrsm:
+    @given(st.integers(2, 24), st.integers(1, 20), st.integers(2, 7),
+           st.booleans())
+    def test_forward_backward_solve(self, n, nrhs, nb, conj):
+        rng = np.random.default_rng(n + nrhs * 3 + nb)
+        rt = make_runtime(2, 2)
+        L = np.tril(rng.standard_normal((n, n))) + n * np.eye(n)
+        B = rng.standard_normal((n, nrhs))
+        dL = DistMatrix.from_array(rt, L, nb)
+        dB = DistMatrix.from_array(rt, B, nb)
+        trsm_lower(rt, dL, dB, conj_trans=conj)
+        op = L.conj().T if conj else L
+        assert np.allclose(dB.to_array(), np.linalg.solve(op, B),
+                           atol=1e-9)
+
+    def test_shape_mismatch(self, rng):
+        rt = make_runtime()
+        dL = DistMatrix.from_array(rt, np.eye(8), 4)
+        dB = DistMatrix.from_array(rt, rng.standard_normal((6, 2)), 4)
+        with pytest.raises(ValueError):
+            trsm_lower(rt, dL, dB, conj_trans=False)
+
+
+class TestPosv:
+    @given(st.integers(2, 24), st.integers(1, 16), st.integers(2, 7),
+           st.booleans())
+    def test_spd_solve(self, n, nrhs, nb, cplx):
+        rng = np.random.default_rng(n * 7 + nrhs + nb)
+        rt = make_runtime(2, 2)
+        S = spd(rng, n, cplx)
+        B = rng.standard_normal((n, nrhs))
+        if cplx:
+            B = B + 1j * rng.standard_normal((n, nrhs))
+        dS = DistMatrix.from_array(rt, S, nb)
+        dB = DistMatrix.from_array(rt, B, nb)
+        posv(rt, dS, dB)
+        assert np.allclose(dB.to_array(), np.linalg.solve(S, B),
+                           atol=1e-8)
+
+    def test_qdwh_chol_iteration_shape(self, rng):
+        """The exact pattern from Algorithm 1: Z X = A^H with A m x n."""
+        from repro.tiled import herk, set_identity, transpose_conj
+        rt = make_runtime(2, 2)
+        A = rng.standard_normal((20, 12)) * 0.3
+        dA = DistMatrix.from_array(rt, A, 4)
+        z = DistMatrix(rt, 12, 12, 4)
+        set_identity(rt, z, row_offset=0)
+        herk(rt, 2.0, dA, 1.0, z, opa="C")
+        rhs = transpose_conj(rt, dA)
+        posv(rt, z, rhs)
+        Z = np.eye(12) + 2.0 * A.T @ A
+        assert np.allclose(rhs.to_array(), np.linalg.solve(Z, A.T),
+                           atol=1e-10)

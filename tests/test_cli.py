@@ -1,0 +1,83 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def matrix_file(tmp_path, rng):
+    p = tmp_path / "a.npy"
+    np.save(p, rng.standard_normal((48, 32)))
+    return str(p)
+
+
+class TestPolarCommand:
+    def test_basic(self, matrix_file, capsys):
+        assert main(["polar", matrix_file]) == 0
+        out = capsys.readouterr().out
+        assert "orthogonality" in out and "backward" in out
+
+    def test_saves_factors(self, matrix_file, tmp_path, capsys):
+        out_path = str(tmp_path / "factors.npz")
+        main(["polar", matrix_file, "--output", out_path])
+        data = np.load(out_path)
+        a = np.load(matrix_file)
+        assert np.allclose(data["u"] @ data["h"], a, atol=1e-10)
+
+    def test_method_choice(self, matrix_file, capsys):
+        main(["polar", matrix_file, "--method", "svd"])
+        assert "method=svd" in capsys.readouterr().out
+
+    def test_rejects_vector_file(self, tmp_path):
+        p = tmp_path / "v.npy"
+        np.save(p, np.ones(5))
+        with pytest.raises(SystemExit):
+            main(["polar", str(p)])
+
+
+class TestSimulateCommand:
+    def test_basic(self, capsys):
+        assert main(["simulate", "--machine", "summit", "--nodes", "1",
+                     "--n", "5000", "--impl", "slate_cpu",
+                     "--max-tiles", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "Tflop/s" in out and "3 QR + 3 Cholesky" in out
+
+    def test_chrome_trace(self, tmp_path, capsys):
+        trace = str(tmp_path / "trace.json")
+        main(["simulate", "--n", "5000", "--max-tiles", "6",
+              "--trace", trace])
+        data = json.load(open(trace))
+        assert len(data["traceEvents"]) > 100
+        ev = data["traceEvents"][0]
+        assert {"name", "ph", "ts", "dur", "pid"} <= set(ev)
+
+    def test_unknown_machine(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--machine", "fugaku"])
+
+
+class TestSweepCommand:
+    def test_prints_series(self, capsys):
+        assert main(["sweep", "--nodes", "1", "--sizes", "4000", "8000",
+                     "--max-tiles", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "slate_gpu" in out and "scalapack" in out
+        assert "4000" in out
+
+
+class TestMemoryCommand:
+    def test_frontier_ceiling(self, capsys):
+        assert main(["memory", "--machine", "frontier",
+                     "--nodes", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "175000" in out
+
+    def test_cpu_flag(self, capsys):
+        assert main(["memory", "--machine", "summit", "--nodes", "1",
+                     "--cpu"]) == 0
+        assert "CPU" in capsys.readouterr().out

@@ -1,0 +1,134 @@
+"""Tests for the dense norm/condition estimators (Sections 6.2-6.3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.estimators import (
+    drive_estimator,
+    gecondest,
+    norm2est,
+    one_norm_estimator,
+    trcondest,
+)
+from repro.matrices import generate_matrix
+
+
+class TestNorm2est:
+    @given(st.integers(2, 40), st.integers(2, 40))
+    def test_factor_of_five(self, m, n):
+        """The paper deems factor-5 accuracy 'entirely satisfactory';
+        in practice the estimate is far tighter."""
+        rng = np.random.default_rng(m * 100 + n)
+        a = rng.standard_normal((m, n))
+        true = np.linalg.norm(a, 2)
+        est = norm2est(a)
+        assert true / 5 <= est <= true * 1.5
+
+    def test_typically_within_a_quarter(self):
+        """Gaussian matrices have flat spectra — the hardest case for
+        power iteration at tol=0.1; even there the estimate stays well
+        inside the factor-5 budget."""
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            a = rng.standard_normal((50, 50))
+            est = norm2est(a)
+            true = np.linalg.norm(a, 2)
+            assert abs(est - true) / true < 0.25
+
+    def test_exact_for_rank_one(self):
+        u = np.array([[3.0], [4.0]])
+        v = np.array([[1.0, 2.0]])
+        a = u @ v
+        assert norm2est(a) == pytest.approx(np.linalg.norm(a, 2), rel=1e-6)
+
+    def test_zero_matrix(self):
+        assert norm2est(np.zeros((5, 3))) == 0.0
+
+    def test_empty(self):
+        assert norm2est(np.zeros((0, 0))) == 0.0
+
+    def test_complex(self):
+        rng = np.random.default_rng(1)
+        a = rng.standard_normal((20, 20)) + 1j * rng.standard_normal((20, 20))
+        a = a.astype(np.complex128)
+        est = norm2est(a)
+        assert est == pytest.approx(np.linalg.norm(a, 2), rel=0.15)
+
+    def test_rejects_vector(self):
+        with pytest.raises(ValueError):
+            norm2est(np.ones(5))
+
+    def test_ill_conditioned_input(self):
+        a = generate_matrix(40, cond=1e16, seed=9)
+        est = norm2est(a)
+        assert est == pytest.approx(np.linalg.norm(a, 2), rel=0.2)
+
+
+class TestOneNormEstimator:
+    def test_reverse_communication_identity_op(self):
+        """Estimating ||I||_1 through the protocol returns ~1."""
+        est = drive_estimator(10, lambda v: v, lambda v: v)
+        assert est == pytest.approx(1.0, rel=0.5)
+
+    def test_known_matrix(self):
+        rng = np.random.default_rng(3)
+        b = rng.standard_normal((30, 30))
+        est = drive_estimator(30, lambda v: b @ v, lambda v: b.T @ v)
+        true = np.linalg.norm(b, 1)
+        assert true / 3 <= est <= true * 1.001
+
+    def test_diagonal_exact(self):
+        d = np.diag([1.0, 5.0, 2.0])
+        est = drive_estimator(3, lambda v: d @ v, lambda v: d @ v)
+        assert est == pytest.approx(5.0, rel=0.35)
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ValueError):
+            gen = one_norm_estimator(0)
+            next(gen)
+
+
+class TestCondest:
+    @given(st.floats(1.0, 1e12))
+    def test_gecondest_tracks_true_rcond(self, cond):
+        a = generate_matrix(24, cond=cond, seed=11)
+        rcond = gecondest(a)
+        true = 1.0 / np.linalg.cond(a, 1)
+        assert true / 20 <= rcond <= true * 20 + 1e-18
+
+    def test_gecondest_identity(self):
+        """rcond_1(I) = 1 exactly."""
+        assert gecondest(np.eye(10)) == pytest.approx(1.0)
+
+    def test_gecondest_singular(self):
+        a = np.ones((5, 5))
+        assert gecondest(a) == pytest.approx(0.0, abs=1e-12)
+
+    def test_gecondest_rejects_rectangular(self):
+        with pytest.raises(ValueError):
+            gecondest(np.ones((4, 3)))
+
+    def test_trcondest_on_r_factor(self):
+        a = generate_matrix(30, cond=1e8, seed=13)
+        r = np.linalg.qr(a, mode="r")
+        rcond = trcondest(r)
+        assert rcond == pytest.approx(1e-8, rel=0.999)
+        assert rcond > 1e-11
+
+    def test_trcondest_zero_diag(self):
+        r = np.triu(np.ones((4, 4)))
+        r[2, 2] = 0.0
+        assert trcondest(r) == 0.0
+
+    def test_trcondest_lower(self):
+        ell = np.tril(np.random.default_rng(5).standard_normal((10, 10)))
+        ell += 10 * np.eye(10)
+        rc = trcondest(ell, lower=True)
+        true = 1.0 / np.linalg.cond(ell, 1)
+        assert true / 10 <= rc <= true * 10
+
+    def test_trcondest_rejects_rectangular(self):
+        with pytest.raises(ValueError):
+            trcondest(np.ones((4, 3)))

@@ -1,0 +1,57 @@
+"""Smoke tests: every example script runs to completion.
+
+Each example sets its own (modest) problem sizes; here we execute the
+fast ones in-process and verify the slow ones at least import and
+expose a main().
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[1] / "examples"
+
+
+def load_module(name):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES / f"{name}.py")
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+FAST = [
+    "quickstart",
+    "aerospace_attitude",
+    "procrustes_factor_analysis",
+]
+SLOW = [
+    "svd_via_polar",
+    "distributed_qdwh",
+    "performance_campaign",
+    "spectrum_slicing",
+]
+
+
+@pytest.mark.parametrize("name", FAST)
+def test_fast_examples_run(name, capsys, monkeypatch):
+    mod = load_module(name)
+    if name == "quickstart":
+        mod.main(128)  # smaller than the script default
+    else:
+        mod.main()
+    out = capsys.readouterr().out
+    assert len(out) > 100  # produced a real report
+
+
+@pytest.mark.parametrize("name", SLOW)
+def test_slow_examples_importable(name):
+    mod = load_module(name)
+    assert callable(mod.main)
+
+
+def test_all_examples_accounted_for():
+    on_disk = {p.stem for p in EXAMPLES.glob("*.py")}
+    assert on_disk == set(FAST) | set(SLOW)

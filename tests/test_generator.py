@@ -1,0 +1,117 @@
+"""Tests for the synthetic matrix generator (Section 7.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.matrices import (
+    SingularValueMode,
+    generate_matrix,
+    ill_conditioned,
+    random_unitary,
+    singular_values,
+    well_conditioned,
+)
+
+
+class TestRandomUnitary:
+    @pytest.mark.parametrize("dtype", [np.float64, np.complex128])
+    def test_columns_orthonormal(self, dtype):
+        q = random_unitary(24, dtype, m=40, seed=0)
+        g = q.conj().T @ q
+        assert np.allclose(g, np.eye(24), atol=1e-12)
+
+    def test_square_unitary(self):
+        q = random_unitary(16, seed=1)
+        assert np.allclose(q @ q.T, np.eye(16), atol=1e-12)
+
+    def test_rejects_wide(self):
+        with pytest.raises(ValueError):
+            random_unitary(10, m=5)
+
+    def test_seeded_reproducibility(self):
+        a = random_unitary(8, seed=7)
+        b = random_unitary(8, seed=7)
+        assert np.array_equal(a, b)
+
+
+class TestSingularValues:
+    @pytest.mark.parametrize("mode", list(SingularValueMode))
+    def test_range_and_extremes(self, mode):
+        s = singular_values(32, 1e6, mode, seed=3)
+        assert s[0] == pytest.approx(1.0)
+        assert s.min() == pytest.approx(1e-6, rel=1e-10)
+        assert np.all(s <= 1.0 + 1e-15) and np.all(s > 0)
+
+    def test_geometric_is_geometric(self):
+        s = singular_values(10, 1e4, SingularValueMode.GEOMETRIC)
+        ratios = s[1:] / s[:-1]
+        assert np.allclose(ratios, ratios[0])
+
+    def test_cluster_modes(self):
+        s = singular_values(8, 100, SingularValueMode.CLUSTER_SMALL)
+        assert np.sum(s == 1.0) == 1
+        s = singular_values(8, 100, SingularValueMode.CLUSTER_LARGE)
+        assert np.sum(s == 1.0) == 7
+
+    def test_n_equal_one(self):
+        assert singular_values(1, 1e8).tolist() == [1.0]
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            singular_values(0, 10)
+        with pytest.raises(ValueError):
+            singular_values(4, 0.5)
+
+
+class TestGenerateMatrix:
+    @given(st.sampled_from([8, 17, 32]), st.floats(1.0, 1e10))
+    def test_condition_number_realized(self, n, cond):
+        a = generate_matrix(n, cond=cond, seed=5)
+        s = np.linalg.svd(a, compute_uv=False)
+        got = s[0] / s[-1]
+        assert got == pytest.approx(cond, rel=1e-6)
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64,
+                                       np.complex64, np.complex128])
+    def test_dtype_respected(self, dtype):
+        a = generate_matrix(12, cond=100, dtype=dtype, seed=2)
+        assert a.dtype == np.dtype(dtype)
+
+    def test_rectangular(self):
+        a = generate_matrix(30, 12, cond=1e3, seed=4)
+        assert a.shape == (30, 12)
+        s = np.linalg.svd(a, compute_uv=False)
+        assert s[0] / s[-1] == pytest.approx(1e3, rel=1e-8)
+
+    def test_rejects_wide(self):
+        with pytest.raises(ValueError):
+            generate_matrix(5, 10)
+
+    def test_explicit_sigma(self):
+        sig = [4.0, 2.0, 1.0]
+        a = generate_matrix(6, 3, sigma=sig, seed=0)
+        s = np.linalg.svd(a, compute_uv=False)
+        assert np.allclose(s, sig, rtol=1e-12)
+
+    def test_explicit_sigma_wrong_length(self):
+        with pytest.raises(ValueError):
+            generate_matrix(6, 3, sigma=[1.0, 2.0])
+
+
+class TestPresets:
+    def test_ill_conditioned_double(self):
+        a = ill_conditioned(48, seed=0)
+        s = np.linalg.svd(a, compute_uv=False)
+        assert s[0] / s[-1] > 1e14  # 1e16 target, roundoff-limited
+
+    def test_ill_conditioned_single_capped(self):
+        a = ill_conditioned(32, dtype=np.float32, seed=0)
+        s = np.linalg.svd(a.astype(np.float64), compute_uv=False)
+        assert 1e5 < s[0] / s[-1] < 1e9
+
+    def test_well_conditioned(self):
+        a = well_conditioned(32, seed=0)
+        s = np.linalg.svd(a, compute_uv=False)
+        assert s[0] / s[-1] == pytest.approx(10.0, rel=1e-6)

@@ -1,0 +1,112 @@
+"""Tests for process grids and the 2D block-cyclic layout."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dist import BlockCyclic, ProcessGrid
+
+
+class TestProcessGrid:
+    @given(st.integers(1, 16), st.integers(1, 16))
+    def test_rank_coords_roundtrip(self, p, q):
+        g = ProcessGrid(p, q)
+        for rank in g.ranks():
+            r, c = g.coords(rank)
+            assert g.rank(r, c) == rank
+
+    def test_column_major_numbering(self):
+        g = ProcessGrid(2, 3)
+        assert g.rank(0, 0) == 0
+        assert g.rank(1, 0) == 1
+        assert g.rank(0, 1) == 2
+
+    def test_row_and_col_communicators(self):
+        g = ProcessGrid(2, 3)
+        assert g.row_ranks(0) == (0, 2, 4)
+        assert g.col_ranks(1) == (2, 3)
+
+    def test_bounds_checked(self):
+        g = ProcessGrid(2, 2)
+        with pytest.raises(IndexError):
+            g.rank(2, 0)
+        with pytest.raises(IndexError):
+            g.coords(4)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ProcessGrid(0, 3)
+
+    @given(st.integers(1, 2048))
+    def test_near_square_factorization(self, size):
+        g = ProcessGrid.near_square(size)
+        assert g.size == size
+        assert g.p <= g.q
+        # p is the largest divisor <= sqrt(size).
+        assert g.p * g.q == size
+        for d in range(g.p + 1, int(size ** 0.5) + 1):
+            assert size % d != 0
+
+    def test_near_square_examples(self):
+        assert ProcessGrid.near_square(42).p == 6  # 6 x 7 (Summit node)
+        assert ProcessGrid.near_square(64).p == 8
+
+
+class TestBlockCyclic:
+    @given(st.integers(1, 6), st.integers(1, 6),
+           st.integers(1, 20), st.integers(1, 20))
+    def test_owner_in_grid(self, p, q, mt, nt):
+        lay = BlockCyclic(ProcessGrid(p, q))
+        for i in range(mt):
+            for j in range(nt):
+                assert 0 <= lay.owner(i, j) < p * q
+
+    @given(st.integers(1, 5), st.integers(1, 5),
+           st.integers(1, 15), st.integers(1, 15))
+    def test_tiles_partition_exactly(self, p, q, mt, nt):
+        """Every tile is owned by exactly one rank, and tiles_of_rank
+        enumerates the partition."""
+        lay = BlockCyclic(ProcessGrid(p, q))
+        seen = {}
+        for rank in lay.grid.ranks():
+            for t in lay.tiles_of_rank(rank, mt, nt):
+                assert t not in seen
+                seen[t] = rank
+        assert len(seen) == mt * nt
+        for (i, j), rank in seen.items():
+            assert lay.owner(i, j) == rank
+
+    @given(st.integers(1, 5), st.integers(1, 5),
+           st.integers(1, 15), st.integers(1, 15))
+    def test_local_tile_count_consistent(self, p, q, mt, nt):
+        lay = BlockCyclic(ProcessGrid(p, q))
+        total = sum(lay.local_tile_count(r, mt, nt)
+                    for r in lay.grid.ranks())
+        assert total == mt * nt
+
+    def test_cyclic_pattern(self):
+        lay = BlockCyclic(ProcessGrid(2, 2))
+        assert lay.owner(0, 0) == lay.owner(2, 0) == lay.owner(0, 2)
+        assert lay.owner(0, 0) != lay.owner(1, 0)
+
+    def test_balance_for_large_grids(self):
+        lay = BlockCyclic(ProcessGrid(4, 4))
+        assert lay.load_imbalance(64, 64) == pytest.approx(1.0)
+
+    def test_imbalance_for_tiny_matrices(self):
+        lay = BlockCyclic(ProcessGrid(4, 4))
+        assert lay.load_imbalance(2, 2) > 1.0
+
+    @given(st.integers(0, 7), st.integers(0, 7))
+    def test_shifted_matches_submatrix_ownership(self, di, dj):
+        """A view starting at tile (di, dj) must keep parent owners."""
+        lay = BlockCyclic(ProcessGrid(3, 2))
+        sub = lay.shifted(di, dj)
+        for i in range(5):
+            for j in range(5):
+                assert sub.owner(i, j) == lay.owner(i + di, j + dj)
+
+    def test_negative_index_rejected(self):
+        lay = BlockCyclic(ProcessGrid(2, 2))
+        with pytest.raises(IndexError):
+            lay.owner(-1, 0)

@@ -1,0 +1,124 @@
+"""End-to-end integration tests across modules.
+
+These exercise the full stacks a downstream user would run: the tiled
+polar decomposition feeding the EVD/SVD applications, the perf model
+driving the same algorithm code path as the numerics, and cross-checks
+between every polar method.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    DistMatrix,
+    ProcessGrid,
+    Runtime,
+    polar,
+    qdwh,
+    tiled_qdwh,
+)
+from repro.core.qdwh_eig import qdwh_eigh
+from repro.core.qdwh_svd import qdwh_svd
+from repro.matrices import generate_matrix, ill_conditioned, polar_report
+
+
+def tiled_polar_fn(a: np.ndarray):
+    """A qdwh-compatible polar function backed by the tiled substrate."""
+    rt = Runtime(ProcessGrid(2, 2))
+    nb = max(8, a.shape[1] // 4)
+    da = DistMatrix.from_array(rt, a, nb)
+    res = tiled_qdwh(rt, da)
+
+    class _R:
+        u = res.u.to_array()
+        h = res.h.to_array()
+        iterations = res.iterations
+
+    return _R()
+
+
+class TestTiledApplications:
+    def test_svd_on_tiled_polar(self):
+        """Full QDWH-SVD with the distributed polar underneath."""
+        a = generate_matrix(96, 64, cond=1e6, seed=0)
+        r = qdwh_svd(a, polar_fn=tiled_polar_fn, use_qdwh_eig=False)
+        recon = (r.u * r.s[None, :]) @ r.vh
+        assert np.linalg.norm(recon - a) / np.linalg.norm(a) < 1e-11
+
+    def test_eigh_on_tiled_polar(self):
+        rng = np.random.default_rng(1)
+        b = rng.standard_normal((64, 64))
+        h = b + b.T
+        r = qdwh_eigh(h, min_block=16, polar_fn=tiled_polar_fn)
+        assert np.allclose(r.w, np.linalg.eigvalsh(h), atol=1e-9)
+
+
+class TestCrossMethodConsistency:
+    @pytest.mark.parametrize("cond", [10.0, 1e6, 1e12])
+    def test_all_polar_methods_same_factors(self, cond):
+        a = generate_matrix(48, cond=cond, seed=int(np.log10(cond)))
+        results = {m: polar(a, method=m)
+                   for m in ("qdwh", "svd", "newton_scaled", "zolo")}
+        ref = results["svd"]
+        # The unitary factor's condition number is ~1/sigma_min, so
+        # cross-method agreement degrades with kappa.
+        tol = max(1e-9, 100 * np.finfo(float).eps * cond)
+        for name, r in results.items():
+            assert np.allclose(r.u, ref.u, atol=tol), name
+            assert np.allclose(r.h, ref.h, atol=tol * np.abs(a).max()), name
+
+    def test_dense_tiled_and_mixed_agree_on_wellcond(self):
+        from repro import qdwh_mixed_precision
+        a = generate_matrix(64, cond=100.0, seed=9)
+        d = qdwh(a)
+        t = tiled_polar_fn(a)
+        m = qdwh_mixed_precision(a)
+        assert np.allclose(d.u, t.u, atol=1e-9)
+        assert np.allclose(d.u, m.u, atol=1e-4)  # f32-limited
+
+
+class TestNumericSymbolicContract:
+    def test_perf_point_reuses_algorithm_code(self):
+        """The perf model must run the same tiled_qdwh code path: same
+        iteration split as the real numeric run at the same kappa."""
+        from repro import simulate_qdwh, summit
+        a = ill_conditioned(96, seed=3)
+        numeric = qdwh(a)
+        point = simulate_qdwh(summit(), 1, 96 * 200, "slate_gpu",
+                              max_tiles=8)
+        assert (point.it_qr, point.it_chol) == (numeric.it_qr,
+                                                numeric.it_chol)
+
+    def test_simulated_time_positive_and_finite(self):
+        from repro import simulate_qdwh, summit
+        p = simulate_qdwh(summit(), 1, 5000, "slate_cpu", max_tiles=8)
+        assert 0 < p.makespan < 1e7
+        assert np.isfinite(p.tflops)
+
+
+class TestFailureInjection:
+    def test_singular_matrix_full_pipeline(self):
+        """Exactly singular input: estimators return 0, QDWH falls back
+        to the worst-case schedule, factors remain valid."""
+        rng = np.random.default_rng(4)
+        b = rng.standard_normal((60, 3))
+        a = b @ rng.standard_normal((3, 40))
+        r = qdwh(a)
+        rep = polar_report(a, r.u, r.h)
+        assert rep.orthogonality < 1e-11
+        assert rep.backward < 1e-11
+
+    def test_extreme_scaling_robust(self):
+        a = generate_matrix(32, cond=1e8, seed=5)
+        for scale in (1e-150, 1e150):
+            r = qdwh(scale * a)
+            rep = polar_report(scale * a, r.u, r.h)
+            assert rep.orthogonality < 1e-12
+            assert rep.backward < 1e-12
+
+    def test_nearly_rank_one(self):
+        u = np.ones((50, 1)) / np.sqrt(50)
+        v = np.ones((1, 30)) / np.sqrt(30)
+        a = u @ v + 1e-14 * np.random.default_rng(6).standard_normal((50, 30))
+        r = qdwh(a)
+        assert polar_report(a, r.u, r.h).orthogonality < 1e-11

@@ -1,0 +1,123 @@
+"""Direct unit tests of the single-tile numeric kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.tiled import kernels
+
+
+def rand(rng, m, n, cplx=False):
+    a = rng.standard_normal((m, n))
+    if cplx:
+        a = a + 1j * rng.standard_normal((m, n))
+    return a
+
+
+class TestBuildT:
+    @given(st.integers(1, 12), st.integers(1, 12), st.booleans())
+    def test_block_reflector_reproduces_q(self, m, k, cplx):
+        """Q = I - V T V^H must equal the product of the elementary
+        reflectors scipy's raw QR returns."""
+        if m < k:
+            m, k = k, m
+        rng = np.random.default_rng(m * 13 + k)
+        a = rand(rng, m, k, cplx)
+        import scipy.linalg as sla
+        (qr_raw, tau), _ = sla.qr(a, mode="raw")
+        v = np.tril(qr_raw, -1)
+        v[np.diag_indices(min(m, k))] = 1.0
+        v = v[:, :k]
+        t = kernels.build_t(v, tau)
+        q_blocked = np.eye(m) - v @ t @ v.conj().T
+        # Elementary product: H1 H2 ... Hk.
+        q_elem = np.eye(m, dtype=a.dtype)
+        for i in range(k):
+            h = np.eye(m, dtype=a.dtype) - tau[i] * np.outer(
+                v[:, i], v[:, i].conj())
+            q_elem = q_elem @ h
+        assert np.allclose(q_blocked, q_elem, atol=1e-12)
+
+    def test_t_upper_triangular(self, rng):
+        a = rand(rng, 10, 6)
+        tile, t = kernels.geqrt_kernel(a)
+        assert np.allclose(t, np.triu(t))
+
+
+class TestGeqrtApply:
+    @given(st.integers(2, 16), st.integers(1, 16), st.booleans())
+    def test_factor_apply_roundtrip(self, m, n, cplx):
+        if m < n:
+            m, n = n, m
+        rng = np.random.default_rng(m + 31 * n)
+        a = rand(rng, m, n, cplx)
+        tile, t = kernels.geqrt_kernel(a.copy())
+        r = np.triu(tile)[:n]
+        # Apply Q to [R; extra zeros...]: Q @ [R; 0] must give back A.
+        c = np.zeros((m, n), dtype=a.dtype)
+        c[:n] = r
+        back = kernels.apply_q_kernel(tile, t, c, conj_trans=False)
+        assert np.allclose(back, a, atol=1e-11)
+
+    def test_qh_q_is_identity(self, rng):
+        a = rand(rng, 12, 8)
+        tile, t = kernels.geqrt_kernel(a)
+        c = rng.standard_normal((12, 5))
+        fwd = kernels.apply_q_kernel(tile, t, c, conj_trans=False)
+        back = kernels.apply_q_kernel(tile, t, fwd, conj_trans=True)
+        assert np.allclose(back, c, atol=1e-12)
+
+
+class TestTpqrt:
+    @given(st.integers(1, 10), st.integers(1, 12), st.booleans())
+    def test_couple_reconstructs(self, kdim, mb, cplx):
+        rng = np.random.default_rng(kdim * 7 + mb)
+        r_top = np.triu(rand(rng, kdim, kdim, cplx))
+        a_bot = rand(rng, mb, kdim, cplx)
+        r_new, v_top, v_bot, t = kernels.tpqrt_kernel(r_top, a_bot)
+        assert np.allclose(r_new, np.triu(r_new))
+        # Q^H [R; A] = [R_new; 0]: apply to the stack and check.
+        top, bot = kernels.tpmqrt_kernel(v_top, v_bot, t,
+                                         r_top.copy(), a_bot.copy(),
+                                         conj_trans=True)
+        assert np.allclose(top, r_new, atol=1e-11)
+        assert np.allclose(bot, 0, atol=1e-11)
+
+    def test_apply_is_unitary(self, rng):
+        r_top = np.triu(rand(rng, 6, 6))
+        a_bot = rand(rng, 9, 6)
+        _, v_top, v_bot, t = kernels.tpqrt_kernel(r_top, a_bot)
+        c_top = rand(rng, 6, 4)
+        c_bot = rand(rng, 9, 4)
+        t1, b1 = kernels.tpmqrt_kernel(v_top, v_bot, t, c_top, c_bot,
+                                       conj_trans=True)
+        t2, b2 = kernels.tpmqrt_kernel(v_top, v_bot, t, t1, b1,
+                                       conj_trans=False)
+        assert np.allclose(t2, c_top, atol=1e-12)
+        assert np.allclose(b2, c_bot, atol=1e-12)
+
+
+class TestTrsmKernel:
+    @given(st.integers(1, 12), st.integers(1, 10),
+           st.booleans(), st.booleans(), st.booleans())
+    def test_all_variants(self, n, nrhs, lower, conj, left):
+        rng = np.random.default_rng(n * 3 + nrhs)
+        tri = rand(rng, n, n, conj) + (n + 2) * np.eye(n)
+        tri = np.tril(tri) if lower else np.triu(tri)
+        b = rand(rng, n if left else nrhs, nrhs if left else n, conj)
+        x = kernels.trsm_kernel(tri, b, lower=lower, conj_trans=conj,
+                                side_left=left)
+        op = tri.conj().T if conj else tri
+        if left:
+            assert np.allclose(op @ x, b, atol=1e-10)
+        else:
+            assert np.allclose(x @ op, b, atol=1e-10)
+
+
+class TestPotrfKernel:
+    def test_cholesky(self, rng):
+        b = rand(rng, 8, 8)
+        s = b @ b.T + 8 * np.eye(8)
+        ell = kernels.potrf_kernel(s)
+        assert np.allclose(ell @ ell.T, s)

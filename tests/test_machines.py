@@ -1,0 +1,113 @@
+"""Tests for the machine models (rates, durations, rank layout)."""
+
+import pytest
+
+from repro.machines import frontier, summit
+from repro.machines.machine import CpuModel, GpuModel, MachineModel
+from repro.runtime.task import TaskKind
+
+
+class TestDeviceRates:
+    def test_saturation_curve_monotone(self):
+        gpu = summit().gpu
+        rates = [gpu.rate(TaskKind.GEMM, nb) for nb in (64, 128, 320, 1024)]
+        assert rates == sorted(rates)
+        assert rates[-1] < gpu.peak_gflops  # never exceeds peak
+
+    def test_half_rate_at_nb_half(self):
+        gpu = GpuModel(name="x", peak_gflops=1000.0, nb_half=100)
+        full = 1000.0 * gpu.kind_factors[TaskKind.GEMM]
+        assert gpu.rate(TaskKind.GEMM, 100) == pytest.approx(full / 2)
+
+    def test_panel_kinds_slower_than_gemm(self):
+        cpu = summit().cpu
+        assert (cpu.rate(TaskKind.GEQRT, 192)
+                < cpu.rate(TaskKind.GEMM, 192))
+
+    def test_duration_includes_overhead(self):
+        gpu = summit().gpu
+        assert gpu.duration(TaskKind.GEMM, 0.0, 320) == gpu.kernel_overhead
+        d = gpu.duration(TaskKind.GEMM, 1e9, 320)
+        assert d > gpu.kernel_overhead
+
+    def test_cpu_beats_gpu_on_elementwise_per_byte_sanity(self):
+        """GPU elementwise runs at HBM speed, much faster than one core
+        but far below GPU flop peak."""
+        m = summit()
+        g = m.gpu.rate(TaskKind.COPY, 320)
+        c = m.cpu.rate(TaskKind.COPY, 320)
+        assert c < g < 0.05 * m.gpu.peak_gflops
+
+
+class TestMachineLayout:
+    def test_summit_composition(self):
+        m = summit()
+        assert m.cores_per_node == 42  # 2 reserved for OS
+        assert m.gpus_per_node == 6
+        assert not m.network.nic_on_gpu
+
+    def test_frontier_composition(self):
+        m = frontier()
+        assert m.cores_per_node == 56  # 8 reserved
+        assert m.gpus_per_node == 8    # GCDs
+        assert m.network.nic_on_gpu
+
+    def test_rank_resources_slate_summit(self):
+        m = summit()
+        r = m.rank_resources(2, use_gpu=True)
+        assert r.cores == 21 and r.gpus == 3
+
+    def test_rank_resources_frontier(self):
+        m = frontier()
+        r = m.rank_resources(8, use_gpu=True)
+        assert r.cores == 7 and r.gpus == 1
+
+    def test_too_many_ranks_per_node(self):
+        with pytest.raises(ValueError):
+            summit().ranks(1, 100)
+
+    def test_gpu_starved_layout_rejected(self):
+        with pytest.raises(ValueError):
+            summit().rank_resources(42, use_gpu=True)
+
+    def test_node_of_rank(self):
+        m = summit()
+        assert m.node_of_rank(0, 2) == 0
+        assert m.node_of_rank(3, 2) == 1
+
+
+class TestTaskDuration:
+    def test_fine_task_matches_device_duration(self):
+        m = summit()
+        d = m.task_duration(TaskKind.GEMM, 1e9, 320, 1.0, on_gpu=True)
+        assert d == pytest.approx(m.gpu.duration(TaskKind.GEMM, 1e9, 320))
+
+    def test_coarse_panel_blended_below_pure_panel(self):
+        """A coarse GEQRT must cost far less than pricing all its flops
+        at panel rates (most of it is trailing-update work)."""
+        m = summit()
+        flops = 1e12
+        blended = m.task_duration(TaskKind.GEQRT, flops, 320, 10.0,
+                                  on_gpu=True, host_cores=21, gang=3)
+        pure_panel = flops / (m.cpu.rate(TaskKind.GEQRT, 320) * 1e9)
+        assert blended < pure_panel / 5
+
+    def test_gang_speedup(self):
+        m = summit()
+        one = m.task_duration(TaskKind.GEMM, 1e12, 320, 8.0, True, gang=1)
+        three = m.task_duration(TaskKind.GEMM, 1e12, 320, 8.0, True, gang=3)
+        assert three == pytest.approx(
+            (one - m.gpu.kernel_overhead) / 3 + m.gpu.kernel_overhead)
+
+    def test_gang_capped_by_coarse_squared(self):
+        """Gang parallelism can't exceed the number of real kernels."""
+        m = summit()
+        d2 = m.task_duration(TaskKind.GEMM, 1e12, 320, 1.5, True, gang=100)
+        d_cap = m.task_duration(TaskKind.GEMM, 1e12, 320, 1.5, True,
+                                gang=2)  # 1.5^2 = 2.25
+        assert d2 == pytest.approx(d_cap, rel=0.2)
+
+    def test_zero_flops_is_overhead(self):
+        m = frontier()
+        assert (m.task_duration(TaskKind.SET, 0.0, 320, 1.0, False)
+                == m.cpu.kernel_overhead)

@@ -1,0 +1,84 @@
+"""Tests for the QDWH memory-footprint model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.machines import frontier, summit
+from repro.perf.memory import (
+    max_feasible_n,
+    qdwh_footprint,
+    qdwh_workspace_elements,
+    round_down_to,
+)
+
+
+class TestWorkspaceElements:
+    def test_square_overhead_is_ten_x(self):
+        """~(7 mn + 3 n^2) -> 10x the input for square matrices."""
+        n = 10_000
+        elems = qdwh_workspace_elements(n, n, nb=0)
+        assert elems == pytest.approx(10 * n * n, rel=1e-6)
+
+    @given(st.integers(100, 100000), st.integers(50, 100000))
+    def test_monotone_in_both_dims(self, m, n):
+        if m < n:
+            m, n = n, m
+        assert (qdwh_workspace_elements(m + 100, n)
+                > qdwh_workspace_elements(m, n))
+
+    def test_rejects_wide(self):
+        with pytest.raises(ValueError):
+            qdwh_workspace_elements(10, 20)
+
+
+class TestFootprint:
+    def test_paper_frontier_ceiling(self):
+        """The paper's only footprint datum: n = 175k fits on 16
+        Frontier nodes, and the limit is right there."""
+        fr = frontier()
+        fits = qdwh_footprint(fr, 16, 175_000, ranks_per_node=8,
+                              use_gpu=True)
+        assert fits.fits
+        too_big = qdwh_footprint(fr, 16, 185_000, ranks_per_node=8,
+                                 use_gpu=True)
+        assert not too_big.fits
+
+    def test_max_feasible_n_consistency(self):
+        fr = frontier()
+        nmax = max_feasible_n(fr, 16, ranks_per_node=8, use_gpu=True)
+        assert qdwh_footprint(fr, 16, nmax, ranks_per_node=8,
+                              use_gpu=True).fits
+        assert not qdwh_footprint(fr, 16, nmax + 1000, ranks_per_node=8,
+                                  use_gpu=True).fits
+        assert round_down_to(nmax) == 175_000
+
+    def test_more_nodes_more_capacity(self):
+        sm = summit()
+        n1 = max_feasible_n(sm, 1, ranks_per_node=2, use_gpu=True)
+        n8 = max_feasible_n(sm, 8, ranks_per_node=2, use_gpu=True)
+        assert n8 > 2 * n1
+
+    def test_device_resident_stricter(self):
+        sm = summit()
+        n = 30_000
+        host = qdwh_footprint(sm, 1, n, ranks_per_node=2, use_gpu=True)
+        dev = qdwh_footprint(sm, 1, n, ranks_per_node=2, use_gpu=True,
+                             device_resident=True)
+        assert host.fits and not dev.fits  # 96 GiB HBM << 512 GiB DRAM
+
+    def test_overhead_factor(self):
+        sm = summit()
+        fp = qdwh_footprint(sm, 1, 10_000, ranks_per_node=2,
+                            use_gpu=False)
+        assert 30 < fp.overhead_factor < 40  # 10x algorithmic * 3.5x runtime
+
+    def test_rectangular(self):
+        sm = summit()
+        fp = qdwh_footprint(sm, 1, 5_000, m=20_000, ranks_per_node=2,
+                            use_gpu=False)
+        assert fp.m == 20_000 and fp.total_bytes > 0
+
+    def test_round_down(self):
+        assert round_down_to(177_342) == 175_000
+        assert round_down_to(3_000) == 3_000

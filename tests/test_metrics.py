@@ -1,0 +1,85 @@
+"""Tests for the accuracy metrics (Section 7.2's error measures)."""
+
+import numpy as np
+import pytest
+
+from repro.matrices import (
+    backward_error,
+    hermitian_error,
+    orthogonality_error,
+    polar_report,
+    positive_semidefinite_defect,
+)
+from repro.matrices.generator import random_unitary
+
+
+class TestOrthogonalityError:
+    def test_exact_unitary_is_zero(self):
+        q = random_unitary(20, seed=0)
+        assert orthogonality_error(q) < 1e-14
+
+    def test_scaled_unitary_is_not(self):
+        q = 2.0 * random_unitary(10, seed=1)
+        # ||I - 4 I||_F / sqrt(n) = 3
+        assert orthogonality_error(q) == pytest.approx(3.0)
+
+    def test_rectangular(self):
+        q = random_unitary(8, m=20, seed=2)
+        assert orthogonality_error(q) < 1e-14
+
+
+class TestBackwardError:
+    def test_exact_factorization_zero(self, rng):
+        a = rng.standard_normal((15, 15))
+        import scipy.linalg as sla
+        u, h = sla.polar(a)
+        assert backward_error(a, u, h) < 1e-14
+
+    def test_zero_matrix(self):
+        a = np.zeros((4, 4))
+        u = np.eye(4)
+        assert backward_error(a, u, np.zeros((4, 4))) == 0.0
+
+    def test_scale_invariance(self, rng):
+        a = rng.standard_normal((10, 10))
+        u = np.eye(10)
+        h = a.copy()
+        e1 = backward_error(a, u, h + 0.01)
+        e2 = backward_error(1000 * a, u, 1000 * (h + 0.01))
+        assert e1 == pytest.approx(e2)
+
+
+class TestHermitianChecks:
+    def test_hermitian_error_zero_for_hermitian(self, rng):
+        a = rng.standard_normal((12, 12))
+        h = a + a.T
+        assert hermitian_error(h) == 0.0
+
+    def test_hermitian_error_positive_for_skew(self, rng):
+        a = rng.standard_normal((12, 12))
+        k = a - a.T
+        assert hermitian_error(k) > 0.1
+
+    def test_psd_defect_zero_for_psd(self, rng):
+        b = rng.standard_normal((10, 10))
+        h = b.T @ b
+        assert positive_semidefinite_defect(h) < 1e-12
+
+    def test_psd_defect_positive_for_indefinite(self):
+        h = np.diag([1.0, -0.5])
+        assert positive_semidefinite_defect(h) == pytest.approx(0.5)
+
+
+class TestPolarReport:
+    def test_report_on_exact_decomposition(self, rng):
+        import scipy.linalg as sla
+        a = rng.standard_normal((20, 12))
+        u, h = sla.polar(a)
+        rep = polar_report(a, u, h)
+        assert rep.n == 12 and rep.m == 20
+        assert rep.within(1e-12)
+
+    def test_within_fails_on_garbage(self, rng):
+        a = rng.standard_normal((8, 8))
+        rep = polar_report(a, a, a)
+        assert not rep.within(1e-12)

@@ -1,0 +1,87 @@
+"""Tests for mixed-precision QDWH (future-work item, Section 8)."""
+
+import numpy as np
+import pytest
+
+from repro.core.mixed_precision import newton_schulz_polish, qdwh_mixed_precision
+from repro.matrices import generate_matrix, ill_conditioned
+from repro.matrices.metrics import backward_error, orthogonality_error
+
+
+class TestNewtonSchulzPolish:
+    def test_restores_orthogonality(self):
+        from repro.matrices.generator import random_unitary
+        q = random_unitary(32, seed=0)
+        noisy = (q + 1e-6 * np.random.default_rng(1).standard_normal((32, 32)))
+        polished, steps, hist = newton_schulz_polish(noisy)
+        assert orthogonality_error(polished) < 1e-13
+        assert 1 <= steps <= 4
+        assert hist[-1] < hist[0]
+
+    def test_already_orthogonal_no_steps(self):
+        from repro.matrices.generator import random_unitary
+        q = random_unitary(16, seed=2)
+        _, steps, _ = newton_schulz_polish(q)
+        assert steps == 0
+
+    def test_quadratic_convergence(self):
+        from repro.matrices.generator import random_unitary
+        q = random_unitary(24, seed=3)
+        noisy = q + 1e-4 * np.random.default_rng(4).standard_normal((24, 24))
+        _, _, hist = newton_schulz_polish(noisy, max_steps=3, tol=0)
+        # Each step roughly squares the residual.
+        assert hist[1] < 10 * hist[0] ** 2 * 24
+        assert hist[2] < 10 * hist[1] ** 2 * 24
+
+
+class TestMixedPrecisionQdwh:
+    def test_orthogonality_reaches_double(self):
+        a = ill_conditioned(96, seed=0)
+        r = qdwh_mixed_precision(a)
+        assert r.u.dtype == np.dtype(np.float64)
+        assert orthogonality_error(r.u) < 1e-12
+
+    def test_backward_error_at_single_level(self):
+        """The documented accuracy contract: backward error floors at
+        ~n * eps(float32) — it must be far better than nothing but is
+        not expected to reach 1e-15."""
+        a = ill_conditioned(96, seed=1)
+        r = qdwh_mixed_precision(a)
+        be = backward_error(a, r.u, r.h)
+        assert be < 5e-5
+        assert r.refinement_steps <= 4
+
+    def test_well_conditioned_backward_error_good(self):
+        """For well-conditioned A the polar factor is well-conditioned
+        too, so the f32 phase loses much less."""
+        a = generate_matrix(64, cond=5.0, seed=2)
+        r = qdwh_mixed_precision(a)
+        assert backward_error(a, r.u, r.h) < 1e-5
+        assert orthogonality_error(r.u) < 1e-12
+
+    def test_complex(self):
+        a = generate_matrix(48, cond=1e4, dtype=np.complex128, seed=3)
+        r = qdwh_mixed_precision(a)
+        assert r.u.dtype == np.dtype(np.complex128)
+        assert orthogonality_error(r.u) < 1e-12
+        # Hermitian H with exactly real diagonal.
+        assert np.allclose(r.h, r.h.conj().T)
+        assert np.all(np.isreal(np.diagonal(r.h)))
+
+    def test_iteration_counts_reported(self):
+        a = ill_conditioned(64, seed=4)
+        r = qdwh_mixed_precision(a)
+        assert r.it_qr + r.it_chol == r.iterations
+        assert r.iterations >= 4  # f32 worst case is ~5
+
+    def test_rejects_single_precision_input(self):
+        with pytest.raises(TypeError):
+            qdwh_mixed_precision(np.eye(4, dtype=np.float32))
+
+    def test_zero_matrix(self):
+        r = qdwh_mixed_precision(np.zeros((4, 4)))
+        assert np.allclose(r.h, 0)
+
+    def test_rejects_wide(self):
+        with pytest.raises(ValueError):
+            qdwh_mixed_precision(np.ones((3, 5)))

@@ -1,0 +1,133 @@
+"""Tests for the network model, collectives, and counters."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.comm import (
+    CommCounters,
+    NetworkModel,
+    TransferPath,
+    allreduce_time,
+    barrier_time,
+    bcast_time,
+    reduce_time,
+)
+
+
+class TestNetworkModel:
+    def test_local_is_free(self):
+        net = NetworkModel()
+        assert net.transfer_time(10 ** 9, TransferPath.LOCAL) == 0.0
+
+    @given(st.integers(0, 10 ** 9))
+    def test_alpha_beta_structure(self, nbytes):
+        net = NetworkModel(inter_latency=1e-6, inter_bandwidth=1e10)
+        t = net.transfer_time(nbytes, TransferPath.INTER_NODE)
+        assert t == pytest.approx(1e-6 + nbytes / 1e10)
+
+    def test_intra_faster_than_inter(self):
+        net = NetworkModel()
+        big = 10 ** 8
+        assert (net.transfer_time(big, TransferPath.INTRA_NODE)
+                < net.transfer_time(big, TransferPath.INTER_NODE))
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkModel().transfer_time(-1, TransferPath.INTER_NODE)
+
+    def test_gpu_staging_penalty_summit_style(self):
+        """NIC on CPU: inter-node GPU->GPU pays D2H + wire + H2D."""
+        net = NetworkModel(nic_on_gpu=False)
+        nbytes = 10 ** 7
+        plain = net.remote_gpu_transfer_time(nbytes, same_node=False,
+                                             src_on_gpu=False,
+                                             dst_on_gpu=False)
+        staged = net.remote_gpu_transfer_time(nbytes, same_node=False,
+                                              src_on_gpu=True,
+                                              dst_on_gpu=True)
+        assert staged > plain
+        expected_extra = 2 * net.transfer_time(nbytes, TransferPath.H2D)
+        assert staged - plain == pytest.approx(expected_extra)
+
+    def test_gpu_aware_mpi_frontier_style(self):
+        """NIC on GPU: no staging penalty (the Frontier advantage)."""
+        net = NetworkModel(nic_on_gpu=True)
+        nbytes = 10 ** 7
+        plain = net.remote_gpu_transfer_time(nbytes, same_node=False,
+                                             src_on_gpu=False,
+                                             dst_on_gpu=False)
+        direct = net.remote_gpu_transfer_time(nbytes, same_node=False,
+                                              src_on_gpu=True,
+                                              dst_on_gpu=True)
+        assert direct == pytest.approx(plain)
+
+    def test_intra_node_never_staged(self):
+        net = NetworkModel(nic_on_gpu=False)
+        t = net.remote_gpu_transfer_time(10 ** 6, same_node=True,
+                                         src_on_gpu=True, dst_on_gpu=True)
+        assert t == pytest.approx(
+            net.transfer_time(10 ** 6, TransferPath.INTRA_NODE))
+
+
+class TestCollectives:
+    @given(st.integers(1, 4096), st.integers(0, 10 ** 7))
+    def test_bcast_log_scaling(self, ranks, nbytes):
+        import math
+        net = NetworkModel()
+        t = bcast_time(net, nbytes, ranks)
+        steps = max(0, math.ceil(math.log2(ranks)))
+        assert t == pytest.approx(
+            steps * net.transfer_time(nbytes, TransferPath.INTER_NODE))
+
+    def test_reduce_equals_bcast(self):
+        net = NetworkModel()
+        assert reduce_time(net, 1024, 64) == bcast_time(net, 1024, 64)
+
+    def test_allreduce_single_rank_free(self):
+        assert allreduce_time(NetworkModel(), 8, 1) == 0.0
+
+    def test_allreduce_latency_dominated_for_scalars(self):
+        net = NetworkModel()
+        t = allreduce_time(net, 8, 1024)
+        assert t == pytest.approx(10 * net.inter_latency
+                                  + 16 / net.inter_bandwidth)
+
+    def test_barrier(self):
+        net = NetworkModel(inter_latency=2e-6)
+        assert barrier_time(net, 16) == pytest.approx(4 * 2e-6)
+        assert barrier_time(net, 1) == 0.0
+
+    def test_rejects_zero_ranks(self):
+        with pytest.raises(ValueError):
+            bcast_time(NetworkModel(), 8, 0)
+
+
+class TestCommCounters:
+    def test_record_and_totals(self):
+        c = CommCounters()
+        c.record(TransferPath.INTER_NODE, 100)
+        c.record(TransferPath.INTER_NODE, 50)
+        c.record(TransferPath.H2D, 10)
+        assert c.total_messages == 3
+        assert c.total_bytes == 160
+        assert c.inter_node_bytes == 150
+        assert c.staging_bytes == 10
+
+    def test_local_not_counted(self):
+        c = CommCounters()
+        c.record(TransferPath.LOCAL, 1000)
+        assert c.total_messages == 0
+
+    def test_merge(self):
+        a, b = CommCounters(), CommCounters()
+        a.record(TransferPath.D2H, 5)
+        b.record(TransferPath.D2H, 7)
+        m = a.merged(b)
+        assert m.bytes[TransferPath.D2H] == 12
+
+    def test_as_dict_drops_zeros(self):
+        c = CommCounters()
+        c.record(TransferPath.INTRA_NODE, 9)
+        d = c.as_dict()
+        assert d["bytes"] == {"intra_node": 9}

@@ -1,0 +1,143 @@
+"""Tests for the QDWH dynamical-weight recurrence (core.params)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.params import (
+    QdwhParams,
+    dynamical_weights,
+    parameter_schedule,
+    predict_iterations,
+)
+
+
+class TestDynamicalWeights:
+    @given(st.floats(1e-17, 1.0, exclude_max=False))
+    def test_weights_satisfy_constraints(self, L):
+        """a > 0, b >= 0, c = a + b - 1, and L_next in (L, 1]."""
+        a, b, c, L_next = dynamical_weights(L)
+        assert a > 0
+        assert b >= 0
+        assert c == pytest.approx(a + b - 1.0)
+        assert 0 < L_next <= 1.0
+        assert L_next >= L * 0.999  # monotone non-decreasing lower bound
+
+    def test_at_l_equal_one_weights_are_halleys(self):
+        """L = 1 gives the classical Halley weights (a,b,c)=(3,1,3)."""
+        a, b, c, L_next = dynamical_weights(1.0)
+        assert a == pytest.approx(3.0)
+        assert b == pytest.approx(1.0)
+        assert c == pytest.approx(3.0)
+        assert L_next == pytest.approx(1.0)
+
+    @given(st.floats(1e-16, 0.99))
+    def test_map_fixes_one(self, L):
+        """The rational map sends x=1 to 1 for every weight choice."""
+        a, b, c, _ = dynamical_weights(L)
+        assert (1 * (a + b) / (1 + c)) == pytest.approx(1.0, rel=1e-12)
+
+    @given(st.floats(1e-10, 0.9))
+    def test_map_contracts_interval_toward_one(self, L):
+        """The weighted Halley map sends [L, 1] into [L_next, 1]: the
+        new lower bound really bounds the whole mapped spectrum (the
+        map equioscillates, so monotonicity does NOT hold — only the
+        range inclusion does)."""
+        a, b, c, l_next = dynamical_weights(L)
+        p = QdwhParams(a=a, b=b, c=c, L=L, L_next=l_next)
+        xs = np.linspace(L, 1.0, 41)
+        ys = [p.mapped(x) for x in xs]
+        assert all(0 < y <= 1.0 + 1e-12 for y in ys)
+        assert min(ys) >= l_next - 1e-9
+
+    def test_invalid_l_is_clamped(self):
+        # Values outside (0, 1] are clamped rather than exploding.
+        a, b, c, L_next = dynamical_weights(0.0)
+        assert np.isfinite(a) and np.isfinite(L_next)
+        a, b, c, L_next = dynamical_weights(1.5)
+        assert a == pytest.approx(3.0)
+
+
+class TestParameterSchedule:
+    def test_worst_case_double_is_six_iterations(self):
+        """l0 ~ 1e-17 (kappa=1e16 with sqrt(n) deflation): 6 its."""
+        sch = parameter_schedule(1e-17)
+        assert len(sch) == 6
+
+    def test_schedule_ends_converged(self):
+        sch = parameter_schedule(1e-8)
+        assert abs(sch[-1].L_next - 1.0) < 5 * np.finfo(np.float64).eps
+
+    def test_qr_iterations_come_first(self):
+        """use_qr is a prefix property: once c <= 100 it stays there."""
+        sch = parameter_schedule(1e-17)
+        flags = [p.use_qr for p in sch]
+        assert flags == sorted(flags, reverse=True)
+
+    def test_well_conditioned_needs_no_qr(self):
+        sch = parameter_schedule(0.5)
+        assert all(not p.use_qr for p in sch)
+        assert len(sch) <= 3
+
+    def test_l0_one_gives_empty_schedule(self):
+        assert parameter_schedule(1.0) == []
+
+    def test_invalid_l0_handled(self):
+        sch = parameter_schedule(float("nan"))
+        assert 1 <= len(sch) <= 30
+
+    @given(st.floats(1e-18, 0.999))
+    def test_schedule_bounded_and_monotone(self, l0):
+        sch = parameter_schedule(l0)
+        assert len(sch) <= 30
+        ls = [p.L for p in sch] + [sch[-1].L_next] if sch else []
+        assert all(ls[i] <= ls[i + 1] + 1e-12 for i in range(len(ls) - 1))
+
+
+class TestPredictIterations:
+    def test_paper_worst_case_split(self):
+        """kappa = 1e16 at realistic n: 3 QR + 3 Cholesky (Section 4)."""
+        assert predict_iterations(1e16, n=10000) == (3, 3)
+        assert predict_iterations(1e16, n=100000) == (3, 3)
+
+    def test_idealized_estimate_differs(self):
+        """With the exact l0 = 1/kappa the split shifts to 2 QR."""
+        it_qr, it_chol = predict_iterations(1e16)
+        assert it_qr + it_chol == 6
+        assert it_qr == 2
+
+    def test_well_conditioned_no_qr(self):
+        it_qr, it_chol = predict_iterations(2.0)
+        assert it_qr == 0
+        assert it_chol <= 4
+
+    def test_perfectly_conditioned(self):
+        assert predict_iterations(1.0) == (0, 0)
+
+    def test_rejects_cond_below_one(self):
+        with pytest.raises(ValueError):
+            predict_iterations(0.5)
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            predict_iterations(10.0, n=0)
+
+    @given(st.floats(1.0, 1e16))
+    def test_total_iterations_bounded_by_theory(self, cond):
+        it_qr, it_chol = predict_iterations(cond, n=4096)
+        assert it_qr + it_chol <= 7  # 6 + margin for the sqrt(n) shift
+
+
+class TestScheduleTable:
+    def test_renders_paper_schedule(self):
+        from repro.core.params import schedule_table
+        table = schedule_table(1e-17)
+        lines = table.strip().splitlines()
+        assert len(lines) == 2 + 6  # header + rule + six iterations
+        assert table.count("QR") == 3
+        assert table.count("Chol") == 3
+
+    def test_converged_start_is_empty(self):
+        from repro.core.params import schedule_table
+        assert schedule_table(1.0).count("|") <= 6  # header only

@@ -1,0 +1,91 @@
+"""Tests for the auxiliary performance models: SVD-polar baseline,
+profiling reports, the Aurora model, and dtype-aware simulation."""
+
+import numpy as np
+import pytest
+
+from repro.machines import aurora, frontier, summit
+from repro.perf.model import simulate_qdwh
+from repro.perf.report import profile_report
+from repro.perf.svd_model import simulate_svd_polar
+
+
+class TestSvdPolarModel:
+    def test_flop_model(self):
+        p = simulate_svd_polar(summit(), 1, 10_000)
+        n3 = 10_000.0 ** 3
+        assert p.model_flops == pytest.approx((8 / 3 + 4 + 4) * n3)
+
+    def test_level2_dominates_at_scale(self):
+        small = simulate_svd_polar(summit(), 1, 20_000)
+        big = simulate_svd_polar(summit(), 8, 120_000)
+        assert big.level2_share > small.level2_share
+        assert big.level2_share > 0.9
+
+    def test_qdwh_advantage_grows_with_nodes(self):
+        ratios = []
+        for nodes, n in ((1, 40_000), (4, 80_000)):
+            svd = simulate_svd_polar(summit(), nodes, n)
+            q = simulate_qdwh(summit(), nodes, n, "scalapack",
+                              max_tiles=8)
+            ratios.append(svd.makespan / q.makespan)
+        assert ratios[1] > ratios[0]
+        assert ratios[1] > 2.0
+
+    def test_gpu_variant(self):
+        cpu = simulate_svd_polar(summit(), 1, 30_000, use_gpu=False)
+        gpu = simulate_svd_polar(summit(), 1, 30_000, use_gpu=True)
+        # GPUs accelerate the Level-3 phases but not the Level-2 wall.
+        assert gpu.makespan < cpu.makespan
+        assert gpu.level2_seconds == pytest.approx(cpu.level2_seconds)
+
+
+class TestAuroraModel:
+    def test_composition(self):
+        m = aurora()
+        assert m.cores_per_node == 96
+        assert m.gpus_per_node == 12
+        assert m.network.nic_on_gpu
+
+    def test_simulates(self):
+        p = simulate_qdwh(aurora(), 1, 20_000, "slate_gpu", max_tiles=8)
+        assert p.tflops > 0
+
+    def test_exascale_machines_beat_summit(self):
+        pts = {m().name: simulate_qdwh(m(), 2, 40_000, "slate_gpu",
+                                       max_tiles=8).tflops
+               for m in (summit, frontier, aurora)}
+        assert pts["frontier"] > pts["summit"]
+        assert pts["aurora"] > pts["summit"]
+
+
+class TestDtypeAwareSimulation:
+    def test_complex_is_about_4x(self):
+        d = simulate_qdwh(summit(), 1, 20_000, "slate_gpu", max_tiles=8)
+        z = simulate_qdwh(summit(), 1, 20_000, "slate_gpu", max_tiles=8,
+                          dtype=np.complex128)
+        assert 3.0 < z.makespan / d.makespan < 4.5
+        assert z.model_flops == pytest.approx(4 * d.model_flops)
+
+    def test_deterministic(self):
+        a = simulate_qdwh(summit(), 1, 15_000, "slate_cpu", max_tiles=8)
+        b = simulate_qdwh(summit(), 1, 15_000, "slate_cpu", max_tiles=8)
+        assert a.makespan == b.makespan
+
+
+class TestProfileReport:
+    def test_sections_present(self):
+        p = simulate_qdwh(summit(), 1, 15_000, "slate_gpu", max_tiles=8)
+        text = profile_report(p)
+        for needle in ("kernel busy time", "rank utilization",
+                       "communication volume", "critical path",
+                       "Tflop/s"):
+            assert needle in text
+
+    def test_single_rank_no_comm_section_crash(self):
+        from repro.dist import ProcessGrid
+        from repro.machines import summit as sm
+        # max_tiles small + 1 node, 2 ranks still has intra traffic;
+        # just ensure the report renders for any configuration.
+        p = simulate_qdwh(sm(), 1, 8_000, "slate_cpu", max_tiles=4)
+        assert "===" in profile_report(p)

@@ -1,0 +1,105 @@
+"""Tests for the QDWH-based spectral divide-and-conquer eigensolver."""
+
+import numpy as np
+import pytest
+
+from repro.core.qdwh_eig import qdwh_eigh, qdwh_partial_eigh, spectral_gap_check
+from repro.matrices.generator import random_unitary
+
+
+def hermitian_with_spectrum(w, dtype=np.float64, seed=0):
+    n = len(w)
+    q = random_unitary(n, dtype, seed=seed)
+    return (q * np.asarray(w)[None, :]) @ q.conj().T
+
+
+class TestQdwhEigh:
+    def test_known_spectrum_recovered(self):
+        w = np.linspace(-5, 7, 40)
+        a = hermitian_with_spectrum(w, seed=1)
+        r = qdwh_eigh(a, min_block=8)
+        assert np.allclose(r.w, w, atol=1e-10)
+        assert r.polar_calls >= 1
+
+    def test_eigenvectors_valid(self):
+        w = np.linspace(-3, 3, 32)
+        a = hermitian_with_spectrum(w, seed=2)
+        r = qdwh_eigh(a, min_block=8)
+        assert np.linalg.norm(a @ r.v - r.v * r.w) < 1e-10
+        assert np.linalg.norm(r.v.conj().T @ r.v - np.eye(32)) < 1e-10
+
+    def test_complex_hermitian(self):
+        w = np.linspace(-2, 5, 24)
+        a = hermitian_with_spectrum(w, dtype=np.complex128, seed=3)
+        r = qdwh_eigh(a, min_block=8)
+        assert np.allclose(r.w, w, atol=1e-10)
+
+    def test_matches_lapack(self, rng):
+        b = rng.standard_normal((48, 48))
+        a = b + b.T
+        r = qdwh_eigh(a, min_block=12)
+        assert np.allclose(r.w, np.linalg.eigvalsh(a), atol=1e-9)
+
+    def test_clustered_spectrum_falls_back(self):
+        """All eigenvalues equal: the split can't separate; dense
+        fallback must still give the right answer."""
+        a = 3.0 * np.eye(20)
+        r = qdwh_eigh(a, min_block=4)
+        assert np.allclose(r.w, 3.0)
+
+    def test_small_matrix_direct(self):
+        a = np.diag([1.0, 2.0])
+        r = qdwh_eigh(a)
+        assert np.allclose(r.w, [1.0, 2.0])
+        assert r.polar_calls == 0
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(ValueError):
+            qdwh_eigh(np.ones((4, 3)))
+
+    def test_uses_hermitian_part_only(self, rng):
+        b = rng.standard_normal((16, 16))
+        sym = 0.5 * (b + b.T)
+        r1 = qdwh_eigh(b, min_block=4)
+        r2 = qdwh_eigh(sym, min_block=4)
+        assert np.allclose(r1.w, r2.w, atol=1e-10)
+
+
+class TestPartialEigh:
+    def test_above_threshold(self):
+        w = np.array([-4.0, -1.0, 0.5, 2.0, 3.0, 6.0])
+        a = hermitian_with_spectrum(w, seed=4)
+        r = qdwh_partial_eigh(a, sigma=1.0, side="above")
+        assert np.allclose(np.sort(r.w), [2.0, 3.0, 6.0], atol=1e-10)
+        assert np.linalg.norm(a @ r.v - r.v * r.w) < 1e-10
+
+    def test_below_threshold(self):
+        w = np.array([-4.0, -1.0, 0.5, 2.0, 3.0, 6.0])
+        a = hermitian_with_spectrum(w, seed=5)
+        r = qdwh_partial_eigh(a, sigma=0.0, side="below")
+        assert np.allclose(np.sort(r.w), [-4.0, -1.0], atol=1e-10)
+
+    def test_nothing_above(self):
+        a = hermitian_with_spectrum([-3.0, -2.0, -1.0], seed=6)
+        r = qdwh_partial_eigh(a, sigma=10.0, side="above")
+        assert r.w.size == 0
+
+    def test_large_subspace_recurses(self):
+        w = np.linspace(-1, 9, 50)
+        a = hermitian_with_spectrum(w, seed=7)
+        r = qdwh_partial_eigh(a, sigma=0.0, side="above", min_block=8)
+        expect = w[w > 0.0]
+        assert np.allclose(np.sort(r.w), expect, atol=1e-9)
+        assert r.polar_calls >= 2
+
+    def test_rejects_bad_side(self):
+        with pytest.raises(ValueError):
+            qdwh_partial_eigh(np.eye(4), 0.5, side="left")
+
+
+class TestGapCheck:
+    def test_gap_detected(self):
+        assert spectral_gap_check(np.array([1.0, 2.0]), 1.5)
+
+    def test_no_gap(self):
+        assert not spectral_gap_check(np.array([1.0, 1.0 + 1e-15]), 1.0)

@@ -1,0 +1,76 @@
+"""Tests for the SVD-via-polar application (Higham-Papadimitriou)."""
+
+import numpy as np
+import pytest
+
+from repro.core.qdwh_svd import qdwh_partial_svd, qdwh_svd
+from repro.matrices import generate_matrix, ill_conditioned
+
+
+def svd_errors(a, r):
+    recon = (r.u * r.s[None, :]) @ r.vh
+    rel = np.linalg.norm(recon - a) / np.linalg.norm(a)
+    orth_u = np.linalg.norm(r.u.conj().T @ r.u - np.eye(r.u.shape[1]))
+    orth_v = np.linalg.norm(r.vh @ r.vh.conj().T - np.eye(r.vh.shape[0]))
+    return rel, orth_u, orth_v
+
+
+class TestQdwhSvd:
+    def test_reconstruction_square(self):
+        a = generate_matrix(48, cond=1e8, seed=0)
+        r = qdwh_svd(a, eig_min_block=12)
+        rel, ou, ov = svd_errors(a, r)
+        assert rel < 1e-11 and ou < 1e-10 and ov < 1e-10
+
+    def test_singular_values_match_lapack(self):
+        a = generate_matrix(40, cond=1e6, seed=1)
+        r = qdwh_svd(a)
+        s_ref = np.linalg.svd(a, compute_uv=False)
+        assert np.allclose(r.s, s_ref, rtol=1e-9, atol=1e-13)
+
+    def test_descending_order(self):
+        a = generate_matrix(32, cond=1e4, seed=2)
+        r = qdwh_svd(a)
+        assert np.all(np.diff(r.s) <= 1e-14)
+
+    def test_rectangular_complex(self):
+        a = generate_matrix(50, 24, cond=1e5, dtype=np.complex128, seed=3)
+        r = qdwh_svd(a, use_qdwh_eig=False)
+        rel, ou, ov = svd_errors(a, r)
+        assert rel < 1e-11 and ou < 1e-10 and ov < 1e-10
+
+    def test_lapack_eig_backend(self):
+        a = generate_matrix(32, cond=100, seed=4)
+        r1 = qdwh_svd(a, use_qdwh_eig=True, eig_min_block=8)
+        r2 = qdwh_svd(a, use_qdwh_eig=False)
+        assert np.allclose(r1.s, r2.s, rtol=1e-9)
+
+    def test_ill_conditioned_small_values_clamped(self):
+        a = ill_conditioned(32, seed=5)
+        r = qdwh_svd(a, use_qdwh_eig=False)
+        assert np.all(r.s >= 0)
+
+    def test_rejects_wide(self):
+        with pytest.raises(ValueError):
+            qdwh_svd(np.ones((3, 8)))
+
+
+class TestPartialSvd:
+    def test_top_values_only(self):
+        sigma = np.array([10.0, 5.0, 2.0, 0.1, 0.01])
+        a = generate_matrix(12, 5, sigma=sigma, seed=6)
+        r = qdwh_partial_svd(a, threshold=1.0)
+        assert np.allclose(np.sort(r.s)[::-1], [10.0, 5.0, 2.0], atol=1e-9)
+        recon = (r.u * r.s[None, :]) @ r.vh
+        # Rank-3 truncation error equals the discarded tail energy.
+        tail = np.linalg.norm(a - recon)
+        assert tail == pytest.approx(np.sqrt(0.1 ** 2 + 0.01 ** 2), rel=1e-5)
+
+    def test_threshold_above_all(self):
+        a = generate_matrix(10, 4, cond=10, seed=7)
+        r = qdwh_partial_svd(a, threshold=100.0)
+        assert r.s.size == 0
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            qdwh_partial_svd(np.eye(4), threshold=-1.0)

@@ -1,0 +1,71 @@
+"""Tests for tile redistribution between layouts."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dist import DistMatrix, ProcessGrid, redistribute
+from repro.runtime import Runtime
+
+from .conftest import make_runtime
+
+
+class TestRedistribute:
+    @given(st.integers(1, 40), st.integers(1, 40),
+           st.integers(1, 13), st.integers(1, 13))
+    def test_roundtrip_any_tilings(self, m, n, nb1, nb2):
+        rng = np.random.default_rng(m * 100 + n + nb1 * 7 + nb2)
+        a = rng.standard_normal((m, n))
+        rt = make_runtime(2, 2)
+        src = DistMatrix.from_array(rt, a, nb1)
+        dst = DistMatrix(rt, m, n, nb2)
+        redistribute(rt, src, dst)
+        assert np.array_equal(dst.to_array(), a)
+
+    def test_across_grids(self, rng):
+        a = rng.standard_normal((24, 18))
+        rt = Runtime(ProcessGrid(3, 2))
+        src = DistMatrix.from_array(rt, a, 8)
+        from repro.dist import BlockCyclic
+        dst = DistMatrix(rt, 24, 18, 5,
+                         layout=BlockCyclic(ProcessGrid(3, 2), 1, 1))
+        redistribute(rt, src, dst)
+        assert np.array_equal(dst.to_array(), a)
+
+    def test_custom_partitions(self, rng):
+        a = rng.standard_normal((10, 10))
+        rt = make_runtime()
+        src = DistMatrix.from_array(rt, a, 4)
+        dst = DistMatrix(rt, 10, 10, 4, row_heights=(3, 3, 4),
+                         col_widths=(5, 5))
+        redistribute(rt, src, dst)
+        assert np.array_equal(dst.to_array(), a)
+
+    def test_shape_mismatch(self, rng):
+        rt = make_runtime()
+        src = DistMatrix.from_array(rt, rng.standard_normal((4, 4)), 2)
+        dst = DistMatrix(rt, 4, 6, 2)
+        with pytest.raises(ValueError):
+            redistribute(rt, src, dst)
+
+    def test_dtype_mismatch(self, rng):
+        rt = make_runtime()
+        src = DistMatrix.from_array(rt, rng.standard_normal((4, 4)), 2)
+        dst = DistMatrix(rt, 4, 4, 2, np.complex128)
+        with pytest.raises(ValueError):
+            redistribute(rt, src, dst)
+
+    def test_comm_modeled(self):
+        """Retiling generates real traffic in the simulator."""
+        from repro.machines import summit
+        from repro.runtime import simulate
+        from repro.runtime.scheduler import taskbased_config
+
+        rt = make_runtime(2, 2, numeric=False)
+        src = DistMatrix(rt, 4096, 4096, 64)
+        dst = DistMatrix(rt, 4096, 4096, 320)
+        redistribute(rt, src, dst)
+        r = simulate(rt.graph, taskbased_config(summit(), 2, 2,
+                                                use_gpu=False))
+        assert r.comm.total_bytes > 0

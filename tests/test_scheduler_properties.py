@@ -1,0 +1,94 @@
+"""Property-based tests of the schedule simulator on random DAGs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machines import summit
+from repro.runtime import TaskGraph, TaskKind, simulate
+from repro.runtime.scheduler import RunConfig, taskbased_config
+from repro.runtime.task import Task
+
+KINDS = [TaskKind.GEMM, TaskKind.GEQRT, TaskKind.COPY, TaskKind.TRSM,
+         TaskKind.REDUCE]
+
+
+@st.composite
+def random_graphs(draw):
+    """A random layered DAG over a handful of tiles and ranks."""
+    n_tasks = draw(st.integers(1, 60))
+    n_tiles = draw(st.integers(1, 12))
+    ranks = draw(st.integers(1, 4))
+    phases = draw(st.integers(1, 5))
+    g = TaskGraph()
+    for t in range(n_tiles):
+        g.register_tile((0, t, 0), draw(st.integers(8, 10 ** 6)), owner=t % ranks)
+    for tid in range(n_tasks):
+        reads = draw(st.lists(st.integers(0, n_tiles - 1), max_size=3))
+        writes = draw(st.lists(st.integers(0, n_tiles - 1), min_size=1,
+                               max_size=2))
+        g.add(Task(
+            tid=tid,
+            kind=draw(st.sampled_from(KINDS)),
+            reads=tuple((0, r, 0) for r in set(reads)),
+            writes=tuple((0, w, 0) for w in set(writes)),
+            rank=draw(st.integers(0, ranks - 1)),
+            phase=min(tid * phases // n_tasks, phases - 1),
+            op=min(tid * phases // n_tasks, phases - 1),
+            flops=draw(st.floats(0, 1e9)),
+            tile_dim=draw(st.sampled_from([64, 192, 320])),
+        ))
+    return g, ranks
+
+
+def cfg_for(ranks, lookahead=None, barrier=False):
+    nodes = max(1, (ranks + 1) // 2)
+    return RunConfig(machine=summit(), nodes=nodes, ranks_per_node=2,
+                     use_gpu=False, lookahead=lookahead,
+                     barrier_per_phase=barrier)
+
+
+class TestRandomDags:
+    @given(random_graphs())
+    @settings(max_examples=40)
+    def test_all_tasks_complete_and_deps_hold(self, gr):
+        g, ranks = gr
+        r = simulate(g, cfg_for(ranks), keep_trace=True)
+        assert r.task_count == len(g)
+        for t in g.tasks:
+            for d in t.deps:
+                assert r.start_times[t.tid] >= r.finish_times[d] - 1e-12
+
+    @given(random_graphs())
+    @settings(max_examples=25)
+    def test_makespan_bounds(self, gr):
+        g, ranks = gr
+        r = simulate(g, cfg_for(ranks))
+        assert r.makespan >= r.critical_path * (1 - 1e-9)
+        assert np.isfinite(r.makespan)
+
+    @given(random_graphs())
+    @settings(max_examples=25)
+    def test_lookahead_never_helps_to_restrict(self, gr):
+        g, ranks = gr
+        open_span = simulate(g, cfg_for(ranks, lookahead=None)).makespan
+        tight = simulate(g, cfg_for(ranks, lookahead=0)).makespan
+        assert tight >= open_span * (1 - 1e-9)
+
+    @given(random_graphs())
+    @settings(max_examples=25)
+    def test_barrier_only_adds_time(self, gr):
+        g, ranks = gr
+        plain = simulate(g, cfg_for(ranks, lookahead=0)).makespan
+        barred = simulate(g, cfg_for(ranks, lookahead=0,
+                                     barrier=True)).makespan
+        assert barred >= plain * (1 - 1e-9)
+
+    @given(random_graphs())
+    @settings(max_examples=20)
+    def test_deterministic(self, gr):
+        g, ranks = gr
+        a = simulate(g, cfg_for(ranks)).makespan
+        b = simulate(g, cfg_for(ranks)).makespan
+        assert a == b

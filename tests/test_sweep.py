@@ -1,0 +1,52 @@
+"""Unit tests for the figure-sweep drivers."""
+
+import pytest
+
+from repro.machines import frontier, summit
+from repro.perf.sweep import (
+    FRONTIER_SIZES,
+    SUMMIT_SIZES,
+    figure_series,
+    scaling_series,
+    speedup_table,
+)
+
+MT = 6
+
+
+class TestDefaultSizes:
+    def test_respect_memory_model(self):
+        from repro.perf.memory import max_feasible_n
+        for table, machine, rpn in ((SUMMIT_SIZES, summit(), 2),
+                                    (FRONTIER_SIZES, frontier(), 8)):
+            for nodes, sizes in table.items():
+                cap = max_feasible_n(machine, nodes, ranks_per_node=rpn,
+                                     use_gpu=True)
+                assert max(sizes) <= cap, (machine.name, nodes)
+
+    def test_sizes_increase_with_nodes(self):
+        for table in (SUMMIT_SIZES, FRONTIER_SIZES):
+            maxima = [max(table[k]) for k in sorted(table)]
+            assert maxima == sorted(maxima)
+
+
+class TestDrivers:
+    def test_figure_series_defaults(self):
+        out = figure_series(summit(), 1, ("slate_cpu",),
+                            sizes=(8000,), max_tiles=MT)
+        assert out["slate_cpu"][0].n == 8000
+
+    def test_figure_series_uses_table_when_sizes_none(self):
+        out = figure_series(frontier(), 1, ("slate_cpu",), None,
+                            max_tiles=MT)
+        assert [p.n for p in out["slate_cpu"]] == list(FRONTIER_SIZES[1])
+
+    def test_scaling_series_keys(self):
+        out = scaling_series(summit(), [1],
+                             sizes_per_nodes={1: (8000,)}, max_tiles=MT)
+        assert set(out) == {1}
+
+    def test_speedup_positive(self):
+        rows = speedup_table(summit(), [1], sizes={1: (10000,)},
+                             max_tiles=MT)
+        assert rows[0]["speedup"] > 1.0

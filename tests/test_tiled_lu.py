@@ -1,0 +1,145 @@
+"""Tests for the tiled LU factorization and the LU-route gecondest."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dist import DistMatrix
+from repro.tiled import gecondest_tiled, getrf, getrs_vec
+
+from .conftest import make_runtime
+
+
+def reconstruct_pa(a, fac):
+    """Apply the recorded panel swaps to A (gives L @ U)."""
+    pa = a.copy()
+    offs = fac.a.col_offsets
+    for k in range(fac.a.nt):
+        piv = fac.piv[k]
+        sub = pa[offs[k]:]
+        for i, p in enumerate(piv):
+            if p != i:
+                sub[[i, p]] = sub[[p, i]]
+    return pa
+
+
+class TestGetrf:
+    @given(st.integers(2, 28), st.integers(2, 9), st.booleans())
+    def test_plu_reconstruction(self, n, nb, cplx):
+        rng = np.random.default_rng(n * 11 + nb)
+        a = rng.standard_normal((n, n))
+        if cplx:
+            a = a + 1j * rng.standard_normal((n, n))
+        rt = make_runtime(2, 2)
+        da = DistMatrix.from_array(rt, a.copy(), nb)
+        fac = getrf(rt, da)
+        lu = da.to_array()
+        ell = np.tril(lu, -1) + np.eye(n)
+        u = np.triu(lu)
+        assert np.allclose(ell @ u, reconstruct_pa(a, fac), atol=1e-10)
+        assert not fac.singular
+
+    def test_pivoting_engages(self):
+        """A matrix needing row swaps (tiny leading pivot)."""
+        a = np.array([[1e-14, 1.0], [1.0, 1.0]])
+        rt = make_runtime(1, 1)
+        da = DistMatrix.from_array(rt, a.copy(), 1)
+        fac = getrf(rt, da)
+        assert any(p[0] != 0 for p in fac.piv.values())
+        lu = da.to_array()
+        # With pivoting, |L| entries stay <= 1.
+        assert np.abs(np.tril(lu, -1)).max() <= 1.0 + 1e-12
+
+    def test_singular_flagged(self):
+        a = np.ones((8, 8))
+        rt = make_runtime(1, 1)
+        da = DistMatrix.from_array(rt, a, 4)
+        fac = getrf(rt, da)
+        assert fac.singular
+
+    def test_rejects_rectangular(self, rng):
+        rt = make_runtime()
+        da = DistMatrix.from_array(rt, rng.standard_normal((6, 4)), 2)
+        with pytest.raises(ValueError):
+            getrf(rt, da)
+
+    def test_graph_recorded(self):
+        rt = make_runtime(2, 2)
+        da = DistMatrix.from_array(rt, np.eye(16) * 3, 4)
+        getrf(rt, da)
+        kinds = rt.graph.counts_by_kind()
+        assert kinds["gemm"] > 0 and kinds["trsm"] > 0
+        assert rt.graph.validate_topological()
+
+
+class TestGetrsVec:
+    @given(st.integers(2, 24), st.integers(2, 8), st.booleans(),
+           st.booleans())
+    def test_solves_match_numpy(self, n, nb, cplx, trans):
+        rng = np.random.default_rng(n * 5 + nb + trans)
+        a = rng.standard_normal((n, n)) + n * np.eye(n)
+        if cplx:
+            a = a + 1j * rng.standard_normal((n, n))
+        b = rng.standard_normal(n)
+        if cplx:
+            b = b + 1j * rng.standard_normal(n)
+        rt = make_runtime(2, 2)
+        da = DistMatrix.from_array(rt, a.copy(), nb)
+        fac = getrf(rt, da)
+        x = getrs_vec(rt, fac, b, conj_trans=trans)
+        op = a.conj().T if trans else a
+        assert np.allclose(x, np.linalg.solve(op, b), atol=1e-9)
+
+    def test_shape_validated(self, rng):
+        rt = make_runtime()
+        da = DistMatrix.from_array(rt, np.eye(8), 4)
+        fac = getrf(rt, da)
+        with pytest.raises(ValueError):
+            getrs_vec(rt, fac, np.ones(5))
+
+
+class TestGecondestTiled:
+    @given(st.floats(10.0, 1e12))
+    def test_tracks_condition(self, cond):
+        from repro.matrices import generate_matrix
+        a = generate_matrix(24, cond=cond, seed=int(cond) % 97)
+        rt = make_runtime(2, 2)
+        da = DistMatrix.from_array(rt, a.copy(), 8)
+        rc = gecondest_tiled(rt, da)
+        true = 1.0 / np.linalg.cond(a, 1)
+        assert true / 20 <= rc.value <= true * 20
+
+    def test_agrees_with_dense_gecondest(self):
+        from repro.core.estimators import gecondest
+        from repro.matrices import generate_matrix
+        a = generate_matrix(32, cond=1e6, seed=3)
+        rt = make_runtime(2, 2)
+        da = DistMatrix.from_array(rt, a.copy(), 8)
+        rc = gecondest_tiled(rt, da)
+        assert rc.value == pytest.approx(gecondest(a), rel=2.0)
+
+    def test_qr_and_lu_routes_agree(self):
+        """Section 6.3: both condition-estimation routes exist; they
+        must agree on the same matrix."""
+        from repro.matrices import generate_matrix
+        from repro.tiled import geqrf, trcondest_tiled
+        a = generate_matrix(32, cond=1e7, seed=4)
+        rt1 = make_runtime(2, 2)
+        d1 = DistMatrix.from_array(rt1, a.copy(), 8)
+        lu_rc = gecondest_tiled(rt1, d1).value
+        rt2 = make_runtime(2, 2)
+        d2 = DistMatrix.from_array(rt2, a.copy(), 8)
+        qr_rc = trcondest_tiled(rt2, geqrf(rt2, d2)).value
+        assert qr_rc / 30 <= lu_rc <= qr_rc * 30
+
+    def test_singular_returns_zero(self):
+        rt = make_runtime()
+        da = DistMatrix.from_array(rt, np.ones((8, 8)), 4)
+        assert gecondest_tiled(rt, da).value == 0.0
+
+    def test_symbolic_mode_rejected(self):
+        rt = make_runtime(numeric=False)
+        da = DistMatrix(rt, 16, 16, 4)
+        with pytest.raises(RuntimeError):
+            gecondest_tiled(rt, da)

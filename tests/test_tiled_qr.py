@@ -1,0 +1,123 @@
+"""Tiled QR factorization tests (tree and flat panels)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dist import DistMatrix
+from repro.tiled import geqrf, qr_explicit
+
+from .conftest import make_runtime
+
+
+def check_qr(A, nb, panel, grid=(2, 2)):
+    rt = make_runtime(*grid)
+    dW = DistMatrix.from_array(rt, A.copy(), nb)
+    fac, dQ = qr_explicit(rt, dW, panel=panel)
+    Q = dQ.to_array()
+    n = A.shape[1]
+    R = np.triu(dW.to_array()[:n, :n])
+    recon = np.abs(Q @ R - A).max()
+    orth = np.abs(Q.conj().T @ Q - np.eye(n)).max()
+    return recon, orth, R
+
+
+class TestQRCorrectness:
+    @given(st.integers(4, 40), st.integers(2, 20), st.integers(2, 11),
+           st.sampled_from(["tree", "flat"]))
+    def test_reconstruction_and_orthogonality(self, m, n, nb, panel):
+        if m < n:
+            m, n = n, m
+        rng = np.random.default_rng(m * 41 + n * 3 + nb)
+        A = rng.standard_normal((m, n))
+        recon, orth, _ = check_qr(A, nb, panel)
+        assert recon < 1e-12 * max(m, n)
+        assert orth < 1e-13 * max(m, n)
+
+    @pytest.mark.parametrize("panel", ["tree", "flat"])
+    @pytest.mark.parametrize("dtype", [np.float32, np.complex64,
+                                       np.complex128])
+    def test_dtypes(self, panel, dtype, rng):
+        A = rng.standard_normal((24, 16)).astype(dtype)
+        if np.issubdtype(dtype, np.complexfloating):
+            A = A + 1j * rng.standard_normal((24, 16)).astype(A.real.dtype)
+            A = A.astype(dtype)
+        single = dtype in (np.float32, np.complex64)
+        tol = 1e-4 if single else 1e-12
+        recon, orth, _ = check_qr(A, 8, panel)
+        assert recon < tol
+        assert orth < tol
+
+    def test_r_diag_real_sign_consistent_with_lapack(self, rng):
+        """R from the tiled QR matches |R| from LAPACK (signs are a
+        convention; magnitudes must agree)."""
+        A = rng.standard_normal((20, 12))
+        _, _, R = check_qr(A, 4, "tree")
+        r_ref = np.linalg.qr(A, mode="r")
+        assert np.allclose(np.abs(np.diag(R)), np.abs(np.diag(r_ref)),
+                           atol=1e-10)
+
+    def test_single_tile(self, rng):
+        A = rng.standard_normal((6, 4))
+        recon, orth, _ = check_qr(A, 8, "tree", grid=(1, 1))
+        assert recon < 1e-13 and orth < 1e-13
+
+    def test_stacked_identity_structure(self, rng):
+        """QR of [A; I] — exactly the QDWH iteration's workspace."""
+        rt = make_runtime()
+        A = rng.standard_normal((12, 12))
+        W = np.vstack([A, np.eye(12)])
+        dW = DistMatrix.from_array(rt, W, 4)
+        fac, dQ = qr_explicit(rt, dW)
+        Q = dQ.to_array()
+        R = np.triu(dW.to_array()[:12, :12])
+        assert np.abs(Q @ R - W).max() < 1e-12
+
+    def test_rejects_wide(self, rng):
+        rt = make_runtime()
+        d = DistMatrix.from_array(rt, rng.standard_normal((4, 8)), 2)
+        with pytest.raises(ValueError):
+            geqrf(rt, d)
+
+    def test_rejects_unknown_panel(self, rng):
+        rt = make_runtime()
+        d = DistMatrix.from_array(rt, rng.standard_normal((8, 4)), 2)
+        with pytest.raises(ValueError):
+            geqrf(rt, d, panel="butterfly")
+
+
+class TestQRGraphShape:
+    def test_tree_panel_has_log_depth_combines(self):
+        """8 block rows combine in 3 rounds (pairs 4+2+1 = 7 TTQRTs)."""
+        rt = make_runtime(1, 1, numeric=False)
+        d = DistMatrix(rt, 64, 8, 8)
+        geqrf(rt, d, panel="tree")
+        counts = rt.graph.counts_by_kind()
+        assert counts["geqrt"] == 8
+        assert counts["tpqrt"] == 7  # tree combines
+
+    def test_flat_panel_chain(self):
+        rt = make_runtime(1, 1, numeric=False)
+        d = DistMatrix(rt, 64, 8, 8)
+        geqrf(rt, d, panel="flat")
+        counts = rt.graph.counts_by_kind()
+        assert counts["geqrt"] == 1
+        assert counts["tpqrt"] == 7
+
+    def test_tree_critical_path_shorter(self):
+        """The communication-avoiding panel's whole point."""
+        def crit(panel):
+            rt = make_runtime(1, 1, numeric=False)
+            d = DistMatrix(rt, 32 * 16, 32, 32)
+            geqrf(rt, d, panel=panel)
+            return rt.graph.critical_path_seconds(lambda t: 1.0)
+
+        assert crit("tree") < crit("flat")
+
+    def test_phases_advance_per_panel(self):
+        rt = make_runtime(1, 1, numeric=False)
+        d = DistMatrix(rt, 32, 16, 8)
+        p0 = rt.phase
+        geqrf(rt, d)
+        assert rt.phase - p0 >= 2  # one per panel step

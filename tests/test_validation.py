@@ -1,0 +1,80 @@
+"""Tests for the acceptance-matrix validation module and trace extras."""
+
+import pytest
+
+from repro.validation import CheckResult, ValidationReport, validate_all
+
+
+class TestValidationReport:
+    def test_all_pass(self):
+        r = ValidationReport(checks=[
+            CheckResult("a", True, "1", "1", 0.1),
+            CheckResult("b", True, "2", "2", 0.1),
+        ])
+        assert r.passed
+        assert "2/2 claims reproduced" in r.summary()
+
+    def test_one_fail(self):
+        r = ValidationReport(checks=[
+            CheckResult("a", True, "1", "1", 0.1),
+            CheckResult("b", False, "0", "2", 0.1),
+        ])
+        assert not r.passed
+        assert "FAIL" in r.summary()
+
+
+class TestValidateAll:
+    def test_full_matrix_reproduces(self):
+        """The headline test of the whole repository: every claim in
+        the acceptance matrix passes at reduced resolution."""
+        rep = validate_all(n_numeric=128, max_tiles=8)
+        assert rep.passed, "\n" + rep.summary()
+        assert len(rep.checks) >= 9
+
+    def test_check_captures_exceptions(self):
+        from repro.validation import _check
+        rep = ValidationReport()
+        _check(rep, "boom", "no crash", lambda: 1 / 0)
+        assert not rep.checks[0].passed
+        assert "error" in rep.checks[0].measured
+
+
+class TestAsciiGantt:
+    def test_renders(self):
+        from repro.dist import DistMatrix, ProcessGrid
+        from repro.machines import summit
+        from repro.runtime import Runtime, simulate
+        from repro.runtime.scheduler import taskbased_config
+        from repro.runtime.trace import ascii_gantt
+        from repro.tiled import geqrf
+
+        rt = Runtime(ProcessGrid(2, 2), numeric=False)
+        a = DistMatrix(rt, 512, 256, 64)
+        geqrf(rt, a)
+        r = simulate(rt.graph, taskbased_config(summit(), 2, 2,
+                                                use_gpu=False),
+                     keep_trace=True)
+        chart = ascii_gantt(r, width=40)
+        lines = chart.splitlines()
+        assert lines[0].startswith("gantt")
+        assert len(lines) == 5  # header + 4 ranks
+        assert all(len(ln) == len(lines[1]) for ln in lines[1:])
+        # Some panel/update letters must appear.
+        body = "".join(lines[1:])
+        assert any(ch in body for ch in "gtu")
+
+    def test_requires_trace(self):
+        from repro.dist import DistMatrix, ProcessGrid
+        from repro.machines import summit
+        from repro.runtime import Runtime, simulate
+        from repro.runtime.scheduler import taskbased_config
+        from repro.runtime.trace import ascii_gantt
+        from repro.tiled import set_zero
+
+        rt = Runtime(ProcessGrid(1, 1), numeric=False)
+        a = DistMatrix(rt, 64, 64, 32)
+        set_zero(rt, a)
+        r = simulate(rt.graph, taskbased_config(summit(), 1, 1,
+                                                use_gpu=False))
+        with pytest.raises(ValueError):
+            ascii_gantt(r)

@@ -1,0 +1,131 @@
+"""Tests for Zolo-PD (the paper's future-work variant)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.zolo import (
+    _partial_fraction_weights,
+    _zolo_scalar,
+    _zolotarev_coefficients,
+    zolo_degree,
+    zolo_pd,
+)
+from repro.matrices import generate_matrix, ill_conditioned, polar_report
+
+
+class TestZolotarevCoefficients:
+    @given(st.floats(1e-15, 0.9), st.integers(1, 8))
+    def test_coefficients_positive_increasing(self, l, r):
+        c, mhat = _zolotarev_coefficients(l, r)
+        assert len(c) == 2 * r
+        assert np.all(c > 0)
+        assert np.all(np.diff(c) > 0)  # c_i increase with i
+        assert mhat > 0
+
+    @given(st.floats(1e-15, 0.9), st.integers(1, 8))
+    def test_z_fixes_one(self, l, r):
+        c, mhat = _zolotarev_coefficients(l, r)
+        assert _zolo_scalar(1.0, c, mhat, r) == pytest.approx(1.0)
+
+    @given(st.floats(1e-12, 0.5), st.integers(1, 8))
+    def test_z_maps_interval_near_unit(self, l, r):
+        """Z maps [l, 1] to a band around 1 and raises the lower bound.
+
+        With the Z(1) = 1 normalization the function *equioscillates*
+        about 1 on [l, 1], so values may exceed 1 by the (tiny)
+        equioscillation amplitude — Nakatsukasa & Freund note this
+        overshoot is harmless for the iteration."""
+        c, mhat = _zolotarev_coefficients(l, r)
+        xs = np.linspace(l, 1.0, 33)
+        ys = [_zolo_scalar(x, c, mhat, r) for x in xs]
+        assert all(0 < y <= 1.0 + 0.05 for y in ys)
+        assert _zolo_scalar(l, c, mhat, r) > l
+
+    def test_tiny_l_no_overflow(self):
+        """l = 1e-16 must not blow up the elliptic integrals."""
+        c, mhat = _zolotarev_coefficients(1e-16, 8)
+        assert np.all(np.isfinite(c)) and np.isfinite(mhat)
+
+    def test_partial_fractions_reproduce_product(self):
+        """1 + sum_j a_j/(x^2+c_odd) == prod (x^2+c_even)/(x^2+c_odd)."""
+        l, r = 1e-4, 4
+        c, _ = _zolotarev_coefficients(l, r)
+        a = _partial_fraction_weights(c, r)
+        for x in [l, 0.01, 0.3, 1.0]:
+            x2 = x * x
+            prod = np.prod([(x2 + c[2 * j + 1]) / (x2 + c[2 * j])
+                            for j in range(r)])
+            pf = 1.0 + sum(a[j] / (x2 + c[2 * j]) for j in range(r))
+            assert pf == pytest.approx(prod, rel=1e-10)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            _zolotarev_coefficients(1.5, 3)
+
+
+class TestZoloDegree:
+    def test_worst_case_needs_degree_eight(self):
+        assert zolo_degree(1e-16) == 8
+
+    def test_mild_case_small_degree(self):
+        assert zolo_degree(0.5) <= 2
+
+    def test_monotone_in_conditioning(self):
+        degs = [zolo_degree(l) for l in [1e-16, 1e-8, 1e-4, 1e-2, 0.5]]
+        assert degs == sorted(degs, reverse=True)
+
+
+class TestZoloPd:
+    def test_ill_conditioned_two_ish_iterations(self):
+        a = ill_conditioned(96, seed=0)
+        r = zolo_pd(a)
+        assert r.iterations <= 3
+        assert r.degree == 8
+        rep = polar_report(a, r.u, r.h)
+        assert rep.orthogonality < 1e-13
+        assert rep.backward < 1e-13
+
+    def test_fewer_iterations_than_qdwh(self):
+        """The whole point: more flops per iteration, fewer iterations,
+        more concurrency (r independent QRs per iteration)."""
+        from repro import qdwh
+        a = ill_conditioned(64, seed=1)
+        rz = zolo_pd(a)
+        rq = qdwh(a)
+        assert rz.iterations < rq.iterations
+        assert rz.concurrent_factorizations >= 8
+
+    @pytest.mark.parametrize("dtype", [np.float64, np.complex128])
+    def test_dtypes(self, dtype):
+        a = generate_matrix(48, cond=1e10, dtype=dtype, seed=2)
+        r = zolo_pd(a)
+        assert r.u.dtype == np.dtype(dtype)
+        assert polar_report(a, r.u, r.h).within(1e-11)
+
+    def test_rectangular(self):
+        a = generate_matrix(60, 32, cond=1e8, seed=3)
+        r = zolo_pd(a)
+        assert polar_report(a, r.u, r.h).within(1e-12)
+
+    def test_explicit_degree(self):
+        a = generate_matrix(32, cond=1e4, seed=4)
+        r = zolo_pd(a, degree=3)
+        assert r.degree == 3
+        assert polar_report(a, r.u, r.h).within(1e-11)
+
+    def test_zero_matrix(self):
+        r = zolo_pd(np.zeros((5, 3)))
+        assert r.iterations == 0
+
+    def test_rejects_wide(self):
+        with pytest.raises(ValueError):
+            zolo_pd(np.ones((3, 5)))
+
+    def test_well_conditioned_few_iterations(self):
+        a = generate_matrix(32, cond=2.0, seed=5)
+        r = zolo_pd(a)
+        assert r.iterations <= 3
+        assert r.degree <= 4
+        assert polar_report(a, r.u, r.h).within(1e-12)
