@@ -3,16 +3,20 @@
 
 Sweeps matrix sizes on the Summit and Frontier machine models and
 prints the Tflop/s series behind Figures 2 and 5, plus the headline
-GPU-vs-ScaLAPACK speedup.  Everything is simulated (see DESIGN.md);
-run the full `pytest benchmarks/ --benchmark-only` harness for the
-complete figure set.
+GPU-vs-ScaLAPACK speedup, then profiles one point with the
+observability subsystem (task timeline + metrics registry) the way
+the paper's profiling campaign would.  Everything is simulated (see
+DESIGN.md); run the full `pytest benchmarks/ --benchmark-only`
+harness for the complete figure set.
 
 Run:  python examples/performance_campaign.py
 """
 
 from repro.bench import format_series, format_table
 from repro.machines import frontier, summit
-from repro.perf import figure_series, speedup_table
+from repro.obs import TimelineSink, ascii_gantt, get_registry, reset_metrics
+from repro.perf import figure_series, simulate_qdwh, speedup_table
+from repro.perf.report import profile_report
 
 
 def main() -> None:
@@ -43,6 +47,23 @@ def main() -> None:
         "max SLATE-GPU / ScaLAPACK speedup",
         ["nodes", "speedup", "at n"],
         [[r["nodes"], round(r["speedup"], 1), r["at_n"]] for r in rows]))
+
+    # Profile one point with the observability subsystem: capture the
+    # full task timeline, print the profiler-style report and Gantt,
+    # and show what the process-wide metrics registry accumulated.
+    print("Profiling the 1-node Summit GPU point (n=40k)...")
+    reset_metrics()
+    sink = TimelineSink()
+    point = simulate_qdwh(summit(), 1, 40_000, "slate_gpu",
+                          max_tiles=10, sink=sink)
+    print(profile_report(point, timeline=sink), end="")
+    print(ascii_gantt(sink, width=64), end="")
+
+    snap = get_registry().snapshot()
+    crow = [[name, f"{val:.6g}"]
+            for name, val in sorted(snap["counters"].items())]
+    print(format_table("metrics registry (counters)",
+                       ["counter", "value"], crow))
 
 
 if __name__ == "__main__":

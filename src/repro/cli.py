@@ -1,10 +1,11 @@
 """Command-line interface.
 
-Three subcommands, mirroring how a downstream user would drive the
-library:
+Subcommands, mirroring how a downstream user would drive the library:
 
 * ``repro polar FILE.npy``      — decompose a matrix from disk.
 * ``repro simulate``            — one performance point on a machine model.
+* ``repro trace``               — simulate a point and export its timeline
+  (Chrome/Perfetto trace, terminal Gantt, metrics snapshot).
 * ``repro sweep``               — a figure-style size sweep.
 * ``repro memory``              — feasibility limits from the footprint model.
 * ``repro validate``            — run the acceptance matrix (paper claims).
@@ -32,20 +33,46 @@ def _machine(name: str):
                          f"expected summit, frontier, or aurora") from None
 
 
+def _dump_metrics(path: str) -> None:
+    import json
+
+    from .obs import get_registry
+
+    with open(path, "w") as fh:
+        json.dump(get_registry().snapshot(), fh, indent=2)
+    print(f"metrics snapshot written to {path}")
+
+
 def cmd_polar(args: argparse.Namespace) -> int:
     from . import polar, polar_report
+    from .obs import IterationLog
 
     a = np.load(args.matrix)
     if a.ndim != 2:
         raise SystemExit(f"{args.matrix} does not hold a matrix")
-    res = polar(a, method=args.method)
+    if args.iter_log and args.method != "qdwh":
+        raise SystemExit("--iter-log requires --method qdwh")
+    log = IterationLog() if args.iter_log else None
+    res = polar(a, method=args.method, iter_log=log)
     rep = polar_report(a, res.u, res.h)
+    if args.metrics_json:
+        from .obs import get_registry
+
+        reg = get_registry()
+        reg.counter(f"polar.runs.{args.method}").inc()
+        reg.counter("polar.iterations").inc(res.iterations)
+        reg.gauge("polar.orthogonality").set(rep.orthogonality)
+        reg.gauge("polar.backward_error").set(rep.backward)
     print(f"method={args.method} iterations={res.iterations}")
     print(f"orthogonality={rep.orthogonality:.3e} "
           f"backward={rep.backward:.3e}")
+    if log is not None:
+        print(log.table(), end="")
     if args.output:
         np.savez(args.output, u=res.u, h=res.h)
         print(f"factors saved to {args.output}")
+    if args.metrics_json:
+        _dump_metrics(args.metrics_json)
     return 0
 
 
@@ -74,6 +101,45 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         path = export_chrome_trace(q.schedule, args.trace)
         print(f"  chrome trace written to {path} "
               "(open in chrome://tracing or Perfetto)")
+    if args.metrics_json:
+        _dump_metrics(args.metrics_json)
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run one simulated point with full timeline capture and export it."""
+    from .obs import (
+        TimelineSink,
+        ascii_gantt,
+        kernel_breakdown,
+        write_chrome_trace,
+    )
+    from .perf import simulate_qdwh
+
+    machine = _machine(args.machine)
+    sink = TimelineSink()
+    p = simulate_qdwh(machine, args.nodes, args.n, args.impl,
+                      cond=args.cond, nb=args.nb,
+                      max_tiles=args.max_tiles, lookahead=args.lookahead,
+                      sink=sink)
+    s = p.schedule
+    print(f"{args.machine} x{args.nodes} nodes, n={args.n}, "
+          f"{args.impl} (nb={p.nb}, sim nb={p.nb_sim})")
+    print(f"  makespan:  {p.makespan:.3f} s | {p.task_count} tasks | "
+          f"{len(sink.transfers)} transfers | {p.tflops:.2f} Tflop/s")
+    stalls = s.stall_seconds or {}
+    print("  stalls:    " + "  ".join(
+        f"{cause}={sec:.3g}s" for cause, sec in sorted(stalls.items())))
+    for kind, _busy, share in kernel_breakdown(sink)[:5]:
+        print(f"    {kind:>8}: {share * 100:5.1f}% of busy time")
+    if args.chrome_trace:
+        path = write_chrome_trace(sink, args.chrome_trace)
+        print(f"  chrome trace written to {path} "
+              "(open in Perfetto or chrome://tracing)")
+    if args.gantt or not args.chrome_trace:
+        print(ascii_gantt(sink, width=args.gantt_width), end="")
+    if args.metrics_json:
+        _dump_metrics(args.metrics_json)
     return 0
 
 
@@ -136,6 +202,10 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["qdwh", "svd", "newton", "newton_scaled",
                             "dwh", "zolo"])
     p.add_argument("--output", help="save factors to this .npz path")
+    p.add_argument("--iter-log", action="store_true",
+                   help="print the per-iteration QDWH telemetry table")
+    p.add_argument("--metrics-json",
+                   help="dump the metrics registry snapshot to this path")
     p.set_defaults(fn=cmd_polar)
 
     p = sub.add_parser("simulate", help="one simulated performance point")
@@ -148,7 +218,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--nb", type=int, default=None)
     p.add_argument("--max-tiles", type=int, default=16)
     p.add_argument("--trace", help="write a chrome://tracing JSON here")
+    p.add_argument("--metrics-json",
+                   help="dump the metrics registry snapshot to this path")
     p.set_defaults(fn=cmd_simulate)
+
+    p = sub.add_parser(
+        "trace", help="simulate a point with full timeline capture")
+    p.add_argument("--machine", default="summit")
+    p.add_argument("--nodes", type=int, default=1)
+    p.add_argument("--n", type=int, default=40_000)
+    p.add_argument("--impl", default="slate_gpu",
+                   choices=["slate_gpu", "slate_cpu", "scalapack"])
+    p.add_argument("--cond", type=float, default=1e16)
+    p.add_argument("--nb", type=int, default=None)
+    p.add_argument("--max-tiles", type=int, default=16)
+    p.add_argument("--lookahead", type=int, default=None,
+                   help="lookahead window (task-based impls)")
+    p.add_argument("--chrome-trace",
+                   help="write a Perfetto-loadable trace_event JSON here")
+    p.add_argument("--gantt", action="store_true",
+                   help="print the terminal Gantt (default when no "
+                        "--chrome-trace is given)")
+    p.add_argument("--gantt-width", type=int, default=72)
+    p.add_argument("--metrics-json",
+                   help="dump the metrics registry snapshot to this path")
+    p.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser("sweep", help="Tflop/s vs size sweep")
     p.add_argument("--machine", default="summit")

@@ -52,9 +52,45 @@ class CommCounters:
             out.bytes[p] = self.bytes[p] + other.bytes[p]
         return out
 
+    def __iadd__(self, other: "CommCounters") -> "CommCounters":
+        """In-place merge (accumulating counters across runs)."""
+        for p in TransferPath:
+            self.messages[p] += other.messages[p]
+            self.bytes[p] += other.bytes[p]
+        return self
+
     def as_dict(self) -> Dict[str, Dict[str, int]]:
         """JSON-friendly view for reports."""
         return {
             "messages": {p.value: v for p, v in self.messages.items() if v},
             "bytes": {p.value: v for p, v in self.bytes.items() if v},
         }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Dict[str, int]]) -> "CommCounters":
+        """Inverse of :meth:`as_dict` (round-trips archived reports)."""
+        out = cls()
+        known = {p.value: p for p in TransferPath}
+        for table_name, table in (("messages", out.messages),
+                                  ("bytes", out.bytes)):
+            for name, value in data.get(table_name, {}).items():
+                path = known.get(name)
+                if path is None:
+                    raise ValueError(f"unknown transfer path {name!r}")
+                table[path] = int(value)
+        return out
+
+    def publish(self, registry, prefix: str = "comm") -> None:
+        """Merge these totals into a metrics registry snapshot.
+
+        Adds ``{prefix}.messages.{path}`` / ``{prefix}.bytes.{path}``
+        counters (only for non-zero paths) to the given
+        :class:`repro.obs.metrics.Registry`.
+        """
+        for p in TransferPath:
+            if self.messages[p]:
+                registry.counter(
+                    f"{prefix}.messages.{p.value}").inc(self.messages[p])
+            if self.bytes[p]:
+                registry.counter(
+                    f"{prefix}.bytes.{p.value}").inc(self.bytes[p])

@@ -6,9 +6,12 @@ baselines so examples/benchmarks can switch algorithms with a string.
 
 from __future__ import annotations
 
-from typing import Union
+from typing import TYPE_CHECKING, Optional, Union
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from ..obs.qdwh_log import IterationLog
 
 from .baselines import (
     PolarResult,
@@ -24,6 +27,7 @@ METHODS = ("qdwh", "svd", "newton", "newton_scaled", "dwh", "zolo")
 
 
 def polar(a: np.ndarray, method: str = "qdwh",
+          iter_log: Optional["IterationLog"] = None,
           **kwargs) -> Union[QdwhResult, PolarResult]:
     """Compute the polar decomposition ``A = U @ H``.
 
@@ -35,6 +39,10 @@ def polar(a: np.ndarray, method: str = "qdwh",
         One of ``"qdwh"`` (the paper's algorithm, default), ``"svd"``,
         ``"newton"``, ``"newton_scaled"``, ``"dwh"``, or ``"zolo"``
         (the future-work Zolotarev variant).
+    iter_log:
+        Optional :class:`repro.obs.qdwh_log.IterationLog` collecting
+        per-iteration telemetry; only the ``"qdwh"`` method supports
+        it (the baselines have no weight recurrence to log).
     **kwargs:
         Forwarded to the chosen implementation (e.g. ``cond_est=`` for
         qdwh, ``max_iter=`` for the iterative baselines).
@@ -43,8 +51,12 @@ def polar(a: np.ndarray, method: str = "qdwh",
     -------
     An object with at least ``.u``, ``.h``, and ``.iterations``.
     """
+    if iter_log is not None and method != "qdwh":
+        raise ValueError(
+            f"iter_log telemetry is only supported for method='qdwh', "
+            f"not {method!r}")
     if method == "qdwh":
-        return qdwh(a, **kwargs)
+        return qdwh(a, iter_log=iter_log, **kwargs)
     if method == "svd":
         return polar_svd(a, **kwargs)
     if method == "newton":

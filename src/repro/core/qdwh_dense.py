@@ -12,10 +12,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 import numpy as np
 import scipy.linalg as sla
+
+if TYPE_CHECKING:
+    from ..obs.qdwh_log import IterationLog
 
 from ..config import (
     QDWH_HARD_ITERATION_CAP,
@@ -125,7 +128,8 @@ def qdwh(a: np.ndarray, *,
          cond_est: Optional[float] = None,
          alpha: Optional[float] = None,
          max_iter: int = QDWH_HARD_ITERATION_CAP,
-         exact_norms: bool = False) -> QdwhResult:
+         exact_norms: bool = False,
+         iter_log: Optional["IterationLog"] = None) -> QdwhResult:
     """QDWH polar decomposition of an m x n matrix (m >= n).
 
     Parameters
@@ -145,6 +149,11 @@ def qdwh(a: np.ndarray, *,
         Use exact ``||A||_2`` and exact ``sigma_min`` instead of the
         estimators (testing aid: isolates iteration behaviour from
         estimator fuzz).
+    iter_log:
+        Optional :class:`repro.obs.qdwh_log.IterationLog`; when given,
+        one telemetry record (variant, weights, convergence, condition
+        estimate, flops) is appended per iteration.  Default off: the
+        return value and signature contract are unchanged.
 
     Returns
     -------
@@ -203,11 +212,14 @@ def qdwh(a: np.ndarray, *,
     it = it_qr = it_chol = 0
     conv_history: List[float] = []
     weight_history: List[tuple] = []
+    if iter_log is not None:
+        iter_log.m, iter_log.n = m, n
 
     # --- Main loop (lines 22-50). ---
     while conv >= inner_tol or abs(li - 1.0) >= weight_tol:
         if it >= max_iter:
             break
+        l_enter = li
         wa, wb, wc, li = dynamical_weights(li)
         prev = ak
         if wc > 100.0:
@@ -220,6 +232,10 @@ def qdwh(a: np.ndarray, *,
         conv_history.append(conv)
         weight_history.append((wa, wb, wc))
         it += 1
+        if iter_log is not None:
+            iter_log.record(variant="qr" if wc > 100.0 else "chol",
+                            a=wa, b=wb, c=wc, L=l_enter, L_next=li,
+                            conv=conv)
 
     converged = conv < inner_tol and abs(li - 1.0) < weight_tol
 

@@ -20,9 +20,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from ..obs.qdwh_log import IterationLog
 
 from ..config import (
     QDWH_HARD_ITERATION_CAP,
@@ -193,7 +196,8 @@ def tiled_qdwh(rt: Runtime, a: DistMatrix, *,
                cond_est: Optional[float] = None,
                max_iter: int = QDWH_HARD_ITERATION_CAP,
                norm2est_sweeps: Optional[int] = None,
-               condest_cycles: Optional[int] = None) -> TiledQdwhResult:
+               condest_cycles: Optional[int] = None,
+               iter_log: Optional["IterationLog"] = None) -> TiledQdwhResult:
     """Algorithm 1 on the tiled substrate.
 
     Parameters
@@ -210,6 +214,10 @@ def tiled_qdwh(rt: Runtime, a: DistMatrix, *,
         the deflation the practical estimator applies.
     norm2est_sweeps / condest_cycles:
         Fixed estimator iteration counts for symbolic runs.
+    iter_log:
+        Optional :class:`repro.obs.qdwh_log.IterationLog`: one record
+        per iteration (variant, weights, convergence).  In symbolic
+        mode the convergence column is NaN (no numeric data flows).
 
     Returns
     -------
@@ -285,6 +293,8 @@ def tiled_qdwh(rt: Runtime, a: DistMatrix, *,
     conv_history: List[float] = []
     it = it_qr = it_chol = 0
     converged = True
+    if iter_log is not None:
+        iter_log.m, iter_log.n = m, n
 
     if rt.numeric:
         li = l0
@@ -295,6 +305,7 @@ def tiled_qdwh(rt: Runtime, a: DistMatrix, *,
             if it >= max_iter:
                 converged = False
                 break
+            l_enter = li
             wa, wb, wc, li = dynamical_weights(li)
             copy(rt, a, prev)
             if wc > 100.0:
@@ -308,6 +319,10 @@ def tiled_qdwh(rt: Runtime, a: DistMatrix, *,
             conv = norm_fro(rt, prev).value
             conv_history.append(conv)
             it += 1
+            if iter_log is not None:
+                iter_log.record(variant="qr" if wc > 100.0 else "chol",
+                                a=wa, b=wb, c=wc, L=l_enter, L_next=li,
+                                conv=conv)
     else:
         schedule: List[QdwhParams] = parameter_schedule(l0, dtype=dt,
                                                         max_iter=max_iter)
@@ -325,6 +340,9 @@ def tiled_qdwh(rt: Runtime, a: DistMatrix, *,
             add(rt, 1.0, a, -1.0, prev)
             norm_fro(rt, prev)
             it += 1
+            if iter_log is not None:
+                iter_log.record(variant="qr" if p.use_qr else "chol",
+                                a=p.a, b=p.b, c=p.c, L=p.L, L_next=p.L_next)
 
     # --- H = U^H A, symmetrized (line 52). ---
     rt.advance_phase()

@@ -1,0 +1,68 @@
+"""Observability: task timelines, trace exporters, metrics, telemetry.
+
+The subsystem every performance claim in this repo reports through:
+
+* :mod:`.timeline` — :class:`TraceSink` / :class:`TimelineSink`: the
+  scheduler's structured event stream (tasks, transfers, barriers,
+  lookahead-gate stalls).  Opt-in; zero overhead when detached.
+* :mod:`.export` — Chrome ``trace_event`` JSON (Perfetto /
+  ``chrome://tracing``) and a terminal ASCII Gantt, plus the shared
+  post-mortem aggregates (kernel breakdown, rank utilization).
+* :mod:`.metrics` — a tiny process-wide registry (Counter / Gauge /
+  Histogram) the scheduler, eager runtime, and comm layer publish to.
+* :mod:`.qdwh_log` — per-iteration QDWH telemetry (variant, weights,
+  convergence, condition estimate, flops).
+"""
+
+from .export import (
+    ascii_gantt,
+    chrome_trace,
+    kernel_breakdown,
+    rank_utilization,
+    write_chrome_trace,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    Registry,
+    get_registry,
+    reset_metrics,
+)
+from .qdwh_log import IterationLog, IterationRecord
+from .timeline import (
+    STALL_DEPENDENCY,
+    STALL_GATE,
+    STALL_LINK,
+    BarrierEvent,
+    StallEvent,
+    TaskEvent,
+    TimelineSink,
+    TraceSink,
+    TransferEvent,
+)
+
+__all__ = [
+    "ascii_gantt",
+    "chrome_trace",
+    "kernel_breakdown",
+    "rank_utilization",
+    "write_chrome_trace",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Registry",
+    "get_registry",
+    "reset_metrics",
+    "IterationLog",
+    "IterationRecord",
+    "STALL_DEPENDENCY",
+    "STALL_GATE",
+    "STALL_LINK",
+    "BarrierEvent",
+    "StallEvent",
+    "TaskEvent",
+    "TimelineSink",
+    "TraceSink",
+    "TransferEvent",
+]

@@ -1,0 +1,160 @@
+"""A tiny process-wide metrics registry (Prometheus-flavoured).
+
+Three instrument types — :class:`Counter` (monotone adds),
+:class:`Gauge` (last value wins), :class:`Histogram` (fixed buckets) —
+registered by name in a :class:`Registry`.  The scheduler, the eager
+runtime, and the communication layer publish here; ``snapshot()``
+turns the whole registry into a JSON-friendly dict (the CLI's
+``--metrics-json``).
+
+The default registry is process-wide so independent layers aggregate
+into one view without plumbing a handle through every call; tests and
+repeated campaigns call :func:`reset_metrics` between runs.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence, Union
+
+Number = Union[int, float]
+
+#: Default histogram buckets: task/stall durations in seconds, log-ish.
+DEFAULT_BUCKETS = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0)
+
+
+class Counter:
+    """Monotonically increasing value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def inc(self, amount: Number = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease "
+                             f"(inc({amount}))")
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+
+class Gauge:
+    """Point-in-time value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: Number) -> None:
+        self.value = float(value)
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+
+class Histogram:
+    """Fixed-bucket histogram: counts of observations <= each bound.
+
+    ``counts[i]`` counts observations in ``(bounds[i-1], bounds[i]]``;
+    the final slot is the +Inf overflow bucket.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "sum", "count")
+
+    def __init__(self, name: str,
+                 buckets: Sequence[Number] = DEFAULT_BUCKETS) -> None:
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError("histogram buckets must be a sorted, "
+                             "non-empty sequence")
+        self.name = name
+        self.bounds: List[float] = [float(b) for b in buckets]
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.sum: float = 0.0
+        self.count: int = 0
+
+    def observe(self, value: Number) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def reset(self) -> None:
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def as_dict(self) -> Dict[str, object]:
+        buckets = {f"le_{b:g}": c for b, c in zip(self.bounds, self.counts)}
+        buckets["le_inf"] = self.counts[-1]
+        return {"buckets": buckets, "sum": self.sum, "count": self.count}
+
+
+class Registry:
+    """Name -> instrument table with get-or-create semantics."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            self._check_free(name, self._counters)
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            self._check_free(name, self._gauges)
+            g = self._gauges[name] = Gauge(name)
+        return g
+
+    def histogram(self, name: str,
+                  buckets: Sequence[Number] = DEFAULT_BUCKETS) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            self._check_free(name, self._histograms)
+            h = self._histograms[name] = Histogram(name, buckets)
+        return h
+
+    def _check_free(self, name: str, own: Dict) -> None:
+        for table in (self._counters, self._gauges, self._histograms):
+            if table is not own and name in table:
+                raise ValueError(
+                    f"metric {name!r} already registered as a different type")
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """JSON-friendly view of every registered instrument."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {n: h.as_dict()
+                           for n, h in sorted(self._histograms.items())},
+        }
+
+    def reset(self) -> None:
+        """Zero every instrument (registrations are kept)."""
+        for table in (self._counters, self._gauges, self._histograms):
+            for inst in table.values():
+                inst.reset()
+
+
+#: The process-wide default registry.
+_DEFAULT = Registry()
+
+
+def get_registry() -> Registry:
+    """The process-wide registry every built-in instrument publishes to."""
+    return _DEFAULT
+
+
+def reset_metrics(registry: Optional[Registry] = None) -> None:
+    """Zero the (default) registry between runs/campaigns."""
+    (registry or _DEFAULT).reset()

@@ -1,0 +1,111 @@
+"""Per-iteration QDWH telemetry (the paper's Table-1 analogue).
+
+An :class:`IterationLog` is passed opt-in to :func:`repro.core.qdwh`,
+:func:`repro.core.tiled_qdwh.tiled_qdwh`, or :func:`repro.core.polar`;
+the driver appends one :class:`IterationRecord` per iteration —
+variant taken (QR vs Cholesky), dynamical weights, convergence
+criterion value, the lower-bound trajectory (hence an estimated
+condition number of the iterate), and cumulative flops — without
+changing the driver's signature contract (same returns, zero records
+when no log is attached).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+from .. import flops as F
+
+VARIANT_QR = "qr"
+VARIANT_CHOL = "chol"
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """Telemetry of one QDWH iteration."""
+
+    k: int               # iteration index, 1-based
+    variant: str         # VARIANT_QR | VARIANT_CHOL
+    a: float             # dynamical weights of this iteration
+    b: float
+    c: float
+    L: float             # lower bound entering the iteration
+    L_next: float        # lower bound after the iteration
+    conv: float          # ||A_k - A_{k-1}||_F (nan if not measured)
+    flops: float         # flops of this iteration (paper's formulas)
+    flops_total: float   # cumulative flops through this iteration
+
+    @property
+    def cond_est(self) -> float:
+        """Estimated cond_2 of the iterate entering this iteration.
+
+        The scaled iterate has singular values in [L, 1], so 1/L bounds
+        its condition number from above.
+        """
+        return 1.0 / self.L if self.L > 0.0 else math.inf
+
+
+class IterationLog:
+    """Collects :class:`IterationRecord` objects from a QDWH driver."""
+
+    def __init__(self) -> None:
+        self.records: List[IterationRecord] = []
+        #: Matrix shape, filled by the driver (flops accounting).
+        self.m: int = 0
+        self.n: int = 0
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    @property
+    def it_qr(self) -> int:
+        return sum(1 for r in self.records if r.variant == VARIANT_QR)
+
+    @property
+    def it_chol(self) -> int:
+        return sum(1 for r in self.records if r.variant == VARIANT_CHOL)
+
+    @property
+    def total_flops(self) -> float:
+        return self.records[-1].flops_total if self.records else 0.0
+
+    def record(self, *, variant: str, a: float, b: float, c: float,
+               L: float, L_next: float, conv: float = math.nan) -> None:
+        """Append one iteration (drivers call this; k auto-increments)."""
+        flops = (F.qdwh_qr_iteration(self.m, self.n)
+                 if variant == VARIANT_QR
+                 else F.qdwh_chol_iteration(self.m, self.n))
+        self.records.append(IterationRecord(
+            k=len(self.records) + 1, variant=variant, a=a, b=b, c=c,
+            L=L, L_next=L_next, conv=conv, flops=flops,
+            flops_total=self.total_flops + flops))
+
+    def as_dicts(self) -> List[Dict[str, float]]:
+        """JSON-friendly rows."""
+        return [{
+            "k": r.k, "variant": r.variant, "a": r.a, "b": r.b, "c": r.c,
+            "L": r.L, "L_next": r.L_next, "conv": r.conv,
+            "cond_est": r.cond_est, "flops": r.flops,
+            "flops_total": r.flops_total,
+        } for r in self.records]
+
+    def table(self) -> str:
+        """Render the log as the paper's per-iteration table."""
+        head = (f"QDWH iterations ({self.m} x {self.n}): "
+                f"{self.it_qr} QR + {self.it_chol} Cholesky")
+        rows = [head,
+                "  k  | var  |          a |          b |          c |"
+                "      conv |  cond est |  Gflop cum",
+                "-" * 92]
+        for r in self.records:
+            conv = f"{r.conv:10.3e}" if math.isfinite(r.conv) else "       n/a"
+            rows.append(
+                f"  {r.k:<3}| {r.variant:<5}| {r.a:10.4g} | {r.b:10.4g} | "
+                f"{r.c:10.4g} |{conv} | {r.cond_est:9.3e} | "
+                f"{r.flops_total / 1e9:10.2f}")
+        return "\n".join(rows) + "\n"

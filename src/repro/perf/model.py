@@ -136,8 +136,14 @@ def simulate_qdwh(machine: MachineModel, nodes: int, n: int, impl: str, *,
                   lookahead: Optional[int] = None,
                   m: Optional[int] = None,
                   dtype=np.float64,
-                  keep_trace: bool = False) -> PerfPoint:
-    """Simulate one (machine, nodes, n, implementation) data point."""
+                  keep_trace: bool = False,
+                  sink=None) -> PerfPoint:
+    """Simulate one (machine, nodes, n, implementation) data point.
+
+    ``sink`` is forwarded to :func:`repro.runtime.scheduler.simulate`
+    (a :class:`repro.obs.timeline.TraceSink` capturing the full task
+    timeline); leave ``None`` for an untraced run.
+    """
     try:
         settings = IMPLEMENTATIONS[machine.name][impl]
     except KeyError:
@@ -166,7 +172,7 @@ def simulate_qdwh(machine: MachineModel, nodes: int, n: int, impl: str, *,
     else:
         cfg = taskbased_config(machine, nodes, rpn, use_gpu=use_gpu,
                                lookahead=lookahead)
-    sched = simulate(graph, cfg, keep_trace=keep_trace)
+    sched = simulate(graph, cfg, keep_trace=keep_trace, sink=sink)
     from ..config import is_complex
     model_flops = F.qdwh_total(n, it_qr, it_chol, m=mm)
     if is_complex(dtype):

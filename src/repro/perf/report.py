@@ -3,20 +3,32 @@ performance benchmarking and profiling campaigns").
 
 Turns one :class:`~repro.perf.model.PerfPoint` into the breakdowns an
 HPC profiler would show: per-kernel busy shares, communication volume
-by path, rank utilization, and the critical-path composition.
+by path, rank utilization, stall attribution, and the critical-path
+composition.  Aggregations come from :mod:`repro.obs.export` — the
+observability subsystem is the single source of truth — and a run
+traced with a :class:`repro.obs.timeline.TimelineSink` can be passed
+in to extend the report with timeline-level detail.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from ..bench.tables import format_table
-from ..runtime.trace import kernel_breakdown, rank_utilization
+from ..obs.export import kernel_breakdown, rank_utilization
+from ..obs.timeline import TimelineSink
 from .model import PerfPoint
 
 
-def profile_report(point: PerfPoint) -> str:
-    """A multi-section text report for one simulated run."""
+def profile_report(point: PerfPoint,
+                   timeline: Optional[TimelineSink] = None) -> str:
+    """A multi-section text report for one simulated run.
+
+    ``timeline`` is an optional sink that captured the same run
+    (``simulate_qdwh(..., sink=sink)``); when given, the report adds
+    transfer-volume and slot-level sections only the full task
+    timeline can provide.
+    """
     s = point.schedule
     lines: List[str] = []
     lines.append(
@@ -37,7 +49,15 @@ def profile_report(point: PerfPoint) -> str:
     lines.append(
         f"rank utilization: min {util['min']:.2f} / mean "
         f"{util['mean']:.2f} / max {util['max']:.2f} "
-        "(busy-slot-seconds over makespan)")
+        "(busy fraction per execution slot; 1.0 = always busy)")
+
+    stalls = s.stall_seconds or {}
+    if any(sec > 0.0 for sec in stalls.values()):
+        srow = [[cause, f"{sec:.3g}"]
+                for cause, sec in sorted(stalls.items(),
+                                         key=lambda r: -r[1])]
+        lines.append(format_table("slot stall time",
+                                  ["cause", "seconds"], srow))
 
     comm = s.comm.as_dict()
     crow = [[path, f"{b / 1e9:.2f}"]
@@ -50,4 +70,16 @@ def profile_report(point: PerfPoint) -> str:
     lines.append(
         f"critical path: {s.critical_path:.2f} s "
         f"({s.critical_path / point.makespan * 100:.0f}% of makespan)")
+
+    if timeline is not None and len(timeline):
+        trow = [[leg, f"{b / 1e9:.2f}"]
+                for leg, b in sorted(timeline.transfer_bytes().items())]
+        if trow:
+            lines.append(format_table("timeline transfer volume",
+                                      ["leg", "GB"], trow))
+        lines.append(
+            f"timeline: {len(timeline.tasks)} task events on "
+            f"{len(timeline.slots())} distinct slots, "
+            f"{len(timeline.transfers)} transfers, "
+            f"{len(timeline.barriers)} barriers")
     return "\n".join(lines) + "\n"

@@ -54,6 +54,9 @@ class Runtime:
         #: pseudo-matrix id for scalar results (reductions).
         self.scalar_mat = self.new_matrix_id()
         self._scalar_ids = itertools.count()
+        #: Cached metric counters for eager kernel invocations
+        #: (kind -> Counter in the process-wide registry).
+        self._kernel_counters: dict = {}
 
     # ------------------------------------------------------------------
     # Identifiers and phases
@@ -130,6 +133,13 @@ class Runtime:
             self.graph.add(task)
         if self.numeric and fn is not None:
             fn()
+            counter = self._kernel_counters.get(kind)
+            if counter is None:
+                from ..obs.metrics import get_registry
+                counter = get_registry().counter(
+                    f"kernel.invocations.{kind.value}")
+                self._kernel_counters[kind] = counter
+            counter.inc()
         return task
 
     def register_tiles(self, refs: Iterable[TileRef], nbytes_each: int,

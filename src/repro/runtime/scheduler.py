@@ -26,11 +26,21 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from ..comm.counters import CommCounters
 from ..comm.network import TransferPath
+from ..obs.timeline import (
+    STALL_DEPENDENCY,
+    STALL_GATE,
+    STALL_LINK,
+    BarrierEvent,
+    StallEvent,
+    TaskEvent,
+    TransferEvent,
+)
 from .graph import TaskGraph
 from .task import PANEL_KINDS, Task
 
 if TYPE_CHECKING:  # machines imports runtime.task; avoid the cycle
     from ..machines.machine import MachineModel
+    from ..obs.timeline import TraceSink
 
 
 @dataclass(frozen=True)
@@ -73,6 +83,11 @@ class ScheduleResult:
     finish_times: Optional[List[float]] = None
     kinds: Optional[List[str]] = None
     ranks: Optional[List[int]] = None
+    #: Execution slots each rank exposed (cores + GPUs, or the two
+    #: aggregated gang slots); normalizes busy time to true utilization.
+    slots_per_rank: int = 1
+    #: Scheduler-attributed stall seconds by cause (summed over slots).
+    stall_seconds: Optional[Dict[str, float]] = None
 
     @property
     def gflops(self) -> float:
@@ -91,7 +106,10 @@ class _Pool:
     __slots__ = ("free",)
 
     def __init__(self, slots: int) -> None:
-        self.free: List[float] = [0.0] * slots  # heap of slot-free times
+        # Heap of (slot-free time, slot index); the index identifies
+        # the core/GPU for timeline capture and breaks ties
+        # deterministically without changing any completion time.
+        self.free: List[Tuple[float, int]] = [(0.0, i) for i in range(slots)]
         heapq.heapify(self.free)
 
 
@@ -103,10 +121,16 @@ def _duration(task: Task, cfg: RunConfig, on_gpu: bool,
 
 
 def simulate(graph: TaskGraph, cfg: RunConfig, *,
-             keep_trace: bool = False) -> ScheduleResult:
+             keep_trace: bool = False,
+             sink: Optional["TraceSink"] = None) -> ScheduleResult:
     """Simulate the DAG on the machine; returns makespan and breakdowns.
 
     Task ranks in the graph must be < cfg.total_ranks.
+
+    ``sink`` (a :class:`repro.obs.timeline.TraceSink`) receives a
+    structured event for every task execution, tile transfer, barrier,
+    and lookahead-gate stall.  Every emit site is guarded, so a run
+    with ``sink=None`` records nothing and pays nothing.
     """
     tasks = graph.tasks
     n_tasks = len(tasks)
@@ -223,6 +247,10 @@ def simulate(graph: TaskGraph, cfg: RunConfig, *,
                 beg = max(arrival, stage_free[dst])
                 stage_free[dst] = beg + dur
                 comm.record(path, nbytes)
+                if sink is not None:
+                    sink.on_transfer(TransferEvent(
+                        src=dst, dst=dst, nbytes=nbytes, leg=path.value,
+                        start=beg, end=beg + dur))
                 arrival = beg + dur
             elif dst == src:
                 arrival = holders[dst]
@@ -245,6 +273,10 @@ def simulate(graph: TaskGraph, cfg: RunConfig, *,
         path = (TransferPath.INTRA_NODE if same_node
                 else TransferPath.INTER_NODE)
         comm.record(path, nbytes)
+        if sink is not None:
+            sink.on_transfer(TransferEvent(
+                src=best_src, dst=dst, nbytes=nbytes, leg=path.value,
+                start=best_beg, end=best_beg + dur))
         if not same_node and not net.nic_on_gpu:
             if src_gpu:
                 comm.record(TransferPath.D2H, nbytes)
@@ -274,6 +306,11 @@ def simulate(graph: TaskGraph, cfg: RunConfig, *,
                 beg = max(arrival, stage_free[dst])
                 stage_free[dst] = beg + dur
                 comm.record(TransferPath.H2D, nbytes)
+                if sink is not None:
+                    sink.on_transfer(TransferEvent(
+                        src=dst, dst=dst, nbytes=nbytes,
+                        leg=TransferPath.H2D.value,
+                        start=beg, end=beg + dur))
                 arrival = beg + dur
             cold_cache[key] = arrival
             return arrival
@@ -289,8 +326,13 @@ def simulate(graph: TaskGraph, cfg: RunConfig, *,
             nbytes, same_node, src_on_gpu=False, dst_on_gpu=t_gpu)
         send_free[best_src] = best_beg + dur
         recv_free[dst] = best_beg + dur
-        comm.record(TransferPath.INTRA_NODE if same_node
-                    else TransferPath.INTER_NODE, nbytes)
+        path = (TransferPath.INTRA_NODE if same_node
+                else TransferPath.INTER_NODE)
+        comm.record(path, nbytes)
+        if sink is not None:
+            sink.on_transfer(TransferEvent(
+                src=best_src, dst=dst, nbytes=nbytes, leg=path.value,
+                start=best_beg, end=best_beg + dur))
         if not same_node and t_gpu and not net.nic_on_gpu:
             comm.record(TransferPath.H2D, nbytes)
         arrival = best_beg + dur
@@ -301,13 +343,20 @@ def simulate(graph: TaskGraph, cfg: RunConfig, *,
     # Event queue of task completions.
     events: List[Tuple[float, int]] = []
 
+    # Stall accounting (scheduler-attributed idle time, by cause).
+    stall_acc = {STALL_DEPENDENCY: 0.0, STALL_LINK: 0.0, STALL_GATE: 0.0}
+    park_time: Dict[int, float] = {}
+
     def dispatch(tid: int) -> None:
         """Assign a ready-and-eligible task to a slot; create its event."""
         t = tasks[tid]
         t_gpu = on_gpu[tid]
         pool = (gpu_pools[t.rank] if t_gpu else cpu_pools[t.rank])  # type: ignore[index]
-        data_ready = barrier_floor
+        dep_ready = barrier_floor  # producers done (no transfer cost)
+        data_ready = barrier_floor  # producers done AND data arrived
         for d in t.deps:
+            if finish[d] > dep_ready:
+                dep_ready = finish[d]
             arr = transfer_in(tasks[d], t, t_gpu)
             if arr > data_ready:
                 data_ready = arr
@@ -315,25 +364,42 @@ def simulate(graph: TaskGraph, cfg: RunConfig, *,
             arr = cold_transfer(ref, t, t_gpu)
             if arr > data_ready:
                 data_ready = arr
-        slot_free = heapq.heappop(pool.free)
+        slot_free, slot_idx = heapq.heappop(pool.free)
         beg = max(data_ready, slot_free)
+        if beg > slot_free:
+            # The slot sat idle: time past the producers' completion
+            # was spent on the wire (link busy / transfer latency), the
+            # rest waiting on the dependencies themselves.
+            idle = beg - slot_free
+            link = data_ready - dep_ready
+            if link > idle:
+                link = idle
+            stall_acc[STALL_LINK] += link
+            stall_acc[STALL_DEPENDENCY] += idle - link
         dur = _duration(t, cfg, t_gpu, res.cores,
                         gpu_gang if t_gpu else cpu_gang)
         end = beg + dur
-        heapq.heappush(pool.free, end)
+        heapq.heappush(pool.free, (end, slot_idx))
         finish[tid] = end
         if start is not None:
             start[tid] = beg
         per_kind_busy[t.kind.value] = per_kind_busy.get(t.kind.value, 0.0) + dur
         per_rank_busy[t.rank] += dur
+        if sink is not None:
+            sink.on_task(TaskEvent(
+                tid=tid, kind=t.kind.value, rank=t.rank,
+                slot=f"gpu{slot_idx}" if t_gpu else f"cpu{slot_idx}",
+                phase=t.phase, flops=t.flops, start=beg, end=end,
+                duration=dur, label=t.label))
         heapq.heappush(events, (end, tid))
 
-    def make_eligible(tid: int) -> None:
+    def make_eligible(tid: int, now: float = 0.0) -> None:
         t = tasks[tid]
         if window_ok(t):
             dispatch(tid)
         else:
             parked.setdefault(gate[tid], []).append(tid)
+            park_time[tid] = now
 
     # Seed: all zero-indegree tasks.
     for t in tasks:
@@ -358,17 +424,27 @@ def simulate(graph: TaskGraph, cfg: RunConfig, *,
                 from ..comm.collectives import barrier_time
                 barrier_floor = max(barrier_floor,
                                     now + barrier_time(net, ranks))
+                if sink is not None:
+                    sink.on_barrier(BarrierEvent(
+                        time=now, until=barrier_floor,
+                        phase=completed_prefix))
             completed_prefix += 1
             if cfg.lookahead is not None:
                 release_upto = completed_prefix + cfg.lookahead
                 for ph in list(parked.keys()):
                     if ph <= release_upto:
                         for ptid in parked.pop(ph):
+                            gated_since = park_time.pop(ptid, now)
+                            stall_acc[STALL_GATE] += now - gated_since
+                            if sink is not None:
+                                sink.on_stall(StallEvent(
+                                    tid=ptid, cause=STALL_GATE,
+                                    start=gated_since, end=now))
                             dispatch(ptid)
         for s in succ[tid]:
             indeg[s] -= 1
             if indeg[s] == 0:
-                make_eligible(s)
+                make_eligible(s, now)
 
     if completed != n_tasks:
         raise RuntimeError(
@@ -378,6 +454,24 @@ def simulate(graph: TaskGraph, cfg: RunConfig, *,
     crit = graph.critical_path_seconds(
         lambda t: _duration(t, cfg, on_gpu[t.tid], res.cores,
                             gpu_gang if on_gpu[t.tid] else cpu_gang))
+
+    slots_per_rank = ((1 if ganged else res.cores)
+                      + ((1 if ganged else res.gpus) if gpu_pools else 0))
+
+    # Publish aggregate run metrics to the process-wide registry (one
+    # O(1) batch at the end; the hot loop stays uninstrumented).
+    from ..obs.metrics import get_registry
+    reg = get_registry()
+    reg.counter("scheduler.simulations").inc()
+    reg.counter("scheduler.tasks_executed").inc(n_tasks)
+    for cause, sec in stall_acc.items():
+        reg.counter(f"scheduler.stall_seconds.{cause}").inc(sec)
+    reg.gauge("scheduler.makespan_seconds").set(makespan)
+    comm.publish(reg)
+    if sink is not None:
+        hist = reg.histogram("scheduler.task_seconds")
+        for ev in getattr(sink, "tasks", ()):
+            hist.observe(ev.duration)
 
     return ScheduleResult(
         makespan=makespan,
@@ -392,6 +486,8 @@ def simulate(graph: TaskGraph, cfg: RunConfig, *,
         finish_times=list(finish) if keep_trace else None,
         kinds=[t.kind.value for t in tasks] if keep_trace else None,
         ranks=[t.rank for t in tasks] if keep_trace else None,
+        slots_per_rank=slots_per_rank,
+        stall_seconds=dict(stall_acc),
     )
 
 

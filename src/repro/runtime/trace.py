@@ -1,41 +1,39 @@
 """Post-mortem analysis of a simulated schedule (the paper's profiling
 campaign analogue): per-kernel time breakdowns, rank utilization, and
 critical-path composition.
+
+The aggregate views (:func:`kernel_breakdown`,
+:func:`rank_utilization`) are thin wrappers over
+:mod:`repro.obs.export` — the observability subsystem is the single
+source of truth for them; full task-timeline capture and the richer
+exporters also live there.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
+from ..obs import export as _obs_export
 from .graph import TaskGraph
 from .scheduler import ScheduleResult
 
 
 def kernel_breakdown(result: ScheduleResult) -> List[Tuple[str, float, float]]:
     """(kind, busy seconds, share of total busy time), sorted descending."""
-    total = sum(result.per_kind_busy.values())
-    if total == 0.0:
-        return []
-    rows = [(k, v, v / total) for k, v in result.per_kind_busy.items()]
-    rows.sort(key=lambda r: -r[1])
-    return rows
+    return _obs_export.kernel_breakdown(result)
 
 
-def rank_utilization(result: ScheduleResult) -> Dict[str, float]:
+def rank_utilization(result: ScheduleResult,
+                     normalize: bool = True) -> Dict[str, float]:
     """min/mean/max busy fraction over ranks (1.0 = always busy).
 
-    Note: busy time aggregates all slots of a rank, so the fraction is
-    relative to makespan * slots; we report the per-rank busy-seconds
-    normalized by makespan, which can exceed 1 for multi-slot ranks.
+    Busy time aggregates all slots of a rank; with ``normalize=True``
+    (default) it is divided by ``makespan * slots_per_rank``, giving a
+    true utilization in [0, 1].  ``normalize=False`` restores the
+    legacy busy-over-makespan view, which can exceed 1 for multi-slot
+    ranks.
     """
-    if result.makespan == 0.0 or not result.per_rank_busy:
-        return {"min": 0.0, "mean": 0.0, "max": 0.0}
-    fracs = [b / result.makespan for b in result.per_rank_busy]
-    return {
-        "min": min(fracs),
-        "mean": sum(fracs) / len(fracs),
-        "max": max(fracs),
-    }
+    return _obs_export.rank_utilization(result, normalize=normalize)
 
 
 def critical_path_kinds(graph: TaskGraph, duration) -> List[Tuple[str, float]]:

@@ -1,0 +1,196 @@
+"""Tests for the trace exporters and shared aggregates (repro.obs.export)."""
+
+import json
+
+import pytest
+
+from repro.dist import DistMatrix, ProcessGrid
+from repro.machines import summit
+from repro.obs import TimelineSink, chrome_trace, write_chrome_trace
+from repro.obs.export import (
+    GPU_TID_BASE,
+    _kind_symbols,
+    _slot_tid,
+    ascii_gantt,
+    gantt_and_legend,
+    kernel_breakdown,
+    rank_utilization,
+)
+from repro.obs.timeline import TaskEvent, TransferEvent
+from repro.runtime import Runtime, simulate
+from repro.runtime.scheduler import forkjoin_config, taskbased_config
+from repro.tiled import geqrf
+
+
+def captured_run(use_gpu=True, forkjoin=False, lookahead=None):
+    rt = Runtime(ProcessGrid(2, 2), numeric=False)
+    a = DistMatrix(rt, 1024, 512, 128)
+    geqrf(rt, a)
+    if forkjoin:
+        cfg = forkjoin_config(summit(), 2, 2, use_gpu=use_gpu)
+    else:
+        cfg = taskbased_config(summit(), 2, 2, use_gpu=use_gpu,
+                               lookahead=lookahead)
+    sink = TimelineSink()
+    result = simulate(rt.graph, cfg, sink=sink)
+    return sink, result
+
+
+class TestChromeTrace:
+    def test_schema(self):
+        sink, _ = captured_run()
+        doc = chrome_trace(sink)
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        for ev in doc["traceEvents"]:
+            assert ev["ph"] in ("X", "M", "C")
+            assert "pid" in ev and "name" in ev
+            if ev["ph"] == "X":
+                assert ev["ts"] >= 0.0
+                assert ev["dur"] >= 0.0
+                assert "tid" in ev
+            if ev["ph"] == "C":
+                assert "args" in ev
+
+    def test_task_events_complete(self):
+        sink, result = captured_run()
+        doc = chrome_trace(sink)
+        tasks = [e for e in doc["traceEvents"]
+                 if e["ph"] == "X" and e.get("cat") not in ("barrier",
+                                                            "stall")]
+        assert len(tasks) == result.task_count
+
+    def test_per_pid_durations_match_per_rank_busy(self):
+        """The acceptance criterion: summed dur/1e6 == per_rank_busy."""
+        sink, result = captured_run()
+        doc = chrome_trace(sink)
+        busy = {}
+        for ev in doc["traceEvents"]:
+            if ev["ph"] == "X" and ev.get("cat") not in ("barrier", "stall"):
+                busy[ev["pid"]] = busy.get(ev["pid"], 0.0) + ev["dur"] / 1e6
+        for rank, expect in enumerate(result.per_rank_busy):
+            assert busy.get(rank, 0.0) == pytest.approx(expect, abs=1e-9)
+
+    def test_process_and_thread_metadata(self):
+        sink, _ = captured_run()
+        doc = chrome_trace(sink)
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        procs = {e["pid"] for e in meta if e["name"] == "process_name"}
+        assert {t.rank for t in sink.tasks} <= procs
+        threads = {(e["pid"], e["tid"]) for e in meta
+                   if e["name"] == "thread_name"}
+        assert len(threads) == len(sink.slots())
+
+    def test_counter_events_balance(self):
+        """In-flight counters rise and fall back to zero."""
+        sink, _ = captured_run()
+        assert sink.transfers, "expected transfers in a 4-rank run"
+        doc = chrome_trace(sink)
+        counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        assert counters
+        assert all(v >= 0 for e in counters for v in e["args"].values())
+        assert all(v == 0 for v in counters[-1]["args"].values())
+
+    def test_barrier_events_in_forkjoin(self):
+        sink, _ = captured_run(use_gpu=False, forkjoin=True)
+        doc = chrome_trace(sink)
+        assert [e for e in doc["traceEvents"] if e.get("cat") == "barrier"]
+
+    def test_json_round_trip(self, tmp_path):
+        sink, _ = captured_run()
+        path = str(tmp_path / "trace.json")
+        assert write_chrome_trace(sink, path) == path
+        with open(path) as fh:
+            doc = json.load(fh)
+        assert doc["traceEvents"]
+        assert doc == json.loads(json.dumps(chrome_trace(sink)))
+
+    def test_slot_tid_mapping(self):
+        assert _slot_tid("cpu0") == 0
+        assert _slot_tid("cpu17") == 17
+        assert _slot_tid("gpu0") == GPU_TID_BASE
+        assert _slot_tid("gpu5") == GPU_TID_BASE + 5
+
+    def test_empty_timeline(self):
+        doc = chrome_trace(TimelineSink())
+        tasks = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert tasks == []
+
+
+class TestAsciiGantt:
+    def test_golden_small_timeline(self):
+        """A hand-built two-rank timeline renders deterministically."""
+        sink = TimelineSink()
+        for tid, (rank, kind, beg, dur) in enumerate([
+                (0, "geqrt", 0.0, 4.0),
+                (0, "gemm", 4.0, 4.0),
+                (1, "gemm", 0.0, 8.0)]):
+            sink.on_task(TaskEvent(
+                tid=tid, kind=kind, rank=rank, slot="cpu0", phase=0,
+                flops=1.0, start=beg, end=beg + dur, duration=dur))
+        out = ascii_gantt(sink, width=8)
+        lines = out.splitlines()
+        assert lines[0] == "gantt: 8 s captured span, 2 of 2 ranks, 3 tasks"
+        assert lines[1] == "r0   |eeeegggg| 100.0%"
+        assert lines[2] == "r1   |gggggggg| 100.0%"
+        assert lines[3] == "legend: g=gemm  e=geqrt  .=idle"
+
+    def test_idle_buckets_render_dots(self):
+        sink = TimelineSink()
+        sink.on_task(TaskEvent(tid=0, kind="gemm", rank=0, slot="cpu0",
+                               phase=0, flops=1.0, start=6.0, end=8.0,
+                               duration=2.0))
+        out = ascii_gantt(sink, width=8)
+        assert "|......gg|" in out.replace(" ", " ")
+
+    def test_renders_real_run(self):
+        sink, result = captured_run()
+        out = ascii_gantt(sink, width=40)
+        lines = out.splitlines()
+        # header + one strip per rank + legend (+ optional stalls line)
+        n_ranks = len({t.rank for t in sink.tasks})
+        assert len(lines) in (2 + n_ranks, 3 + n_ranks)
+        assert lines[0].startswith("gantt:")
+        assert any(line.startswith("legend:") for line in lines)
+
+    def test_utilization_margin_bounded(self):
+        sink, _ = captured_run()
+        for line in ascii_gantt(sink, width=40).splitlines():
+            if line.startswith("r") and "|" in line:
+                pct = float(line.rsplit("|", 1)[1].rstrip("%"))
+                assert 0.0 <= pct <= 100.0 + 1e-9
+
+    def test_empty_timeline(self):
+        assert ascii_gantt(TimelineSink()) == "gantt: empty timeline\n"
+        assert gantt_and_legend(TimelineSink()) is None
+
+    def test_kind_symbols_distinct(self):
+        kinds = ["gemm", "geqrt", "gemv", "tpqrt", "tpmqrt", "trsm"]
+        symbols = _kind_symbols(kinds)
+        assert len(set(symbols.values())) == len(kinds)
+
+
+class TestAggregates:
+    def test_kernel_breakdown_from_sink_and_result(self):
+        sink, result = captured_run()
+        from_sink = kernel_breakdown(sink)
+        from_result = kernel_breakdown(result)
+        assert {k for k, _, _ in from_sink} == {k for k, _, _ in from_result}
+        assert sum(s for _, _, s in from_sink) == pytest.approx(1.0)
+
+    def test_rank_utilization_normalized_bounded(self):
+        _, result = captured_run()
+        util = rank_utilization(result)
+        assert 0.0 < util["min"] <= util["mean"] <= util["max"] <= 1.0
+
+    def test_rank_utilization_legacy_scale(self):
+        _, result = captured_run()
+        norm = rank_utilization(result, normalize=True)
+        legacy = rank_utilization(result, normalize=False)
+        assert result.slots_per_rank > 1
+        assert legacy["mean"] == pytest.approx(
+            norm["mean"] * result.slots_per_rank)
+
+    def test_transfer_volume_in_timeline(self):
+        sink, result = captured_run()
+        vol = sink.transfer_bytes()
+        assert sum(vol.values()) > 0

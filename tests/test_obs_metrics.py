@@ -1,0 +1,222 @@
+"""Tests for the metrics registry (repro.obs.metrics) and the
+CommCounters round-trip/merge/publish surface."""
+
+import json
+
+import pytest
+
+from repro.comm.counters import CommCounters
+from repro.comm.network import TransferPath
+from repro.dist import DistMatrix, ProcessGrid
+from repro.machines import summit
+from repro.obs import TimelineSink, get_registry, reset_metrics
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    Registry,
+)
+from repro.runtime import Runtime, simulate
+from repro.runtime.scheduler import taskbased_config
+from repro.tiled import geqrf
+
+
+class TestInstruments:
+    def test_counter(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        c.reset()
+        assert c.value == 0.0
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+    def test_gauge_last_value_wins(self):
+        g = Gauge("x")
+        g.set(2)
+        g.set(-7.5)
+        assert g.value == -7.5
+
+    def test_histogram_buckets(self):
+        h = Histogram("x", buckets=(1.0, 10.0))
+        for v in (0.5, 1.0, 5.0, 100.0):
+            h.observe(v)
+        d = h.as_dict()
+        assert d["buckets"] == {"le_1": 2, "le_10": 1, "le_inf": 1}
+        assert d["sum"] == pytest.approx(106.5)
+        assert d["count"] == 4
+
+    def test_histogram_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("x", buckets=(10.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("x", buckets=())
+
+    def test_default_buckets_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestRegistry:
+    def test_get_or_create(self):
+        reg = Registry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.histogram("c") is reg.histogram("c")
+
+    def test_cross_type_name_conflict(self):
+        reg = Registry()
+        reg.counter("a")
+        with pytest.raises(ValueError):
+            reg.gauge("a")
+        with pytest.raises(ValueError):
+            reg.histogram("a")
+
+    def test_snapshot_is_json_friendly(self):
+        reg = Registry()
+        reg.counter("tasks").inc(3)
+        reg.gauge("makespan").set(1.25)
+        reg.histogram("dur", buckets=(1.0,)).observe(0.5)
+        snap = reg.snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+        assert snap["counters"] == {"tasks": 3}
+        assert snap["gauges"] == {"makespan": 1.25}
+        assert snap["histograms"]["dur"]["count"] == 1
+
+    def test_reset_keeps_registrations(self):
+        reg = Registry()
+        reg.counter("a").inc(5)
+        reg.reset()
+        assert reg.counter("a").value == 0.0
+        assert "a" in reg.snapshot()["counters"]
+
+    def test_default_registry_process_wide(self):
+        reset_metrics()
+        get_registry().counter("test.obs.metric").inc()
+        assert get_registry().snapshot()["counters"]["test.obs.metric"] == 1
+        reset_metrics()
+        assert get_registry().snapshot()["counters"]["test.obs.metric"] == 0
+
+
+class TestSchedulerInstrumentation:
+    def _run(self, sink=None):
+        rt = Runtime(ProcessGrid(2, 2), numeric=False)
+        a = DistMatrix(rt, 1024, 512, 128)
+        geqrf(rt, a)
+        return simulate(rt.graph,
+                        taskbased_config(summit(), 2, 2, use_gpu=True),
+                        sink=sink)
+
+    def test_scheduler_publishes(self):
+        reset_metrics()
+        r = self._run()
+        snap = get_registry().snapshot()
+        c = snap["counters"]
+        assert c["scheduler.simulations"] == 1
+        assert c["scheduler.tasks_executed"] == r.task_count
+        assert c["scheduler.stall_seconds.dependency"] >= 0.0
+        assert snap["gauges"]["scheduler.makespan_seconds"] == r.makespan
+
+    def test_comm_counters_merged(self):
+        reset_metrics()
+        r = self._run()
+        c = get_registry().snapshot()["counters"]
+        for path, nbytes in r.comm.as_dict()["bytes"].items():
+            assert c[f"comm.bytes.{path}"] == nbytes
+
+    def test_task_histogram_only_with_sink(self):
+        reset_metrics()
+        self._run()
+        snap = get_registry().snapshot()
+        assert snap["histograms"].get(
+            "scheduler.task_seconds", {"count": 0})["count"] == 0
+        reset_metrics()
+        r = self._run(sink=TimelineSink())
+        snap = get_registry().snapshot()
+        assert snap["histograms"]["scheduler.task_seconds"]["count"] == \
+            r.task_count
+
+    def test_counters_accumulate_across_runs(self):
+        reset_metrics()
+        self._run()
+        self._run()
+        c = get_registry().snapshot()["counters"]
+        assert c["scheduler.simulations"] == 2
+
+
+class TestKernelInvocationCounters:
+    def test_eager_mode_counts_kernels(self):
+        import numpy as np
+        from repro.tiled import gemm
+
+        reset_metrics()
+        rt = Runtime(ProcessGrid(1, 1), numeric=True)
+        rng = np.random.default_rng(0)
+        a = DistMatrix.from_array(rt, rng.standard_normal((256, 256)), 64)
+        b = DistMatrix.from_array(rt, rng.standard_normal((256, 256)), 64)
+        c = DistMatrix.from_array(rt, np.zeros((256, 256)), 64)
+        gemm(rt, 1.0, a, b, 0.0, c)
+        counters = get_registry().snapshot()["counters"]
+        assert counters.get("kernel.invocations.gemm", 0) == 4 ** 3
+
+
+class TestCommCounters:
+    def _sample(self):
+        c = CommCounters()
+        c.record(TransferPath.INTRA_NODE, 100)
+        c.record(TransferPath.INTRA_NODE, 50)
+        c.record(TransferPath.H2D, 10)
+        return c
+
+    def test_local_not_counted(self):
+        c = CommCounters()
+        c.record(TransferPath.LOCAL, 1000)
+        assert c.total_messages == 0
+        assert c.total_bytes == 0
+
+    def test_as_dict_from_dict_round_trip(self):
+        c = self._sample()
+        d = c.as_dict()
+        back = CommCounters.from_dict(d)
+        assert back.messages == c.messages
+        assert back.bytes == c.bytes
+        assert back.as_dict() == d
+
+    def test_from_dict_json_round_trip(self):
+        c = self._sample()
+        back = CommCounters.from_dict(json.loads(json.dumps(c.as_dict())))
+        assert back.bytes == c.bytes
+
+    def test_from_dict_rejects_unknown_path(self):
+        with pytest.raises(ValueError, match="unknown transfer path"):
+            CommCounters.from_dict({"bytes": {"warp_drive": 1}})
+
+    def test_from_dict_empty(self):
+        c = CommCounters.from_dict({})
+        assert c.total_bytes == 0
+
+    def test_iadd_merges_in_place(self):
+        c = self._sample()
+        other = CommCounters()
+        other.record(TransferPath.INTRA_NODE, 7)
+        other.record(TransferPath.INTER_NODE, 3)
+        ident = c
+        c += other
+        assert c is ident
+        assert c.bytes[TransferPath.INTRA_NODE] == 157
+        assert c.bytes[TransferPath.INTER_NODE] == 3
+        assert c.messages[TransferPath.INTRA_NODE] == 3
+        # merged() stays the non-mutating equivalent
+        assert self._sample().merged(other).bytes == c.bytes
+
+    def test_publish_to_registry(self):
+        reg = Registry()
+        self._sample().publish(reg, prefix="test")
+        c = reg.snapshot()["counters"]
+        assert c["test.bytes.intra_node"] == 150
+        assert c["test.messages.intra_node"] == 2
+        assert c["test.bytes.h2d"] == 10
+        assert "test.bytes.inter_node" not in c

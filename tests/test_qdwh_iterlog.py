@@ -1,0 +1,160 @@
+"""Tests for the per-iteration QDWH telemetry (repro.obs.qdwh_log)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import flops as F
+from repro.core.params import dynamical_weights, parameter_schedule
+from repro.core.polar import polar
+from repro.core.qdwh_dense import qdwh
+from repro.core.tiled_qdwh import tiled_qdwh
+from repro.dist import DistMatrix, ProcessGrid
+from repro.matrices import generate_matrix
+from repro.obs import IterationLog
+from repro.runtime import Runtime
+
+
+@pytest.fixture
+def ill_conditioned():
+    return generate_matrix(96, cond=1e12, seed=7)
+
+
+class TestDenseTelemetry:
+    def test_default_off_matches_baseline(self, ill_conditioned):
+        base = qdwh(ill_conditioned)
+        res = qdwh(ill_conditioned, iter_log=None)
+        assert res.iterations == base.iterations
+        np.testing.assert_array_equal(res.u, base.u)
+
+    def test_record_count_matches_iterations(self, ill_conditioned):
+        log = IterationLog()
+        res = qdwh(ill_conditioned, iter_log=log)
+        assert len(log) == res.iterations
+        assert [r.k for r in log] == list(range(1, res.iterations + 1))
+        assert log.m == log.n == 96
+
+    def test_weights_follow_recurrence(self, ill_conditioned):
+        """Each logged row satisfies the dynamical-weight recurrence."""
+        log = IterationLog()
+        qdwh(ill_conditioned, iter_log=log)
+        for r in log:
+            a, b, c, l_next = dynamical_weights(r.L)
+            assert r.a == pytest.approx(a)
+            assert r.b == pytest.approx(b)
+            assert r.c == pytest.approx(c)
+            assert r.L_next == pytest.approx(l_next)
+
+    def test_l_trajectory_chained_and_increasing(self, ill_conditioned):
+        log = IterationLog()
+        qdwh(ill_conditioned, iter_log=log)
+        recs = log.records
+        for prev, cur in zip(recs, recs[1:]):
+            assert cur.L == pytest.approx(prev.L_next)
+            assert cur.L >= prev.L
+        assert recs[-1].L_next == pytest.approx(1.0, abs=1e-8)
+
+    def test_variant_switches_at_c_threshold(self, ill_conditioned):
+        """QR exactly while c > 100, Cholesky after — never interleaved."""
+        log = IterationLog()
+        qdwh(ill_conditioned, iter_log=log)
+        for r in log:
+            assert r.variant == ("qr" if r.c > 100.0 else "chol")
+        variants = [r.variant for r in log]
+        assert variants == sorted(variants, reverse=True)  # qr* then chol*
+        assert log.it_qr > 0 and log.it_chol > 0
+        assert log.it_qr + log.it_chol == len(log)
+
+    def test_conv_recorded_and_decreasing_at_end(self, ill_conditioned):
+        log = IterationLog()
+        qdwh(ill_conditioned, iter_log=log)
+        assert all(math.isfinite(r.conv) for r in log.records)
+        assert log.records[-1].conv < log.records[0].conv
+
+    def test_flops_accounting(self, ill_conditioned):
+        log = IterationLog()
+        qdwh(ill_conditioned, iter_log=log)
+        expect = (log.it_qr * F.qdwh_qr_iteration(96, 96)
+                  + log.it_chol * F.qdwh_chol_iteration(96, 96))
+        assert log.total_flops == pytest.approx(expect)
+        running = 0.0
+        for r in log:
+            running += r.flops
+            assert r.flops_total == pytest.approx(running)
+
+    def test_cond_est_from_lower_bound(self):
+        log = IterationLog()
+        log.m = log.n = 8
+        log.record(variant="qr", a=3.0, b=1.0, c=3.0, L=1e-3, L_next=0.5)
+        assert log.records[0].cond_est == pytest.approx(1e3)
+
+    def test_matches_parameter_schedule(self, ill_conditioned):
+        """The logged schedule is the data-independent one from params."""
+        log = IterationLog()
+        qdwh(ill_conditioned, iter_log=log)
+        sched = parameter_schedule(log.records[0].L)
+        # the measured loop may run one extra iteration past the
+        # schedule's L-based cutoff (it stops on the conv criterion)
+        assert abs(len(sched) - len(log)) <= 1
+        for r, p in zip(log, sched):
+            assert r.a == pytest.approx(p.a)
+            assert r.variant == ("qr" if p.use_qr else "chol")
+
+    def test_table_renders(self, ill_conditioned):
+        log = IterationLog()
+        qdwh(ill_conditioned, iter_log=log)
+        table = log.table()
+        lines = table.splitlines()
+        assert lines[0].startswith("QDWH iterations (96 x 96)")
+        assert len(lines) == 3 + len(log)
+        assert "qr" in table and "chol" in table
+
+    def test_as_dicts_json_friendly(self, ill_conditioned):
+        log = IterationLog()
+        qdwh(ill_conditioned, iter_log=log)
+        rows = log.as_dicts()
+        assert len(rows) == len(log)
+        assert {"k", "variant", "a", "b", "c", "L", "L_next", "conv",
+                "cond_est", "flops", "flops_total"} <= set(rows[0])
+
+
+class TestPolarForwarding:
+    def test_polar_fills_log(self, ill_conditioned):
+        log = IterationLog()
+        res = polar(ill_conditioned, iter_log=log)
+        assert len(log) == res.iterations
+
+    def test_polar_rejects_log_for_baselines(self, ill_conditioned):
+        with pytest.raises(ValueError, match="qdwh"):
+            polar(ill_conditioned, method="svd", iter_log=IterationLog())
+
+    def test_polar_without_log_unchanged(self, ill_conditioned):
+        res = polar(ill_conditioned)
+        assert res.iterations > 0
+
+
+class TestTiledTelemetry:
+    def test_symbolic_records_schedule(self):
+        rt = Runtime(ProcessGrid(2, 2), numeric=False)
+        a = DistMatrix(rt, 1024, 1024, 128)
+        log = IterationLog()
+        res = tiled_qdwh(rt, a, cond_est=1e16, iter_log=log)
+        assert len(log) == res.it_qr + res.it_chol
+        assert log.it_qr == res.it_qr
+        assert log.it_chol == res.it_chol
+        # symbolic runs have no measured convergence
+        assert all(math.isnan(r.conv) for r in log.records)
+
+    def test_numeric_matches_dense_weights(self):
+        n, nb = 96, 32
+        a = generate_matrix(n, cond=1e10, seed=3)
+        rt = Runtime(ProcessGrid(1, 1), numeric=True)
+        da = DistMatrix.from_array(rt, a, nb)
+        tlog = IterationLog()
+        tiled_qdwh(rt, da, cond_est=1e10, iter_log=tlog)
+        dlog = IterationLog()
+        qdwh(a, cond_est=1e10, iter_log=dlog)
+        for tr, dr in zip(tlog, dlog):
+            assert tr.a == pytest.approx(dr.a)
+            assert tr.variant == dr.variant
