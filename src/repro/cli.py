@@ -7,6 +7,8 @@ Subcommands, mirroring how a downstream user would drive the library:
 * ``repro trace``               — simulate a point and export its timeline
   (Chrome/Perfetto trace, terminal Gantt, metrics snapshot).
 * ``repro sweep``               — a figure-style size sweep.
+* ``repro faults``              — fault-injected run vs. fault-free baseline,
+  recovery accounting, and the Young/Daly checkpoint trade-off.
 * ``repro memory``              — feasibility limits from the footprint model.
 * ``repro validate``            — run the acceptance matrix (paper claims).
 
@@ -43,6 +45,45 @@ def _dump_metrics(path: str) -> None:
     print(f"metrics snapshot written to {path}")
 
 
+def _fault_plan_from_args(args: argparse.Namespace, ranks: int,
+                          horizon: float):
+    """FaultPlan from the CLI flags (file > compact specs > MTTF)."""
+    from .resilience import FaultPlan, plan_from_spec
+
+    if getattr(args, "fault_plan", None):
+        return FaultPlan.from_json(args.fault_plan)
+    if getattr(args, "mttf", None):
+        return FaultPlan.poisson_crashes(
+            args.mttf, horizon, ranks, seed=args.fault_seed)
+    plan = plan_from_spec(
+        seed=args.fault_seed,
+        crash=getattr(args, "crash", None) or (),
+        transient_p=getattr(args, "transient_p", 0.0),
+        max_attempts=getattr(args, "max_attempts", 4),
+        straggler=getattr(args, "straggler", None) or (),
+        link_factor=getattr(args, "link_factor", 1.0),
+        speculation=not getattr(args, "no_speculation", False))
+    return None if plan.empty else plan
+
+
+def _print_recovery(schedule) -> None:
+    rec = schedule.recovery
+    if rec is None:
+        return
+    print(f"  recovery:  {rec.crashes} crash(es) "
+          f"(dead ranks {list(rec.dead_ranks) or '-'}), "
+          f"{rec.replayed_tasks} replayed, "
+          f"{rec.revoked_inflight} revoked in-flight, "
+          f"{rec.lost_tiles} tiles lost")
+    print(f"             {rec.transient_failures} transient failure(s) "
+          f"over {rec.retried_tasks} task(s), "
+          f"{rec.speculative_duplicates} speculative duplicate(s) "
+          f"({rec.speculation_wins} won), "
+          f"{rec.degraded_transfers} degraded transfer(s)")
+    print(f"             {rec.reexecution_seconds:.3f} s re-executed, "
+          f"{rec.recovery_bytes / 2**20:.1f} MiB recovery traffic")
+
+
 def cmd_polar(args: argparse.Namespace) -> int:
     from . import polar, polar_report
     from .obs import IterationLog
@@ -53,7 +94,18 @@ def cmd_polar(args: argparse.Namespace) -> int:
     if args.iter_log and args.method != "qdwh":
         raise SystemExit("--iter-log requires --method qdwh")
     log = IterationLog() if args.iter_log else None
-    res = polar(a, method=args.method, iter_log=log)
+    kwargs = {}
+    if args.checkpoint_dir:
+        if args.method != "qdwh":
+            raise SystemExit("--checkpoint-dir requires --method qdwh")
+        from .resilience import CheckpointPolicy, QdwhCheckpointer
+
+        kwargs["checkpoint"] = QdwhCheckpointer(
+            args.checkpoint_dir,
+            CheckpointPolicy(every=args.checkpoint_every))
+    if args.max_iter is not None:
+        kwargs["max_iter"] = args.max_iter
+    res = polar(a, method=args.method, iter_log=log, **kwargs)
     rep = polar_report(a, res.u, res.h)
     if args.metrics_json:
         from .obs import get_registry
@@ -84,12 +136,19 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     p = simulate_qdwh(machine, args.nodes, args.n, args.impl,
                       cond=args.cond, nb=args.nb,
                       max_tiles=args.max_tiles)
+    ranks = p.schedule.config.total_ranks
+    plan = _fault_plan_from_args(args, ranks, p.makespan)
+    if plan is not None:
+        p = simulate_qdwh(machine, args.nodes, args.n, args.impl,
+                          cond=args.cond, nb=args.nb,
+                          max_tiles=args.max_tiles, faults=plan)
     print(f"{args.machine} x{args.nodes} nodes, n={args.n}, "
           f"{args.impl} (nb={p.nb}, sim nb={p.nb_sim})")
     print(f"  iterations: {p.it_qr} QR + {p.it_chol} Cholesky")
     print(f"  makespan:   {p.makespan:.2f} s ({p.task_count} tasks)")
     print(f"  Tflop/s:    {p.tflops:.2f} (paper flop model) / "
           f"{p.executed_tflops:.2f} (executed)")
+    _print_recovery(p.schedule)
     for kind, _busy, share in kernel_breakdown(p.schedule)[:5]:
         print(f"    {kind:>8}: {share * 100:5.1f}% of busy time")
     if args.trace:
@@ -138,6 +197,60 @@ def cmd_trace(args: argparse.Namespace) -> int:
               "(open in Perfetto or chrome://tracing)")
     if args.gantt or not args.chrome_trace:
         print(ascii_gantt(sink, width=args.gantt_width), end="")
+    if args.metrics_json:
+        _dump_metrics(args.metrics_json)
+    return 0
+
+
+def cmd_faults(args: argparse.Namespace) -> int:
+    """Fault-injected run vs. fault-free baseline + checkpoint trade-off."""
+    from .obs import TimelineSink
+    from .perf import simulate_qdwh
+    from .resilience import checkpoint_write_cost, recovery_overhead_curve
+
+    machine = _machine(args.machine)
+    base = simulate_qdwh(machine, args.nodes, args.n, args.impl,
+                         cond=args.cond, nb=args.nb,
+                         max_tiles=args.max_tiles)
+    ranks = base.schedule.config.total_ranks
+    print(f"{args.machine} x{args.nodes} nodes ({ranks} ranks), "
+          f"n={args.n}, {args.impl}")
+    print(f"  fault-free makespan: {base.makespan:.3f} s")
+
+    plan = _fault_plan_from_args(args, ranks, base.makespan)
+    if args.emit_plan:
+        if plan is None:
+            raise SystemExit("no faults specified; nothing to emit "
+                             "(use --crash/--transient-p/--straggler/"
+                             "--link-factor/--mttf)")
+        plan.to_json(args.emit_plan)
+        print(f"  fault plan written to {args.emit_plan}")
+    if plan is not None:
+        sink = TimelineSink()
+        faulty = simulate_qdwh(machine, args.nodes, args.n, args.impl,
+                               cond=args.cond, nb=args.nb,
+                               max_tiles=args.max_tiles, faults=plan,
+                               sink=sink)
+        slowdown = (faulty.makespan / base.makespan
+                    if base.makespan else 1.0)
+        print(f"  faulty makespan:     {faulty.makespan:.3f} s "
+              f"({slowdown:.2f}x fault-free)")
+        _print_recovery(faulty.schedule)
+        counts = sink.fault_counts()
+        if counts:
+            print("  events:    " + "  ".join(
+                f"{k}={v}" for k, v in sorted(counts.items())))
+
+    # Young/Daly checkpoint trade-off for this run.
+    write_cost = checkpoint_write_cost(args.n, args.n)
+    mttfs = args.mttfs or [base.makespan * f for f in (0.5, 1, 2, 5, 10)]
+    print(f"  checkpoint trade-off (one write ~ {write_cost:.2f} s):")
+    print(f"    {'MTTF s':>10} {'interval s':>11} {'#ckpts':>7} "
+          f"{'overhead':>9} {'expected s':>11}")
+    for row in recovery_overhead_curve(base.makespan, write_cost, mttfs):
+        print(f"    {row['mttf']:>10.1f} {row['interval']:>11.2f} "
+              f"{row['checkpoints']:>7d} {row['overhead']:>8.1%} "
+              f"{row['expected_makespan']:>11.2f}")
     if args.metrics_json:
         _dump_metrics(args.metrics_json)
     return 0
@@ -204,6 +317,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", help="save factors to this .npz path")
     p.add_argument("--iter-log", action="store_true",
                    help="print the per-iteration QDWH telemetry table")
+    p.add_argument("--checkpoint-dir",
+                   help="write/resume QDWH iteration checkpoints in this "
+                        "directory (qdwh only); an interrupted run "
+                        "restarted with the same directory resumes "
+                        "mid-iteration and returns identical factors")
+    p.add_argument("--checkpoint-every", type=int, default=1,
+                   help="checkpoint every k-th iteration (default 1)")
+    p.add_argument("--max-iter", type=int, default=None,
+                   help="stop after this many iterations (testing aid; "
+                        "combine with --checkpoint-dir to interrupt "
+                        "and later resume a run)")
     p.add_argument("--metrics-json",
                    help="dump the metrics registry snapshot to this path")
     p.set_defaults(fn=cmd_polar)
@@ -218,6 +342,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--nb", type=int, default=None)
     p.add_argument("--max-tiles", type=int, default=16)
     p.add_argument("--trace", help="write a chrome://tracing JSON here")
+    p.add_argument("--fault-plan",
+                   help="inject faults from this JSON plan "
+                        "(see repro faults --emit-plan)")
+    p.add_argument("--mttf", type=float, default=None,
+                   help="draw Poisson rank crashes for this system MTTF "
+                        "(seconds) over the fault-free makespan")
+    p.add_argument("--fault-seed", type=int, default=0)
     p.add_argument("--metrics-json",
                    help="dump the metrics registry snapshot to this path")
     p.set_defaults(fn=cmd_simulate)
@@ -243,6 +374,44 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics-json",
                    help="dump the metrics registry snapshot to this path")
     p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser(
+        "faults",
+        help="fault-injected run vs. baseline + checkpoint trade-off")
+    p.add_argument("--machine", default="summit")
+    p.add_argument("--nodes", type=int, default=1)
+    p.add_argument("--n", type=int, default=20_000)
+    p.add_argument("--impl", default="slate_gpu",
+                   choices=["slate_gpu", "slate_cpu", "scalapack"])
+    p.add_argument("--cond", type=float, default=1e16)
+    p.add_argument("--nb", type=int, default=None)
+    p.add_argument("--max-tiles", type=int, default=16)
+    p.add_argument("--fault-plan", help="load the fault plan from this "
+                                        "JSON file (overrides the spec "
+                                        "flags below)")
+    p.add_argument("--crash", action="append", metavar="RANK@TIME",
+                   help="kill RANK at TIME seconds (repeatable)")
+    p.add_argument("--transient-p", type=float, default=0.0,
+                   help="per-attempt kernel failure probability")
+    p.add_argument("--max-attempts", type=int, default=4)
+    p.add_argument("--straggler", action="append", metavar="RANK@FACTOR",
+                   help="slow RANK down by FACTOR for the whole run "
+                        "(repeatable)")
+    p.add_argument("--link-factor", type=float, default=1.0,
+                   help="degrade every link's bandwidth by this factor")
+    p.add_argument("--no-speculation", action="store_true",
+                   help="disable speculative straggler duplication")
+    p.add_argument("--mttf", type=float, default=None,
+                   help="draw Poisson rank crashes for this system MTTF "
+                        "(seconds) instead of explicit --crash specs")
+    p.add_argument("--fault-seed", type=int, default=0)
+    p.add_argument("--mttfs", nargs="+", type=float,
+                   help="MTTF values for the checkpoint trade-off table")
+    p.add_argument("--emit-plan",
+                   help="write the constructed fault plan JSON here")
+    p.add_argument("--metrics-json",
+                   help="dump the metrics registry snapshot to this path")
+    p.set_defaults(fn=cmd_faults)
 
     p = sub.add_parser("sweep", help="Tflop/s vs size sweep")
     p.add_argument("--machine", default="summit")

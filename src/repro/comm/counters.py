@@ -8,7 +8,7 @@ wall time.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Tuple
 
 from .network import TransferPath
 
@@ -21,6 +21,10 @@ class CommCounters:
         default_factory=lambda: {p: 0 for p in TransferPath})
     bytes: Dict[TransferPath, int] = field(
         default_factory=lambda: {p: 0 for p in TransferPath})
+    #: Totals already published, per (registry, prefix) — makes
+    #: :meth:`publish` idempotent (see there).  Not part of the value.
+    _published: Dict[Tuple[int, str], Dict[str, Dict[TransferPath, int]]] \
+        = field(default_factory=dict, repr=False, compare=False)
 
     def record(self, path: TransferPath, nbytes: int) -> None:
         if path is TransferPath.LOCAL:
@@ -86,11 +90,23 @@ class CommCounters:
         Adds ``{prefix}.messages.{path}`` / ``{prefix}.bytes.{path}``
         counters (only for non-zero paths) to the given
         :class:`repro.obs.metrics.Registry`.
+
+        Idempotent per (registry, prefix): only growth since the last
+        publish of *this* counter object is added, so publishing the
+        same totals twice (a report path calling through two layers
+        that both publish) cannot double-count, while counters that
+        kept accumulating between calls publish exactly their delta.
         """
+        seen = self._published.setdefault(
+            (id(registry), prefix),
+            {"messages": {p: 0 for p in TransferPath},
+             "bytes": {p: 0 for p in TransferPath}})
         for p in TransferPath:
-            if self.messages[p]:
-                registry.counter(
-                    f"{prefix}.messages.{p.value}").inc(self.messages[p])
-            if self.bytes[p]:
-                registry.counter(
-                    f"{prefix}.bytes.{p.value}").inc(self.bytes[p])
+            dm = self.messages[p] - seen["messages"][p]
+            if dm:
+                registry.counter(f"{prefix}.messages.{p.value}").inc(dm)
+                seen["messages"][p] = self.messages[p]
+            db = self.bytes[p] - seen["bytes"][p]
+            if db:
+                registry.counter(f"{prefix}.bytes.{p.value}").inc(db)
+                seen["bytes"][p] = self.bytes[p]

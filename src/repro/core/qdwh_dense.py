@@ -19,6 +19,7 @@ import scipy.linalg as sla
 
 if TYPE_CHECKING:
     from ..obs.qdwh_log import IterationLog
+    from ..resilience.checkpoint import QdwhCheckpointer
 
 from ..config import (
     QDWH_HARD_ITERATION_CAP,
@@ -129,7 +130,8 @@ def qdwh(a: np.ndarray, *,
          alpha: Optional[float] = None,
          max_iter: int = QDWH_HARD_ITERATION_CAP,
          exact_norms: bool = False,
-         iter_log: Optional["IterationLog"] = None) -> QdwhResult:
+         iter_log: Optional["IterationLog"] = None,
+         checkpoint: Optional["QdwhCheckpointer"] = None) -> QdwhResult:
     """QDWH polar decomposition of an m x n matrix (m >= n).
 
     Parameters
@@ -154,6 +156,13 @@ def qdwh(a: np.ndarray, *,
         one telemetry record (variant, weights, convergence, condition
         estimate, flops) is appended per iteration.  Default off: the
         return value and signature contract are unchanged.
+    checkpoint:
+        Optional :class:`repro.resilience.checkpoint.QdwhCheckpointer`.
+        The full loop state is written per its policy after each
+        iteration, and a matching checkpoint found on entry resumes
+        the loop mid-run.  The iterate round-trips losslessly, so an
+        interrupted-and-resumed run returns bit-identical ``u`` and
+        ``h`` to an uninterrupted one.
 
     Returns
     -------
@@ -175,43 +184,61 @@ def qdwh(a: np.ndarray, *,
                           iterations=0, it_qr=0, it_chol=0)
 
     a_orig = a
-    # --- Scale: A_0 = A / alpha,  alpha ~ ||A||_2  (lines 10-13). ---
-    if alpha is None:
-        alpha = float(np.linalg.norm(a, 2)) if exact_norms else norm2est(a)
-    if alpha == 0.0:
-        # Zero matrix: U = [I; 0] padding is the conventional choice.
-        u = np.zeros((m, n), dtype=dt)
-        u[:n, :n] = np.eye(n, dtype=dt)
-        return QdwhResult(u=u, h=np.zeros((n, n), dtype=dt),
-                          iterations=0, it_qr=0, it_chol=0, alpha=0.0)
-    # Guard: alpha is only an estimate (within ~10%); inflate slightly so
-    # the scaled matrix truly has 2-norm <= 1 as the weights assume.
-    if not exact_norms:
-        alpha *= 1.1
-    ak = (a / dt.type(alpha)).astype(dt, copy=False)
 
-    # --- Condition estimate -> l0 (lines 14-19). ---
-    if cond_est is not None:
-        if cond_est < 1.0:
-            raise ValueError(f"cond_est must be >= 1, got {cond_est}")
-        # Apply the same defensive sqrt(n) deflation as the estimated
-        # path (and the tiled implementation): l0 must be a *lower*
-        # bound on sigma_min for the weight recurrence's guarantees.
-        l0 = 1.0 / (cond_est * math.sqrt(n))
-    elif exact_norms:
-        smin = float(np.linalg.svd(ak, compute_uv=False)[-1])
-        l0 = max(smin, float(np.finfo(np.float64).tiny))
+    # --- Resume from the newest checkpoint, if one matches. ---
+    state = checkpoint.load() if checkpoint is not None else None
+    if state is not None:
+        saved = np.asarray(state["ak"])
+        if saved.shape != (m, n) or saved.dtype != dt:
+            state = None  # stale checkpoint from a different problem
+
+    if state is not None:
+        ak = saved
+        li, conv = state["li"], state["conv"]
+        it, it_qr, it_chol = state["it"], state["it_qr"], state["it_chol"]
+        alpha, l0 = state["alpha"], state["l0"]
+        conv_history = list(state["conv_history"])
+        weight_history = list(state["weight_history"])
     else:
-        l0 = _initial_lower_bound(ak)
+        # --- Scale: A_0 = A / alpha,  alpha ~ ||A||_2  (lines 10-13). ---
+        if alpha is None:
+            alpha = (float(np.linalg.norm(a, 2)) if exact_norms
+                     else norm2est(a))
+        if alpha == 0.0:
+            # Zero matrix: U = [I; 0] padding is the conventional choice.
+            u = np.zeros((m, n), dtype=dt)
+            u[:n, :n] = np.eye(n, dtype=dt)
+            return QdwhResult(u=u, h=np.zeros((n, n), dtype=dt),
+                              iterations=0, it_qr=0, it_chol=0, alpha=0.0)
+        # Guard: alpha is only an estimate (within ~10%); inflate
+        # slightly so the scaled matrix truly has 2-norm <= 1 as the
+        # weights assume.
+        if not exact_norms:
+            alpha *= 1.1
+        ak = (a / dt.type(alpha)).astype(dt, copy=False)
+
+        # --- Condition estimate -> l0 (lines 14-19). ---
+        if cond_est is not None:
+            if cond_est < 1.0:
+                raise ValueError(f"cond_est must be >= 1, got {cond_est}")
+            # Apply the same defensive sqrt(n) deflation as the
+            # estimated path (and the tiled implementation): l0 must be
+            # a *lower* bound on sigma_min for the weight recurrence's
+            # guarantees.
+            l0 = 1.0 / (cond_est * math.sqrt(n))
+        elif exact_norms:
+            smin = float(np.linalg.svd(ak, compute_uv=False)[-1])
+            l0 = max(smin, float(np.finfo(np.float64).tiny))
+        else:
+            l0 = _initial_lower_bound(ak)
+        li = l0
+        conv = 100.0
+        it = it_qr = it_chol = 0
+        conv_history = []
+        weight_history = []
 
     inner_tol = qdwh_inner_tolerance(dt)
     weight_tol = qdwh_weight_tolerance(dt)
-
-    li = l0
-    conv = 100.0
-    it = it_qr = it_chol = 0
-    conv_history: List[float] = []
-    weight_history: List[tuple] = []
     if iter_log is not None:
         iter_log.m, iter_log.n = m, n
 
@@ -236,6 +263,11 @@ def qdwh(a: np.ndarray, *,
             iter_log.record(variant="qr" if wc > 100.0 else "chol",
                             a=wa, b=wb, c=wc, L=l_enter, L_next=li,
                             conv=conv)
+        if checkpoint is not None and checkpoint.due(it):
+            checkpoint.save(ak=ak, li=li, conv=conv, it=it, it_qr=it_qr,
+                            it_chol=it_chol, alpha=float(alpha),
+                            l0=float(l0), conv_history=conv_history,
+                            weight_history=weight_history)
 
     converged = conv < inner_tol and abs(li - 1.0) < weight_tol
 

@@ -228,6 +228,13 @@ def tiled_qdwh(rt: Runtime, a: DistMatrix, *,
     if m < n:
         raise ValueError(f"QDWH requires m >= n, got {m} x {n}")
     dt = a.dtype
+    if n == 0:
+        # Empty problem: no tasks, no iterations — the trace/simulate
+        # paths must survive a zero-task DAG rather than divide by the
+        # (undefined) condition deflation below.
+        h = DistMatrix(rt, 0, 0, a.nb, dt, layout=a.layout, name="H")
+        return TiledQdwhResult(u=a, h=h, iterations=0, it_qr=0,
+                               it_chol=0, alpha=0.0, l0=0.0)
     inner_tol = qdwh_inner_tolerance(dt)
     weight_tol = qdwh_weight_tolerance(dt)
 

@@ -31,10 +31,16 @@ from .metrics import (
 )
 from .qdwh_log import IterationLog, IterationRecord
 from .timeline import (
+    FAULT_CHECKPOINT,
+    FAULT_CRASH,
+    FAULT_REPLAY,
+    FAULT_SPECULATE,
+    FAULT_TRANSIENT,
     STALL_DEPENDENCY,
     STALL_GATE,
     STALL_LINK,
     BarrierEvent,
+    FaultEvent,
     StallEvent,
     TaskEvent,
     TimelineSink,
@@ -56,6 +62,12 @@ __all__ = [
     "reset_metrics",
     "IterationLog",
     "IterationRecord",
+    "FAULT_CHECKPOINT",
+    "FAULT_CRASH",
+    "FAULT_REPLAY",
+    "FAULT_SPECULATE",
+    "FAULT_TRANSIENT",
+    "FaultEvent",
     "STALL_DEPENDENCY",
     "STALL_GATE",
     "STALL_LINK",

@@ -161,6 +161,20 @@ def chrome_trace(timeline: TimelineSink) -> Dict[str, object]:
             "args": {"tid": s.tid},
         })
 
+    # Fault/recovery actions as instant events on the scheduler row.
+    for f in getattr(timeline, "faults", ()):
+        events.append({
+            "name": f"{f.kind} r{f.rank}",
+            "cat": "fault",
+            "ph": "i",
+            "s": "g",
+            "ts": f.time * 1e6,
+            "pid": sched_pid,
+            "tid": 2,
+            "args": {"tid": f.tid, "kind": f.kind, "rank": f.rank,
+                     "detail": f.detail},
+        })
+
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 

@@ -65,6 +65,31 @@ class BarrierEvent:
     phase: int         # the phase that just completed
 
 
+#: Fault/recovery event kinds emitted by the resilience subsystem.
+FAULT_CRASH = "crash"
+FAULT_TRANSIENT = "transient"
+FAULT_REPLAY = "replay"
+FAULT_SPECULATE = "speculate"
+FAULT_CHECKPOINT = "checkpoint"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault-injection or recovery action (resilience subsystem).
+
+    ``kind`` is one of the FAULT_* constants; ``tid`` is -1 for
+    rank-level events (crashes).  ``detail`` carries the kind-specific
+    payload: revoked/replayed counts for a crash, failed attempts for
+    a transient, winner for a speculation.
+    """
+
+    kind: str
+    time: float
+    rank: int
+    tid: int = -1
+    detail: str = ""
+
+
 @dataclass(frozen=True)
 class StallEvent:
     """A task held back by the scheduler (not by hardware occupancy)."""
@@ -90,6 +115,9 @@ class TraceSink:
     def on_stall(self, ev: StallEvent) -> None:  # pragma: no cover
         pass
 
+    def on_fault(self, ev: FaultEvent) -> None:  # pragma: no cover
+        pass
+
 
 class TimelineSink(TraceSink):
     """Collects every event in arrival order.
@@ -104,6 +132,7 @@ class TimelineSink(TraceSink):
         self.transfers: List[TransferEvent] = []
         self.barriers: List[BarrierEvent] = []
         self.stalls: List[StallEvent] = []
+        self.faults: List[FaultEvent] = []
 
     # -- collection ----------------------------------------------------
 
@@ -118,6 +147,9 @@ class TimelineSink(TraceSink):
 
     def on_stall(self, ev: StallEvent) -> None:
         self.stalls.append(ev)
+
+    def on_fault(self, ev: FaultEvent) -> None:
+        self.faults.append(ev)
 
     # -- aggregations --------------------------------------------------
 
@@ -165,4 +197,11 @@ class TimelineSink(TraceSink):
         out: Dict[str, int] = {}
         for x in self.transfers:
             out[x.leg] = out.get(x.leg, 0) + x.nbytes
+        return out
+
+    def fault_counts(self) -> Dict[str, int]:
+        """Fault/recovery events by kind."""
+        out: Dict[str, int] = {}
+        for f in self.faults:
+            out[f.kind] = out.get(f.kind, 0) + 1
         return out

@@ -90,10 +90,14 @@ class PerfPoint:
     @property
     def tflops(self) -> float:
         """Tflop/s over the paper's algorithmic flop count."""
+        if self.makespan == 0.0:
+            return 0.0  # degenerate run (empty graph / n=0)
         return self.model_flops / self.makespan / 1e12
 
     @property
     def executed_tflops(self) -> float:
+        if self.makespan == 0.0:
+            return 0.0
         return self.executed_flops / self.makespan / 1e12
 
 
@@ -137,12 +141,15 @@ def simulate_qdwh(machine: MachineModel, nodes: int, n: int, impl: str, *,
                   m: Optional[int] = None,
                   dtype=np.float64,
                   keep_trace: bool = False,
-                  sink=None) -> PerfPoint:
+                  sink=None,
+                  faults=None) -> PerfPoint:
     """Simulate one (machine, nodes, n, implementation) data point.
 
     ``sink`` is forwarded to :func:`repro.runtime.scheduler.simulate`
     (a :class:`repro.obs.timeline.TraceSink` capturing the full task
-    timeline); leave ``None`` for an untraced run.
+    timeline); leave ``None`` for an untraced run.  ``faults`` is an
+    optional :class:`repro.resilience.faults.FaultPlan` injected into
+    the schedule; ``schedule.recovery`` then reports the recovery cost.
     """
     try:
         settings = IMPLEMENTATIONS[machine.name][impl]
@@ -172,7 +179,8 @@ def simulate_qdwh(machine: MachineModel, nodes: int, n: int, impl: str, *,
     else:
         cfg = taskbased_config(machine, nodes, rpn, use_gpu=use_gpu,
                                lookahead=lookahead)
-    sched = simulate(graph, cfg, keep_trace=keep_trace, sink=sink)
+    sched = simulate(graph, cfg, keep_trace=keep_trace, sink=sink,
+                     faults=faults)
     from ..config import is_complex
     model_flops = F.qdwh_total(n, it_qr, it_chol, m=mm)
     if is_complex(dtype):

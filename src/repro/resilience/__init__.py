@@ -1,0 +1,63 @@
+"""Resilience: fault injection, lineage replay, checkpoint/restart.
+
+The robustness track of the reproduction: production runs of QDWH on
+Summit/Frontier-class machines must survive node failures, soft
+errors, degraded links, and stragglers.  This package supplies
+
+* :mod:`.faults` — deterministic, seed-driven fault plans
+  (:class:`FaultPlan`) the scheduler injects into a simulated run;
+* :mod:`.recovery` — the scheduler-side recovery state: transient
+  retry with backoff, rank-crash lineage replay
+  (:func:`lineage_replay_set`), and straggler speculation;
+* :mod:`.checkpoint` — QDWH checkpoint/restart: a real ``.npz``
+  round-trip for the eager numeric path and the Young/Daly cost
+  model for the simulator.
+
+See ``docs/resilience.md`` for the full model.
+"""
+
+from .checkpoint import (
+    DEFAULT_IO_BANDWIDTH,
+    CheckpointPolicy,
+    QdwhCheckpointer,
+    checkpoint_write_cost,
+    expected_overhead,
+    optimal_interval,
+    recovery_overhead_curve,
+)
+from .faults import (
+    FaultPlan,
+    LinkDegradation,
+    RankCrash,
+    RecoveryStats,
+    StragglerSlot,
+    TransientFaults,
+    plan_from_spec,
+)
+from .recovery import (
+    AllRanksDead,
+    FaultToleranceExceeded,
+    ResilienceState,
+    lineage_replay_set,
+)
+
+__all__ = [
+    "DEFAULT_IO_BANDWIDTH",
+    "CheckpointPolicy",
+    "QdwhCheckpointer",
+    "checkpoint_write_cost",
+    "expected_overhead",
+    "optimal_interval",
+    "recovery_overhead_curve",
+    "FaultPlan",
+    "LinkDegradation",
+    "RankCrash",
+    "RecoveryStats",
+    "StragglerSlot",
+    "TransientFaults",
+    "plan_from_spec",
+    "AllRanksDead",
+    "FaultToleranceExceeded",
+    "ResilienceState",
+    "lineage_replay_set",
+]

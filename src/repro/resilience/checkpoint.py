@@ -1,0 +1,223 @@
+"""Checkpoint/restart for QDWH.
+
+QDWH's per-iteration state is tiny and self-contained — the current
+iterate ``A_k``, the lower bound ``L``, the iteration counters, and
+the weight/convergence histories — which makes the iteration boundary
+a natural checkpoint (Lewis et al., arXiv:2112.09017, make the same
+observation for long dense-linalg runs on accelerator pods).
+
+Two sides of the same policy:
+
+* **eager numeric path** — :class:`QdwhCheckpointer` writes a real
+  ``.npz`` every ``every`` iterations; ``qdwh(..., checkpoint=...)``
+  resumes mid-run from the newest one and produces bit-identical
+  ``U_p`` and ``H`` (the loop state round-trips exactly);
+* **simulator** — :func:`checkpoint_write_cost` models the I/O time
+  of one checkpoint and :func:`recovery_overhead_curve` evaluates the
+  classic Young/Daly trade-off (checkpoint overhead vs. expected
+  rework after a failure) over a range of MTTFs — the ``repro
+  faults`` CLI prints these curves.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+#: Default modeled parallel-filesystem bandwidth per run (bytes/s):
+#: a conservative burst-buffer-less share of Summit's Alpine / the
+#: Frontier Orion Lustre for a few-node allocation.
+DEFAULT_IO_BANDWIDTH = 2.5e9
+#: Modeled per-checkpoint metadata/synchronization latency (seconds).
+CHECKPOINT_LATENCY = 0.5
+
+
+@dataclass(frozen=True)
+class CheckpointPolicy:
+    """When to write a checkpoint.
+
+    ``every`` — write after every k-th iteration (k >= 1); the
+    cost-model constructor :meth:`young_daly` picks k from the classic
+    optimal interval ``tau* = sqrt(2 * C * MTTF)`` given the cost of
+    one checkpoint write and the time one iteration takes.
+    """
+
+    every: int = 1
+
+    def __post_init__(self) -> None:
+        if self.every < 1:
+            raise ValueError(f"checkpoint interval must be >= 1, got "
+                             f"{self.every}")
+
+    def due(self, iteration: int) -> bool:
+        """Checkpoint after this (1-based) iteration?"""
+        return iteration % self.every == 0
+
+    @classmethod
+    def young_daly(cls, mttf: float, write_cost: float,
+                   iter_time: float) -> "CheckpointPolicy":
+        """Interval from the Young/Daly first-order optimum.
+
+        ``tau* = sqrt(2 * write_cost * mttf)`` seconds, rounded to
+        whole iterations of ``iter_time`` seconds each (at least 1).
+        """
+        if mttf <= 0.0 or write_cost < 0.0 or iter_time <= 0.0:
+            raise ValueError("mttf and iter_time must be positive, "
+                             "write_cost non-negative")
+        tau = math.sqrt(2.0 * write_cost * mttf)
+        return cls(every=max(1, round(tau / iter_time)))
+
+
+def optimal_interval(mttf: float, write_cost: float) -> float:
+    """Young/Daly optimal checkpoint interval in seconds."""
+    if mttf <= 0.0 or write_cost < 0.0:
+        raise ValueError("mttf must be positive, write_cost non-negative")
+    return math.sqrt(2.0 * write_cost * mttf)
+
+
+def expected_overhead(mttf: float, write_cost: float,
+                      interval: Optional[float] = None) -> float:
+    """First-order expected runtime overhead fraction.
+
+    ``overhead(tau) = C/tau + tau/(2*MTTF)`` — checkpoint cost
+    amortized per interval plus expected half-interval rework after a
+    failure.  With ``interval=None`` the Young/Daly optimum is used,
+    giving the well-known ``sqrt(2C/MTTF)`` floor.
+    """
+    tau = optimal_interval(mttf, write_cost) if interval is None else interval
+    if tau <= 0.0:
+        raise ValueError("interval must be positive")
+    return write_cost / tau + tau / (2.0 * mttf)
+
+
+def checkpoint_write_cost(m: int, n: int, itemsize: int = 8,
+                          io_bandwidth: float = DEFAULT_IO_BANDWIDTH,
+                          latency: float = CHECKPOINT_LATENCY) -> float:
+    """Modeled seconds to write one QDWH checkpoint (the iterate A_k)."""
+    if io_bandwidth <= 0.0:
+        raise ValueError("io_bandwidth must be positive")
+    return latency + (m * n * itemsize) / io_bandwidth
+
+
+def recovery_overhead_curve(makespan: float, write_cost: float,
+                            mttfs: List[float]
+                            ) -> List[Dict[str, float]]:
+    """Young/Daly recovery-overhead rows for a run of ``makespan`` s.
+
+    One row per MTTF: the optimal checkpoint interval, the expected
+    overhead fraction at that interval, and the expected wall time of
+    the protected run (``makespan * (1 + overhead)``).
+    """
+    rows = []
+    for mttf in mttfs:
+        tau = optimal_interval(mttf, write_cost)
+        ov = expected_overhead(mttf, write_cost, tau)
+        rows.append({
+            "mttf": mttf,
+            "interval": tau,
+            "checkpoints": (math.ceil(makespan / tau) if tau > 0 else 0),
+            "overhead": ov,
+            "expected_makespan": makespan * (1.0 + ov),
+        })
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Eager-path checkpointer (real .npz round-trip)
+# ---------------------------------------------------------------------------
+
+_CKPT_RE = re.compile(r"qdwh_ckpt_it(\d+)\.npz$")
+
+#: Scalar loop state saved alongside the iterate.
+_SCALAR_KEYS = ("li", "conv", "it", "it_qr", "it_chol", "alpha", "l0")
+
+
+class QdwhCheckpointer:
+    """Directory-backed checkpoint store for the dense QDWH loop.
+
+    One file per checkpoint (``qdwh_ckpt_it003.npz``); ``load``
+    returns the newest complete state.  Writes are atomic (temp file +
+    rename) so a run killed mid-write never corrupts the newest
+    checkpoint.  ``keep`` bounds the files retained on disk.
+    """
+
+    def __init__(self, directory: str,
+                 policy: Optional[CheckpointPolicy] = None,
+                 keep: int = 2) -> None:
+        if keep < 1:
+            raise ValueError(f"keep must be >= 1, got {keep}")
+        self.directory = directory
+        self.policy = policy or CheckpointPolicy()
+        self.keep = keep
+        os.makedirs(directory, exist_ok=True)
+        self.writes = 0
+
+    def due(self, iteration: int) -> bool:
+        return self.policy.due(iteration)
+
+    def _path(self, it: int) -> str:
+        return os.path.join(self.directory, f"qdwh_ckpt_it{it:03d}.npz")
+
+    def _existing(self) -> List[Tuple[int, str]]:
+        out = []
+        for name in os.listdir(self.directory):
+            m = _CKPT_RE.match(name)
+            if m:
+                out.append((int(m.group(1)),
+                            os.path.join(self.directory, name)))
+        return sorted(out)
+
+    def save(self, *, ak: np.ndarray, li: float, conv: float, it: int,
+             it_qr: int, it_chol: int, alpha: float, l0: float,
+             conv_history: List[float],
+             weight_history: List[tuple]) -> str:
+        """Write iteration ``it``'s full loop state; returns the path."""
+        path = self._path(it)
+        # savez appends .npz to suffix-less names; keep the temp name
+        # explicit so the atomic rename sees the real file.
+        tmp = path + ".tmp.npz"
+        wh = np.asarray(weight_history, dtype=np.float64)
+        np.savez(tmp, ak=ak,
+                 scalars=np.array([li, conv, it, it_qr, it_chol,
+                                   alpha, l0], dtype=np.float64),
+                 conv_history=np.asarray(conv_history, dtype=np.float64),
+                 weight_history=(wh if wh.size else
+                                 np.zeros((0, 3), dtype=np.float64)))
+        os.replace(tmp, path)
+        self.writes += 1
+        for _, old in self._existing()[:-self.keep]:
+            os.remove(old)
+        from ..obs.metrics import get_registry
+        get_registry().counter("resilience.checkpoint_writes").inc()
+        return path
+
+    def load(self) -> Optional[Dict[str, object]]:
+        """Newest checkpoint state, or ``None`` when the dir is empty."""
+        existing = self._existing()
+        if not existing:
+            return None
+        _, path = existing[-1]
+        with np.load(path) as data:
+            scalars = data["scalars"]
+            state: Dict[str, object] = {
+                k: float(scalars[i]) for i, k in enumerate(_SCALAR_KEYS)}
+            for k in ("it", "it_qr", "it_chol"):
+                state[k] = int(state[k])
+            state["ak"] = data["ak"]
+            state["conv_history"] = [float(v)
+                                     for v in data["conv_history"]]
+            state["weight_history"] = [tuple(float(x) for x in row)
+                                       for row in data["weight_history"]]
+        from ..obs.metrics import get_registry
+        get_registry().counter("resilience.checkpoint_restores").inc()
+        return state
+
+    def clear(self) -> None:
+        """Remove every checkpoint file (after a successful run)."""
+        for _, path in self._existing():
+            os.remove(path)

@@ -1,0 +1,374 @@
+"""Deterministic, seed-driven fault plans for the schedule simulator.
+
+The paper's target machines (Summit, Frontier) run QDWH at scales
+where node failures and stragglers are routine.  A :class:`FaultPlan`
+describes what goes wrong in one simulated run:
+
+* :class:`RankCrash` — a rank dies at an absolute simulated time; its
+  resident tiles are lost and its pending work must move to survivors
+  (recovery is lineage replay, see :mod:`.recovery`);
+* :class:`TransientFaults` — every kernel invocation fails with
+  probability ``p`` (soft errors, ECC retries, XID resets); failed
+  attempts are retried on the same slot with exponential backoff;
+* :class:`LinkDegradation` — α/β multipliers on a (src, dst) rank
+  path over a time window (a flaky cable, a congested switch);
+* :class:`StragglerSlot` — a rate multiplier on one rank over a time
+  window (thermal throttling, a noisy neighbour); the scheduler's
+  straggler mitigation speculatively duplicates the affected tasks.
+
+Plans are **deterministic**: the same plan and seed perturb the same
+tasks the same way regardless of dispatch order (per-task derived
+RNG streams), so faulty makespans are bit-reproducible — the property
+the fault smoke benchmark asserts.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+_INF = float("inf")
+
+
+@dataclass(frozen=True)
+class RankCrash:
+    """Rank ``rank`` fails permanently at simulated time ``time``."""
+
+    rank: int
+    time: float
+
+    def __post_init__(self) -> None:
+        if self.rank < 0:
+            raise ValueError(f"crash rank must be >= 0, got {self.rank}")
+        if not self.time >= 0.0:
+            raise ValueError(f"crash time must be >= 0, got {self.time}")
+
+
+@dataclass(frozen=True)
+class TransientFaults:
+    """Per-attempt kernel failure model with capped exponential backoff."""
+
+    probability: float
+    max_attempts: int = 4
+    #: Backoff before retry k is ``backoff * 2**(k-1)`` seconds.
+    backoff: float = 1.0e-3
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(
+                f"failure probability must be in [0, 1], got "
+                f"{self.probability}")
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff < 0.0:
+            raise ValueError(f"backoff must be >= 0, got {self.backoff}")
+
+
+@dataclass(frozen=True)
+class LinkDegradation:
+    """α/β multipliers on the (src, dst) rank path during a window.
+
+    ``src``/``dst`` of ``None`` match any rank.  ``alpha_factor``
+    multiplies the link latency, ``beta_factor`` the inverse bandwidth
+    (a ``beta_factor`` of 2 halves the effective bandwidth).
+    """
+
+    src: Optional[int] = None
+    dst: Optional[int] = None
+    alpha_factor: float = 1.0
+    beta_factor: float = 1.0
+    start: float = 0.0
+    end: float = _INF
+
+    def __post_init__(self) -> None:
+        if self.alpha_factor < 1.0 or self.beta_factor < 1.0:
+            raise ValueError(
+                "link degradation factors must be >= 1 (degradation "
+                f"only); got alpha={self.alpha_factor}, "
+                f"beta={self.beta_factor}")
+        if self.end < self.start:
+            raise ValueError("degradation window end precedes start")
+
+    def matches(self, src: int, dst: int, t: float) -> bool:
+        return ((self.src is None or self.src == src)
+                and (self.dst is None or self.dst == dst)
+                and self.start <= t < self.end)
+
+
+@dataclass(frozen=True)
+class StragglerSlot:
+    """Rank ``rank`` runs ``factor``x slower during [start, end)."""
+
+    rank: int
+    factor: float
+    start: float = 0.0
+    end: float = _INF
+
+    def __post_init__(self) -> None:
+        if self.factor < 1.0:
+            raise ValueError(
+                f"straggler factor must be >= 1 (slowdown only), got "
+                f"{self.factor}")
+        if self.end < self.start:
+            raise ValueError("straggler window end precedes start")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One run's worth of injected faults (deterministic given seed)."""
+
+    seed: int = 0
+    crashes: Tuple[RankCrash, ...] = ()
+    transient: Optional[TransientFaults] = None
+    links: Tuple[LinkDegradation, ...] = ()
+    stragglers: Tuple[StragglerSlot, ...] = ()
+    #: Straggler mitigation: duplicate a task on another rank once it
+    #: has run ``speculation_factor`` times its nominal duration
+    #: without finishing; first finisher wins, the loser is cancelled.
+    speculation: bool = True
+    speculation_factor: float = 2.0
+    #: Delay between a crash and the survivors reacting to it
+    #: (failure-detector latency; charged before any replay dispatch).
+    crash_detect_delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        # Tolerate lists from hand-built plans / JSON round-trips.
+        object.__setattr__(self, "crashes", tuple(self.crashes))
+        object.__setattr__(self, "links", tuple(self.links))
+        object.__setattr__(self, "stragglers", tuple(self.stragglers))
+        if self.speculation_factor < 1.0:
+            raise ValueError(
+                f"speculation_factor must be >= 1, got "
+                f"{self.speculation_factor}")
+        if self.crash_detect_delay < 0.0:
+            raise ValueError("crash_detect_delay must be >= 0")
+        seen = set()
+        for c in self.crashes:
+            if c.rank in seen:
+                raise ValueError(f"rank {c.rank} crashes more than once")
+            seen.add(c.rank)
+
+    @property
+    def empty(self) -> bool:
+        """True when the plan injects nothing at all."""
+        return (not self.crashes and not self.links and not self.stragglers
+                and (self.transient is None
+                     or self.transient.probability == 0.0))
+
+    # ------------------------------------------------------------------
+    # Deterministic per-task randomness
+    # ------------------------------------------------------------------
+
+    def task_rng(self, tid: int, epoch: int = 0) -> random.Random:
+        """A private RNG stream for (task, attempt-epoch).
+
+        Derived arithmetically from the plan seed so draws do not
+        depend on dispatch order — two runs of the same plan perturb
+        the same tasks identically even if recovery reorders dispatch.
+        """
+        return random.Random(
+            (self.seed * 1_000_003 + tid) * 2_147_483_647 + epoch)
+
+    # ------------------------------------------------------------------
+    # Generators
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def poisson_crashes(cls, mttf: float, horizon: float, ranks: int,
+                        seed: int = 0, **kwargs) -> "FaultPlan":
+        """Exponentially-distributed rank crashes over ``[0, horizon]``.
+
+        Each of the ``ranks`` ranks draws an exponential failure time
+        with mean ``mttf * ranks`` (a system MTTF of ``mttf`` across
+        the whole allocation); draws landing past ``horizon`` mean the
+        rank survives the run.  At least one surviving rank is always
+        kept (the last would-be casualty is spared).
+        """
+        if mttf <= 0.0 or horizon <= 0.0 or ranks <= 0:
+            raise ValueError("mttf, horizon, and ranks must be positive")
+        rng = random.Random(seed * 7_368_787 + ranks)
+        crashes: List[RankCrash] = []
+        for r in range(ranks):
+            t = rng.expovariate(1.0 / (mttf * ranks))
+            if t < horizon:
+                crashes.append(RankCrash(rank=r, time=t))
+        if len(crashes) >= ranks:  # spare one rank: someone must recover
+            crashes.sort(key=lambda c: c.time)
+            crashes = crashes[:ranks - 1]
+        return cls(seed=seed, crashes=tuple(crashes), **kwargs)
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        return replace(self, seed=seed)
+
+    # ------------------------------------------------------------------
+    # Serialization (the CLI's --fault-plan JSON)
+    # ------------------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "seed": self.seed,
+            "speculation": self.speculation,
+            "speculation_factor": self.speculation_factor,
+            "crash_detect_delay": self.crash_detect_delay,
+        }
+        if self.crashes:
+            out["crashes"] = [{"rank": c.rank, "time": c.time}
+                              for c in self.crashes]
+        if self.transient is not None:
+            out["transient"] = {
+                "probability": self.transient.probability,
+                "max_attempts": self.transient.max_attempts,
+                "backoff": self.transient.backoff,
+            }
+        if self.links:
+            out["links"] = [
+                {"src": f.src, "dst": f.dst,
+                 "alpha_factor": f.alpha_factor,
+                 "beta_factor": f.beta_factor,
+                 "start": f.start,
+                 "end": (None if math.isinf(f.end) else f.end)}
+                for f in self.links]
+        if self.stragglers:
+            out["stragglers"] = [
+                {"rank": s.rank, "factor": s.factor, "start": s.start,
+                 "end": (None if math.isinf(s.end) else s.end)}
+                for s in self.stragglers]
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FaultPlan":
+        known = {"seed", "crashes", "transient", "links", "stragglers",
+                 "speculation", "speculation_factor", "crash_detect_delay"}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown fault-plan keys: {sorted(unknown)}")
+
+        def window(d):
+            return {"start": d.get("start", 0.0),
+                    "end": _INF if d.get("end") is None else d["end"]}
+
+        return cls(
+            seed=int(data.get("seed", 0)),
+            crashes=tuple(RankCrash(rank=int(c["rank"]),
+                                    time=float(c["time"]))
+                          for c in data.get("crashes", ())),
+            transient=(TransientFaults(**data["transient"])
+                       if data.get("transient") else None),
+            links=tuple(LinkDegradation(
+                src=f.get("src"), dst=f.get("dst"),
+                alpha_factor=f.get("alpha_factor", 1.0),
+                beta_factor=f.get("beta_factor", 1.0), **window(f))
+                for f in data.get("links", ())),
+            stragglers=tuple(StragglerSlot(
+                rank=int(s["rank"]), factor=float(s["factor"]),
+                **window(s))
+                for s in data.get("stragglers", ())),
+            speculation=bool(data.get("speculation", True)),
+            speculation_factor=float(data.get("speculation_factor", 2.0)),
+            crash_detect_delay=float(data.get("crash_detect_delay", 0.0)),
+        )
+
+    def to_json(self, path: str) -> str:
+        with open(path, "w") as fh:
+            json.dump(self.as_dict(), fh, indent=2)
+        return path
+
+    @classmethod
+    def from_json(cls, path: str) -> "FaultPlan":
+        with open(path) as fh:
+            return cls.from_dict(json.load(fh))
+
+
+@dataclass
+class RecoveryStats:
+    """What resilience cost one simulated run (ScheduleResult.recovery)."""
+
+    crashes: int = 0
+    dead_ranks: Tuple[int, ...] = ()
+    revoked_inflight: int = 0
+    replayed_tasks: int = 0
+    lost_tiles: int = 0
+    transient_failures: int = 0
+    retried_tasks: int = 0
+    speculative_duplicates: int = 0
+    speculation_wins: int = 0
+    degraded_transfers: int = 0
+    #: Re-execution seconds charged to recovery (replayed + failed
+    #: attempts + speculative duplicates).
+    reexecution_seconds: float = 0.0
+    #: Extra bytes moved for speculative input refetch.  (Replay
+    #: re-communication flows through the regular transfer paths and
+    #: is counted in the run's CommCounters.)
+    recovery_bytes: int = 0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "crashes": self.crashes,
+            "dead_ranks": list(self.dead_ranks),
+            "revoked_inflight": self.revoked_inflight,
+            "replayed_tasks": self.replayed_tasks,
+            "lost_tiles": self.lost_tiles,
+            "transient_failures": self.transient_failures,
+            "retried_tasks": self.retried_tasks,
+            "speculative_duplicates": self.speculative_duplicates,
+            "speculation_wins": self.speculation_wins,
+            "degraded_transfers": self.degraded_transfers,
+            "reexecution_seconds": self.reexecution_seconds,
+            "recovery_bytes": self.recovery_bytes,
+        }
+
+    def publish(self, registry, prefix: str = "resilience") -> None:
+        """Batch the stats into an obs metrics registry."""
+        for name, value in (
+                ("crashes", self.crashes),
+                ("tasks_replayed", self.replayed_tasks),
+                ("inflight_revoked", self.revoked_inflight),
+                ("tiles_lost", self.lost_tiles),
+                ("transient_failures", self.transient_failures),
+                ("tasks_retried", self.retried_tasks),
+                ("speculative_duplicates", self.speculative_duplicates),
+                ("speculation_wins", self.speculation_wins),
+                ("degraded_transfers", self.degraded_transfers),
+                ("reexecution_seconds", self.reexecution_seconds),
+                ("recovery_bytes", self.recovery_bytes)):
+            if value:
+                registry.counter(f"{prefix}.{name}").inc(value)
+
+
+def plan_from_spec(*, seed: int = 0,
+                   crash: Sequence[str] = (),
+                   transient_p: float = 0.0,
+                   max_attempts: int = 4,
+                   straggler: Sequence[str] = (),
+                   link_factor: float = 1.0,
+                   speculation: bool = True) -> FaultPlan:
+    """Build a plan from CLI-style compact specs.
+
+    ``crash`` entries are ``"RANK@TIME"``; ``straggler`` entries are
+    ``"RANK@FACTOR"`` (whole-run window); ``link_factor`` > 1 degrades
+    every inter-rank path's bandwidth by that factor.
+    """
+    def split(spec: str, what: str) -> Tuple[int, float]:
+        try:
+            r, v = spec.split("@")
+            return int(r), float(v)
+        except ValueError:
+            raise ValueError(
+                f"bad {what} spec {spec!r}; expected RANK@VALUE") from None
+
+    crashes = tuple(RankCrash(*split(s, "crash")) for s in crash)
+    stragglers = tuple(StragglerSlot(rank=r, factor=f)
+                       for r, f in (split(s, "straggler")
+                                    for s in straggler))
+    links = ((LinkDegradation(beta_factor=link_factor),)
+             if link_factor > 1.0 else ())
+    transient = (TransientFaults(probability=transient_p,
+                                 max_attempts=max_attempts)
+                 if transient_p > 0.0 else None)
+    return FaultPlan(seed=seed, crashes=crashes, transient=transient,
+                     links=links, stragglers=stragglers,
+                     speculation=speculation)

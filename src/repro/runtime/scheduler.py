@@ -16,6 +16,16 @@ another rank (or another device), the transfer is scheduled on the
 α-β link model with per-rank send/receive/staging serialization, and a
 broadcast cache ensures each tile version crosses each link once per
 destination (SLATE's tileBcast).
+
+Resilience: an optional :class:`repro.resilience.faults.FaultPlan`
+injects rank crashes, transient kernel failures, link degradation, and
+straggler slots into the run.  Recovery is dask/Spark-style: transient
+failures retry with exponential backoff, a crash invalidates the
+rank's resident tiles and the scheduler re-executes the minimal
+lineage-replay subgraph on surviving ranks, and straggler-inflated
+tasks are speculatively duplicated (first finisher wins).  Every
+fault consult site is guarded by ``faults is not None``, so a
+fault-free run is bit-identical to the pre-resilience scheduler.
 """
 
 from __future__ import annotations
@@ -27,14 +37,21 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 from ..comm.counters import CommCounters
 from ..comm.network import TransferPath
 from ..obs.timeline import (
+    FAULT_CRASH,
+    FAULT_REPLAY,
+    FAULT_SPECULATE,
+    FAULT_TRANSIENT,
     STALL_DEPENDENCY,
     STALL_GATE,
     STALL_LINK,
     BarrierEvent,
+    FaultEvent,
     StallEvent,
     TaskEvent,
     TransferEvent,
 )
+from ..resilience.faults import FaultPlan, RecoveryStats
+from ..resilience.recovery import ResilienceState, lineage_replay_set
 from .graph import TaskGraph
 from .task import PANEL_KINDS, Task
 
@@ -88,6 +105,8 @@ class ScheduleResult:
     slots_per_rank: int = 1
     #: Scheduler-attributed stall seconds by cause (summed over slots).
     stall_seconds: Optional[Dict[str, float]] = None
+    #: Fault/recovery accounting of the run (None for fault-free runs).
+    recovery: Optional[RecoveryStats] = None
 
     @property
     def gflops(self) -> float:
@@ -120,9 +139,16 @@ def _duration(task: Task, cfg: RunConfig, on_gpu: bool,
                                      host_cores=host_cores, gang=gang)
 
 
+#: Sentinel tid for rank-crash markers in the event queue.  Markers
+#: sort before same-instant task completions (tid -1 < any real tid),
+#: so a task finishing exactly at the crash instant counts as killed.
+_CRASH_TID = -1
+
+
 def simulate(graph: TaskGraph, cfg: RunConfig, *,
              keep_trace: bool = False,
-             sink: Optional["TraceSink"] = None) -> ScheduleResult:
+             sink: Optional["TraceSink"] = None,
+             faults: Optional[FaultPlan] = None) -> ScheduleResult:
     """Simulate the DAG on the machine; returns makespan and breakdowns.
 
     Task ranks in the graph must be < cfg.total_ranks.
@@ -131,6 +157,14 @@ def simulate(graph: TaskGraph, cfg: RunConfig, *,
     structured event for every task execution, tile transfer, barrier,
     and lookahead-gate stall.  Every emit site is guarded, so a run
     with ``sink=None`` records nothing and pays nothing.
+
+    ``faults`` (a :class:`repro.resilience.faults.FaultPlan`) injects
+    rank crashes, transient kernel failures, link degradation, and
+    stragglers; the scheduler recovers via retry, lineage replay, and
+    speculation, charging all re-execution and re-communication to the
+    makespan.  ``ScheduleResult.recovery`` then reports what recovery
+    cost.  With ``faults=None`` the schedule is bit-identical to the
+    fault-unaware scheduler.
     """
     tasks = graph.tasks
     n_tasks = len(tasks)
@@ -143,6 +177,9 @@ def simulate(graph: TaskGraph, cfg: RunConfig, *,
         raise ValueError(
             f"graph contains ranks >= {ranks}; build the graph on a grid "
             f"matching the run configuration")
+
+    fstate = (ResilienceState(faults, n_tasks, ranks, net)
+              if faults is not None else None)
 
     # Device routing: GPU-eligible kernels go to the GPU pool when the
     # run uses GPUs; everything else runs on host cores.  Coarsened
@@ -170,6 +207,13 @@ def simulate(graph: TaskGraph, cfg: RunConfig, *,
     finish = [0.0] * n_tasks
     start = [0.0] * n_tasks if keep_trace else None
     done = [False] * n_tasks
+    dispatched = [False] * n_tasks
+    #: Executing/last-execution rank per task; diverges from t.rank
+    #: only when recovery remaps work off dead ranks.
+    rank_of = [t.rank for t in tasks]
+    #: Fault path only: task events buffered at dispatch, emitted at
+    #: completion (so revoked executions never reach the trace).
+    pending_ev: Dict[int, TaskEvent] = {}
 
     # Window bookkeeping over the configured gate unit.
     if cfg.barrier_granularity == "op":
@@ -217,10 +261,31 @@ def simulate(graph: TaskGraph, cfg: RunConfig, *,
             return True
         return gate[t.tid] <= completed_prefix + cfg.lookahead
 
+    def _best_holder(holders: Dict[int, float], dst: int
+                     ) -> Tuple[int, float]:
+        """Relay source whose copy + free link starts earliest.
+
+        Iterates holders in insertion order (producer first), keeping
+        the first strict minimum — the same winner the pre-resilience
+        scheduler picked, without assuming the producer's copy still
+        exists (a crash may have pruned it).
+        """
+        best_src = -1
+        best_beg = float("inf")
+        for r, avail in holders.items():
+            beg = max(avail, send_free[r], recv_free[dst])
+            if beg < best_beg:
+                best_src, best_beg = r, beg
+        if best_src < 0:
+            raise RuntimeError(
+                "transfer requested for a tile with no surviving copy; "
+                "lineage replay missed a producer (recovery bug)")
+        return best_src, best_beg
+
     def transfer_in(dep: Task, t: Task, t_gpu: bool) -> float:
         """Arrival time of dep's output at t's rank/device."""
         d_gpu = on_gpu[dep.tid]
-        src, dst = dep.rank, t.rank
+        src, dst = rank_of[dep.tid], rank_of[t.tid]
         if src == dst and d_gpu == t_gpu:
             return finish[dep.tid]
         nbytes = 0
@@ -256,18 +321,15 @@ def simulate(graph: TaskGraph, cfg: RunConfig, *,
                 arrival = holders[dst]
             xfer_cache[key] = arrival
             return arrival
-        # Pick the relay source whose copy + free link starts earliest.
-        best_src, best_beg = src, max(holders[src], send_free[src],
-                                      recv_free[dst])
-        for r, avail in holders.items():
-            beg = max(avail, send_free[r], recv_free[dst])
-            if beg < best_beg:
-                best_src, best_beg = r, beg
+        best_src, best_beg = _best_holder(holders, dst)
         same_node = (cfg.machine.node_of_rank(best_src, rpn)
                      == cfg.machine.node_of_rank(dst, rpn))
         src_gpu = d_gpu if best_src == src else t_gpu
         dur = net.remote_gpu_transfer_time(
             nbytes, same_node, src_on_gpu=src_gpu, dst_on_gpu=t_gpu)
+        if fstate is not None:
+            dur = fstate.degrade_transfer(best_src, dst, best_beg,
+                                          nbytes, same_node, dur)
         send_free[best_src] = best_beg + dur
         recv_free[dst] = best_beg + dur
         path = (TransferPath.INTRA_NODE if same_node
@@ -290,15 +352,24 @@ def simulate(graph: TaskGraph, cfg: RunConfig, *,
     def cold_transfer(ref, t: Task, t_gpu: bool) -> float:
         """Arrival of an initial tile at t's rank/device (owner-hosted)."""
         src = graph.tile_owner[ref]
-        dst = t.rank
+        avail0 = 0.0
+        if fstate is not None and src in fstate.dead:
+            # The owner died: initial data is durable (regenerable /
+            # on the parallel filesystem) and is re-hosted by the
+            # replacement rank, available once the crash is detected.
+            src = fstate.remap_rank(src)
+            avail0 = fstate.recovery_floor
+        dst = rank_of[t.tid]
         if src == dst and not t_gpu:
-            return 0.0
+            return avail0
         key = (ref, dst, t_gpu)
         cached = cold_cache.get(key)
         if cached is not None:
             return cached
         nbytes = graph.tile_bytes.get(ref, 0)
-        holders = cold_copies.setdefault(ref, {src: 0.0})
+        holders = cold_copies.setdefault(ref, {src: avail0})
+        if fstate is not None and not holders:
+            holders[src] = avail0  # every pre-crash copy was pruned
         if dst in holders:
             arrival = holders[dst]
             if t_gpu and (dst == src or not net.nic_on_gpu):
@@ -314,16 +385,14 @@ def simulate(graph: TaskGraph, cfg: RunConfig, *,
                 arrival = beg + dur
             cold_cache[key] = arrival
             return arrival
-        best_src, best_beg = src, max(holders[src], send_free[src],
-                                      recv_free[dst])
-        for r, avail in holders.items():
-            beg = max(avail, send_free[r], recv_free[dst])
-            if beg < best_beg:
-                best_src, best_beg = r, beg
+        best_src, best_beg = _best_holder(holders, dst)
         same_node = (cfg.machine.node_of_rank(best_src, rpn)
                      == cfg.machine.node_of_rank(dst, rpn))
         dur = net.remote_gpu_transfer_time(
             nbytes, same_node, src_on_gpu=False, dst_on_gpu=t_gpu)
+        if fstate is not None:
+            dur = fstate.degrade_transfer(best_src, dst, best_beg,
+                                          nbytes, same_node, dur)
         send_free[best_src] = best_beg + dur
         recv_free[dst] = best_beg + dur
         path = (TransferPath.INTRA_NODE if same_node
@@ -340,20 +409,35 @@ def simulate(graph: TaskGraph, cfg: RunConfig, *,
         cold_cache[key] = arrival
         return arrival
 
-    # Event queue of task completions.
-    events: List[Tuple[float, int]] = []
+    # Event queue of task completions: (time, tid, attempt-epoch).
+    # Crash markers use tid=_CRASH_TID with the crash index as epoch.
+    events: List[Tuple[float, int, int]] = []
 
     # Stall accounting (scheduler-attributed idle time, by cause).
     stall_acc = {STALL_DEPENDENCY: 0.0, STALL_LINK: 0.0, STALL_GATE: 0.0}
     park_time: Dict[int, float] = {}
 
-    def dispatch(tid: int) -> None:
+    def _pick_backup(rank: int, want_gpu: bool) -> Optional[int]:
+        """Least-loaded surviving rank (earliest free slot) != rank."""
+        best, best_free = None, float("inf")
+        for r in fstate.survivors():  # type: ignore[union-attr]
+            if r == rank:
+                continue
+            pool = gpu_pools[r] if want_gpu else cpu_pools[r]  # type: ignore[index]
+            free_at = pool.free[0][0]
+            if free_at < best_free:
+                best, best_free = r, free_at
+        return best
+
+    def dispatch(tid: int, floor: float = 0.0) -> None:
         """Assign a ready-and-eligible task to a slot; create its event."""
         t = tasks[tid]
         t_gpu = on_gpu[tid]
-        pool = (gpu_pools[t.rank] if t_gpu else cpu_pools[t.rank])  # type: ignore[index]
-        dep_ready = barrier_floor  # producers done (no transfer cost)
-        data_ready = barrier_floor  # producers done AND data arrived
+        rank = rank_of[tid]
+        pool = (gpu_pools[rank] if t_gpu else cpu_pools[rank])  # type: ignore[index]
+        base = barrier_floor if fstate is None else max(barrier_floor, floor)
+        dep_ready = base   # producers done (no transfer cost)
+        data_ready = base  # producers done AND data arrived
         for d in t.deps:
             if finish[d] > dep_ready:
                 dep_ready = finish[d]
@@ -378,41 +462,219 @@ def simulate(graph: TaskGraph, cfg: RunConfig, *,
             stall_acc[STALL_DEPENDENCY] += idle - link
         dur = _duration(t, cfg, t_gpu, res.cores,
                         gpu_gang if t_gpu else cpu_gang)
-        end = beg + dur
-        heapq.heappush(pool.free, (end, slot_idx))
-        finish[tid] = end
-        if start is not None:
-            start[tid] = beg
-        per_kind_busy[t.kind.value] = per_kind_busy.get(t.kind.value, 0.0) + dur
-        per_rank_busy[t.rank] += dur
-        if sink is not None:
-            sink.on_task(TaskEvent(
-                tid=tid, kind=t.kind.value, rank=t.rank,
-                slot=f"gpu{slot_idx}" if t_gpu else f"cpu{slot_idx}",
-                phase=t.phase, flops=t.flops, start=beg, end=end,
-                duration=dur, label=t.label))
-        heapq.heappush(events, (end, tid))
+        dispatched[tid] = True
 
-    def make_eligible(tid: int, now: float = 0.0) -> None:
+        if fstate is None:
+            end = beg + dur
+            heapq.heappush(pool.free, (end, slot_idx))
+            finish[tid] = end
+            if start is not None:
+                start[tid] = beg
+            per_kind_busy[t.kind.value] = (
+                per_kind_busy.get(t.kind.value, 0.0) + dur)
+            per_rank_busy[rank] += dur
+            if sink is not None:
+                sink.on_task(TaskEvent(
+                    tid=tid, kind=t.kind.value, rank=rank,
+                    slot=f"gpu{slot_idx}" if t_gpu else f"cpu{slot_idx}",
+                    phase=t.phase, flops=t.flops, start=beg, end=end,
+                    duration=dur, label=t.label))
+            heapq.heappush(events, (end, tid, 0))
+            return
+
+        # ---- fault-aware execution path ------------------------------
+        nominal = dur
+        sf = fstate.straggler_factor(rank, beg)
+        if sf != 1.0:
+            dur = dur * sf
+        fails, extra = fstate.transient_schedule(tid, t.kind.value, dur)
+        end = beg + extra + dur
+        if fails and sink is not None:
+            sink.on_fault(FaultEvent(
+                kind=FAULT_TRANSIENT, time=beg, rank=rank, tid=tid,
+                detail=f"{fails} failed attempt(s), retried with backoff"))
+
+        # Straggler mitigation: speculative duplicate, first finisher
+        # wins, the loser is cancelled at the winner's finish time.
+        finish_t = end
+        winner, win_beg = rank, beg
+        if fstate.should_speculate(nominal, end - beg):
+            backup = _pick_backup(rank, t_gpu)
+            detect = fstate.speculation_detect_time(beg, nominal)
+            if backup is not None and detect < end:
+                nbytes_in = sum(graph.tile_bytes.get(ref, 0)
+                                for ref in t.reads)
+                refetch = (net.transfer_time(nbytes_in,
+                                             TransferPath.INTER_NODE)
+                           if nbytes_in else 0.0)
+                bpool = (gpu_pools[backup] if t_gpu  # type: ignore[index]
+                         else cpu_pools[backup])
+                bfree, bidx = heapq.heappop(bpool.free)
+                dup_beg = max(detect + refetch, bfree)
+                dup_dur = nominal * fstate.straggler_factor(backup, dup_beg)
+                dup_end = dup_beg + dup_dur
+                if dup_end < end:
+                    finish_t, winner, win_beg = dup_end, backup, dup_beg
+                    fstate.stats.speculation_wins += 1
+                if nbytes_in:
+                    comm.record(TransferPath.INTER_NODE, nbytes_in)
+                    fstate.stats.recovery_bytes += nbytes_in
+                    if sink is not None:
+                        sink.on_transfer(TransferEvent(
+                            src=rank, dst=backup, nbytes=nbytes_in,
+                            leg=TransferPath.INTER_NODE.value,
+                            start=detect, end=detect + refetch))
+                heapq.heappush(bpool.free, (finish_t, bidx))
+                dup_busy = max(finish_t - dup_beg, 0.0)
+                per_rank_busy[backup] += dup_busy
+                fstate.stats.speculative_duplicates += 1
+                fstate.stats.reexecution_seconds += dup_busy
+                if sink is not None:
+                    sink.on_fault(FaultEvent(
+                        kind=FAULT_SPECULATE, time=detect, rank=backup,
+                        tid=tid,
+                        detail=(f"duplicate of r{rank} task; "
+                                f"{'duplicate' if winner == backup else 'original'}"
+                                f" won at {finish_t:.6g}s")))
+
+        heapq.heappush(pool.free, (finish_t, slot_idx))
+        finish[tid] = finish_t
+        rank_of[tid] = winner
+        if start is not None:
+            start[tid] = win_beg
+        span = finish_t - win_beg
+        if fstate.attempt[tid] > 0:
+            # A post-revocation re-execution (crash replay / re-run).
+            fstate.stats.reexecution_seconds += span
+        per_kind_busy[t.kind.value] = (
+            per_kind_busy.get(t.kind.value, 0.0) + span)
+        per_rank_busy[rank] += max(finish_t - beg, 0.0) if winner == rank \
+            else max(min(end, finish_t) - beg, 0.0)
+        if sink is not None:
+            # Buffered, not emitted: a crash can revoke this execution
+            # before it completes, and the trace must only show work
+            # that actually ran to completion.  The event loop emits it
+            # when the matching-epoch completion pops.
+            pending_ev[tid] = TaskEvent(
+                tid=tid, kind=t.kind.value, rank=winner,
+                slot=f"gpu{slot_idx}" if t_gpu else f"cpu{slot_idx}",
+                phase=t.phase, flops=t.flops, start=win_beg, end=finish_t,
+                duration=span, label=t.label)
+        heapq.heappush(events, (finish_t, tid, fstate.attempt[tid]))
+
+    def make_eligible(tid: int, now: float = 0.0, floor: float = 0.0) -> None:
         t = tasks[tid]
         if window_ok(t):
-            dispatch(tid)
+            dispatch(tid, floor)
         else:
             parked.setdefault(gate[tid], []).append(tid)
             park_time[tid] = now
 
-    # Seed: all zero-indegree tasks.
+    # ------------------------------------------------------------------
+    # Crash recovery (lineage replay); only reachable with a fault plan.
+    # ------------------------------------------------------------------
+
+    def _purge_task_output(tid: int) -> None:
+        copies.pop(tid, None)
+        pending_ev.pop(tid, None)
+        for key in [k for k in xfer_cache if k[0] == tid]:
+            del xfer_cache[key]
+
+    def on_crash(dead_rank: int, now: float) -> None:
+        nonlocal completed
+        assert fstate is not None
+        fstate.mark_dead(dead_rank, now)
+
+        # In-flight work on the dead rank is void: bump the attempt
+        # epoch (queued completion events turn stale) and un-dispatch.
+        revoked = 0
+        for tid in range(n_tasks):
+            if (dispatched[tid] and not done[tid]
+                    and rank_of[tid] == dead_rank):
+                dispatched[tid] = False
+                fstate.attempt[tid] += 1
+                finish[tid] = 0.0
+                _purge_task_output(tid)
+                revoked += 1
+        fstate.stats.revoked_inflight += revoked
+
+        # Tiles whose only copy lived on the dead rank are lost.
+        lost = set()
+        for tid in range(n_tasks):
+            if done[tid] and rank_of[tid] == dead_rank:
+                holders = copies.get(tid)
+                if not holders or all(r in fstate.dead for r in holders):
+                    lost.add(tid)
+        for holders in copies.values():
+            holders.pop(dead_rank, None)
+        for holders in cold_copies.values():
+            holders.pop(dead_rank, None)
+        fstate.stats.lost_tiles += sum(len(tasks[tid].writes)
+                                       for tid in lost)
+
+        # Minimal replay subgraph: lost producers the remaining program
+        # still needs, transitively (last-writer lineage walk).
+        replay = lineage_replay_set(tasks, done, lost)
+        for tid in sorted(replay):
+            done[tid] = False
+            completed -= 1
+            phase_remaining[gate[tid]] += 1
+            dispatched[tid] = False
+            fstate.attempt[tid] += 1
+            finish[tid] = 0.0
+            _purge_task_output(tid)
+            if sink is not None:
+                sink.on_fault(FaultEvent(
+                    kind=FAULT_REPLAY, time=now, rank=rank_of[tid],
+                    tid=tid, detail="lost output; lineage replay"))
+        fstate.stats.replayed_tasks += len(replay)
+
+        # Move every pending task off dead ranks (deterministic remap).
+        for tid in range(n_tasks):
+            if not done[tid] and rank_of[tid] in fstate.dead:
+                rank_of[tid] = fstate.remap_rank(rank_of[tid])
+
+        # Re-derive readiness for everything that still has to run.
+        for tid in range(n_tasks):
+            if not done[tid] and not dispatched[tid]:
+                indeg[tid] = sum(1 for d in tasks[tid].deps if not done[d])
+        floor = fstate.recovery_floor
+        for tid in range(n_tasks):
+            if (not done[tid] and not dispatched[tid]
+                    and tid not in park_time and indeg[tid] == 0):
+                make_eligible(tid, now, floor)
+
+        if sink is not None:
+            sink.on_fault(FaultEvent(
+                kind=FAULT_CRASH, time=now, rank=dead_rank, tid=-1,
+                detail=(f"{revoked} in-flight revoked, "
+                        f"{len(replay)} task(s) replayed, "
+                        f"{len(lost)} output(s) lost")))
+
+    # Seed: all zero-indegree tasks, then the plan's crash markers.
     for t in tasks:
         if indeg[t.tid] == 0:
             make_eligible(t.tid)
+    if fstate is not None:
+        for i, c in enumerate(fstate.plan.crashes):
+            heapq.heappush(events, (c.time, _CRASH_TID, i))
 
     makespan = 0.0
     completed = 0
     while events:
-        now, tid = heapq.heappop(events)
+        now, tid, epoch = heapq.heappop(events)
+        if tid == _CRASH_TID:
+            on_crash(fstate.plan.crashes[epoch].rank, now)  # type: ignore[union-attr]
+            continue
         if done[tid]:
             continue
+        if fstate is not None and epoch != fstate.attempt[tid]:
+            continue  # stale completion of a revoked execution
         done[tid] = True
+        if fstate is not None and sink is not None:
+            pev = pending_ev.pop(tid, None)
+            if pev is not None:
+                sink.on_task(pev)
         completed += 1
         makespan = max(makespan, now)
         t = tasks[tid]
@@ -440,8 +702,15 @@ def simulate(graph: TaskGraph, cfg: RunConfig, *,
                                 sink.on_stall(StallEvent(
                                     tid=ptid, cause=STALL_GATE,
                                     start=gated_since, end=now))
+                            if fstate is not None and indeg[ptid] > 0:
+                                # A crash revoked one of its producers
+                                # while parked; it re-arms when the
+                                # replayed producer completes.
+                                continue
                             dispatch(ptid)
         for s in succ[tid]:
+            if fstate is not None and (done[s] or dispatched[s]):
+                continue  # already ran against the pre-crash data
             indeg[s] -= 1
             if indeg[s] == 0:
                 make_eligible(s, now)
@@ -468,6 +737,8 @@ def simulate(graph: TaskGraph, cfg: RunConfig, *,
         reg.counter(f"scheduler.stall_seconds.{cause}").inc(sec)
     reg.gauge("scheduler.makespan_seconds").set(makespan)
     comm.publish(reg)
+    if fstate is not None:
+        fstate.stats.publish(reg)
     if sink is not None:
         hist = reg.histogram("scheduler.task_seconds")
         for ev in getattr(sink, "tasks", ()):
@@ -485,9 +756,10 @@ def simulate(graph: TaskGraph, cfg: RunConfig, *,
         start_times=start,
         finish_times=list(finish) if keep_trace else None,
         kinds=[t.kind.value for t in tasks] if keep_trace else None,
-        ranks=[t.rank for t in tasks] if keep_trace else None,
+        ranks=list(rank_of) if keep_trace else None,
         slots_per_rank=slots_per_rank,
         stall_seconds=dict(stall_acc),
+        recovery=fstate.stats if fstate is not None else None,
     )
 
 

@@ -81,3 +81,88 @@ class TestMemoryCommand:
         assert main(["memory", "--machine", "summit", "--nodes", "1",
                      "--cpu"]) == 0
         assert "CPU" in capsys.readouterr().out
+
+
+class TestTraceCommand:
+    def test_empty_dag_prints_empty_gantt(self, capsys):
+        # Zero-task run (n=0): must not crash, must say so.
+        assert main(["trace", "--machine", "summit", "--nodes", "1",
+                     "--n", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "makespan:  0.000" in out
+        assert "gantt: empty timeline" in out
+
+    def test_empty_dag_chrome_trace(self, tmp_path, capsys):
+        trace = str(tmp_path / "empty.json")
+        assert main(["trace", "--machine", "summit", "--nodes", "1",
+                     "--n", "0", "--chrome-trace", trace]) == 0
+        data = json.load(open(trace))
+        # Only process-name metadata survives; no task/fault events.
+        assert all(e["ph"] == "M" for e in data["traceEvents"])
+
+    def test_nonempty_dag_has_gantt(self, capsys):
+        assert main(["trace", "--n", "4000", "--max-tiles", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "tasks" in out and "gantt: empty" not in out
+
+
+class TestPolarCheckpoint:
+    def test_resume_matches_uninterrupted(self, matrix_file, tmp_path,
+                                          capsys):
+        ref = str(tmp_path / "ref.npz")
+        res = str(tmp_path / "res.npz")
+        ck = str(tmp_path / "ck")
+        assert main(["polar", matrix_file, "--output", ref]) == 0
+        # Interrupt after two iterations, then resume from disk.
+        assert main(["polar", matrix_file, "--checkpoint-dir", ck,
+                     "--max-iter", "2"]) == 0
+        assert "iterations=2" in capsys.readouterr().out
+        assert main(["polar", matrix_file, "--checkpoint-dir", ck,
+                     "--output", res]) == 0
+        a, b = np.load(ref), np.load(res)
+        assert np.array_equal(a["u"], b["u"])
+        assert np.array_equal(a["h"], b["h"])
+
+    def test_checkpoint_requires_qdwh(self, matrix_file, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["polar", matrix_file, "--method", "svd",
+                  "--checkpoint-dir", str(tmp_path / "ck")])
+
+
+class TestFaultsCommand:
+    ARGS = ["--machine", "summit", "--nodes", "1", "--n", "4000",
+            "--max-tiles", "6"]
+
+    def test_crash_run(self, capsys):
+        assert main(["faults", *self.ARGS, "--crash", "1@2.0"]) == 0
+        out = capsys.readouterr().out
+        assert "fault-free makespan" in out
+        assert "faulty makespan" in out
+        assert "replayed" in out
+        assert "checkpoint interval" in out.lower() or "mttf" in out.lower()
+
+    def test_no_faults_is_baseline_only(self, capsys):
+        assert main(["faults", *self.ARGS]) == 0
+        out = capsys.readouterr().out
+        assert "fault-free makespan" in out
+        assert "faulty makespan" not in out
+
+    def test_emit_plan_simulate_roundtrip(self, tmp_path, capsys):
+        plan = str(tmp_path / "plan.json")
+        assert main(["faults", *self.ARGS, "--crash", "1@2.0",
+                     "--straggler", "0@3", "--emit-plan", plan]) == 0
+        out1 = capsys.readouterr().out
+        rec1 = [l for l in out1.splitlines() if "recovery:" in l]
+        assert main(["simulate", "--machine", "summit", "--nodes", "1",
+                     "--n", "4000", "--max-tiles", "6",
+                     "--fault-plan", plan]) == 0
+        out2 = capsys.readouterr().out
+        rec2 = [l for l in out2.splitlines() if "recovery:" in l]
+        # Same plan file -> bit-identical recovery summary line.
+        assert rec1 and rec1 == rec2
+        assert "replayed" in out2
+
+    def test_mttf_draws_plan(self, capsys):
+        assert main(["faults", *self.ARGS, "--mttf", "30",
+                     "--fault-seed", "11"]) == 0
+        assert "fault-free makespan" in capsys.readouterr().out
