@@ -7,8 +7,9 @@ wall time.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict
 
 from .network import TransferPath
 
@@ -21,10 +22,15 @@ class CommCounters:
         default_factory=lambda: {p: 0 for p in TransferPath})
     bytes: Dict[TransferPath, int] = field(
         default_factory=lambda: {p: 0 for p in TransferPath})
-    #: Totals already published, per (registry, prefix) — makes
-    #: :meth:`publish` idempotent (see there).  Not part of the value.
-    _published: Dict[Tuple[int, str], Dict[str, Dict[TransferPath, int]]] \
-        = field(default_factory=dict, repr=False, compare=False)
+    #: Totals already published, per live registry (held weakly: a
+    #: collected registry's entry dies with it instead of aliasing a
+    #: new registry allocated at the same address, which would
+    #: under-report the first publish to the newcomer) and prefix —
+    #: makes :meth:`publish` idempotent (see there).  Not part of the
+    #: value.
+    _published: "weakref.WeakKeyDictionary" = field(
+        default_factory=weakref.WeakKeyDictionary, repr=False,
+        compare=False)
 
     def record(self, path: TransferPath, nbytes: int) -> None:
         if path is TransferPath.LOCAL:
@@ -97,8 +103,11 @@ class CommCounters:
         that both publish) cannot double-count, while counters that
         kept accumulating between calls publish exactly their delta.
         """
-        seen = self._published.setdefault(
-            (id(registry), prefix),
+        per_registry = self._published.get(registry)
+        if per_registry is None:
+            per_registry = self._published[registry] = {}
+        seen = per_registry.setdefault(
+            prefix,
             {"messages": {p: 0 for p in TransferPath},
              "bytes": {p: 0 for p in TransferPath}})
         for p in TransferPath:

@@ -162,7 +162,10 @@ def qdwh(a: np.ndarray, *,
         iteration, and a matching checkpoint found on entry resumes
         the loop mid-run.  The iterate round-trips losslessly, so an
         interrupted-and-resumed run returns bit-identical ``u`` and
-        ``h`` to an uninterrupted one.
+        ``h`` to an uninterrupted one.  Checkpoints carry a content
+        fingerprint of ``a`` — state left behind by a *different*
+        input (even of the same shape and dtype) is ignored — and a
+        run that converges clears the checkpoint directory.
 
     Returns
     -------
@@ -186,10 +189,15 @@ def qdwh(a: np.ndarray, *,
     a_orig = a
 
     # --- Resume from the newest checkpoint, if one matches. ---
-    state = checkpoint.load() if checkpoint is not None else None
+    state = ckpt_fp = None
+    if checkpoint is not None:
+        from ..resilience.checkpoint import input_fingerprint
+        ckpt_fp = input_fingerprint(a)
+        state = checkpoint.load()
     if state is not None:
         saved = np.asarray(state["ak"])
-        if saved.shape != (m, n) or saved.dtype != dt:
+        if (saved.shape != (m, n) or saved.dtype != dt
+                or state.get("fingerprint") != ckpt_fp):
             state = None  # stale checkpoint from a different problem
 
     if state is not None:
@@ -267,9 +275,14 @@ def qdwh(a: np.ndarray, *,
             checkpoint.save(ak=ak, li=li, conv=conv, it=it, it_qr=it_qr,
                             it_chol=it_chol, alpha=float(alpha),
                             l0=float(l0), conv_history=conv_history,
-                            weight_history=weight_history)
+                            weight_history=weight_history,
+                            fingerprint=ckpt_fp)
 
     converged = conv < inner_tol and abs(li - 1.0) < weight_tol
+    if checkpoint is not None and converged:
+        # A finished run's checkpoints are spent; a later run must
+        # start fresh, not resume from this one's converged state.
+        checkpoint.clear()
 
     # --- H = U_p^H A, symmetrized (line 52). ---
     u = ak

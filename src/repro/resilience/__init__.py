@@ -22,6 +22,7 @@ from .checkpoint import (
     QdwhCheckpointer,
     checkpoint_write_cost,
     expected_overhead,
+    input_fingerprint,
     optimal_interval,
     recovery_overhead_curve,
 )
@@ -47,6 +48,7 @@ __all__ = [
     "QdwhCheckpointer",
     "checkpoint_write_cost",
     "expected_overhead",
+    "input_fingerprint",
     "optimal_interval",
     "recovery_overhead_curve",
     "FaultPlan",

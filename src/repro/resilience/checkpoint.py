@@ -21,6 +21,7 @@ Two sides of the same policy:
 
 from __future__ import annotations
 
+import hashlib
 import math
 import os
 import re
@@ -137,6 +138,22 @@ _CKPT_RE = re.compile(r"qdwh_ckpt_it(\d+)\.npz$")
 _SCALAR_KEYS = ("li", "conv", "it", "it_qr", "it_chol", "alpha", "l0")
 
 
+def input_fingerprint(a: np.ndarray) -> str:
+    """Content hash identifying the problem a checkpoint belongs to.
+
+    Shape and dtype alone cannot tell two same-shaped inputs apart, and
+    resuming from another matrix's converged state silently returns
+    wrong factors — so :func:`repro.core.qdwh_dense.qdwh` stores this
+    hash with every checkpoint and rejects any whose fingerprint does
+    not match its input.
+    """
+    h = hashlib.sha256()
+    h.update(str(a.shape).encode())
+    h.update(str(a.dtype).encode())
+    h.update(np.ascontiguousarray(a).tobytes())
+    return h.hexdigest()
+
+
 class QdwhCheckpointer:
     """Directory-backed checkpoint store for the dense QDWH loop.
 
@@ -175,19 +192,29 @@ class QdwhCheckpointer:
     def save(self, *, ak: np.ndarray, li: float, conv: float, it: int,
              it_qr: int, it_chol: int, alpha: float, l0: float,
              conv_history: List[float],
-             weight_history: List[tuple]) -> str:
-        """Write iteration ``it``'s full loop state; returns the path."""
+             weight_history: List[tuple],
+             fingerprint: Optional[str] = None) -> str:
+        """Write iteration ``it``'s full loop state; returns the path.
+
+        ``fingerprint`` (see :func:`input_fingerprint`) names the input
+        matrix this state belongs to; ``load`` hands it back so the
+        resume path can refuse another problem's checkpoint.
+        """
         path = self._path(it)
         # savez appends .npz to suffix-less names; keep the temp name
         # explicit so the atomic rename sees the real file.
         tmp = path + ".tmp.npz"
         wh = np.asarray(weight_history, dtype=np.float64)
-        np.savez(tmp, ak=ak,
-                 scalars=np.array([li, conv, it, it_qr, it_chol,
-                                   alpha, l0], dtype=np.float64),
-                 conv_history=np.asarray(conv_history, dtype=np.float64),
-                 weight_history=(wh if wh.size else
-                                 np.zeros((0, 3), dtype=np.float64)))
+        arrays = dict(
+            ak=ak,
+            scalars=np.array([li, conv, it, it_qr, it_chol,
+                              alpha, l0], dtype=np.float64),
+            conv_history=np.asarray(conv_history, dtype=np.float64),
+            weight_history=(wh if wh.size else
+                            np.zeros((0, 3), dtype=np.float64)))
+        if fingerprint is not None:
+            arrays["fingerprint"] = np.array(fingerprint)
+        np.savez(tmp, **arrays)
         os.replace(tmp, path)
         self.writes += 1
         for _, old in self._existing()[:-self.keep]:
@@ -213,6 +240,8 @@ class QdwhCheckpointer:
                                      for v in data["conv_history"]]
             state["weight_history"] = [tuple(float(x) for x in row)
                                        for row in data["weight_history"]]
+            state["fingerprint"] = (str(data["fingerprint"])
+                                    if "fingerprint" in data.files else None)
         from ..obs.metrics import get_registry
         get_registry().counter("resilience.checkpoint_restores").inc()
         return state

@@ -214,6 +214,13 @@ def simulate(graph: TaskGraph, cfg: RunConfig, *,
     #: Fault path only: task events buffered at dispatch, emitted at
     #: completion (so revoked executions never reach the trace).
     pending_ev: Dict[int, TaskEvent] = {}
+    #: Fault path only: busy/re-execution accounting buffered the same
+    #: way — (kind, span, rank, rank_busy, backup_rank, backup_busy,
+    #: reexec_seconds) applied when the execution completes, dropped
+    #: when a crash revokes it (utilization must only count work that
+    #: ran to completion, like the trace).
+    pending_busy: Dict[int, Tuple[str, float, int, float,
+                                  Optional[int], float, float]] = {}
 
     # Window bookkeeping over the configured gate unit.
     if cfg.barrier_granularity == "op":
@@ -498,6 +505,8 @@ def simulate(graph: TaskGraph, cfg: RunConfig, *,
         # wins, the loser is cancelled at the winner's finish time.
         finish_t = end
         winner, win_beg = rank, beg
+        backup_rank: Optional[int] = None
+        dup_busy = 0.0
         if fstate.should_speculate(nominal, end - beg):
             backup = _pick_backup(rank, t_gpu)
             detect = fstate.speculation_detect_time(beg, nominal)
@@ -511,31 +520,39 @@ def simulate(graph: TaskGraph, cfg: RunConfig, *,
                          else cpu_pools[backup])
                 bfree, bidx = heapq.heappop(bpool.free)
                 dup_beg = max(detect + refetch, bfree)
-                dup_dur = nominal * fstate.straggler_factor(backup, dup_beg)
-                dup_end = dup_beg + dup_dur
-                if dup_end < end:
-                    finish_t, winner, win_beg = dup_end, backup, dup_beg
-                    fstate.stats.speculation_wins += 1
-                if nbytes_in:
-                    comm.record(TransferPath.INTER_NODE, nbytes_in)
-                    fstate.stats.recovery_bytes += nbytes_in
+                if dup_beg >= end:
+                    # Useless duplicate: it could not start before the
+                    # original finishes.  Launch nothing and leave the
+                    # backup slot untouched — pushing `end` here would
+                    # move a busy slot's free time *backwards* and let
+                    # later tasks overlap time the slot was occupied.
+                    heapq.heappush(bpool.free, (bfree, bidx))
+                else:
+                    dup_dur = nominal * fstate.straggler_factor(backup,
+                                                                dup_beg)
+                    dup_end = dup_beg + dup_dur
+                    if dup_end < end:
+                        finish_t, winner, win_beg = dup_end, backup, dup_beg
+                        fstate.stats.speculation_wins += 1
+                    if nbytes_in:
+                        comm.record(TransferPath.INTER_NODE, nbytes_in)
+                        fstate.stats.recovery_bytes += nbytes_in
+                        if sink is not None:
+                            sink.on_transfer(TransferEvent(
+                                src=rank, dst=backup, nbytes=nbytes_in,
+                                leg=TransferPath.INTER_NODE.value,
+                                start=detect, end=detect + refetch))
+                    heapq.heappush(bpool.free, (max(finish_t, bfree), bidx))
+                    backup_rank = backup
+                    dup_busy = max(finish_t - dup_beg, 0.0)
+                    fstate.stats.speculative_duplicates += 1
                     if sink is not None:
-                        sink.on_transfer(TransferEvent(
-                            src=rank, dst=backup, nbytes=nbytes_in,
-                            leg=TransferPath.INTER_NODE.value,
-                            start=detect, end=detect + refetch))
-                heapq.heappush(bpool.free, (finish_t, bidx))
-                dup_busy = max(finish_t - dup_beg, 0.0)
-                per_rank_busy[backup] += dup_busy
-                fstate.stats.speculative_duplicates += 1
-                fstate.stats.reexecution_seconds += dup_busy
-                if sink is not None:
-                    sink.on_fault(FaultEvent(
-                        kind=FAULT_SPECULATE, time=detect, rank=backup,
-                        tid=tid,
-                        detail=(f"duplicate of r{rank} task; "
-                                f"{'duplicate' if winner == backup else 'original'}"
-                                f" won at {finish_t:.6g}s")))
+                        sink.on_fault(FaultEvent(
+                            kind=FAULT_SPECULATE, time=detect, rank=backup,
+                            tid=tid,
+                            detail=(f"duplicate of r{rank} task; "
+                                    f"{'duplicate' if winner == backup else 'original'}"
+                                    f" won at {finish_t:.6g}s")))
 
         heapq.heappush(pool.free, (finish_t, slot_idx))
         finish[tid] = finish_t
@@ -543,13 +560,13 @@ def simulate(graph: TaskGraph, cfg: RunConfig, *,
         if start is not None:
             start[tid] = win_beg
         span = finish_t - win_beg
-        if fstate.attempt[tid] > 0:
-            # A post-revocation re-execution (crash replay / re-run).
-            fstate.stats.reexecution_seconds += span
-        per_kind_busy[t.kind.value] = (
-            per_kind_busy.get(t.kind.value, 0.0) + span)
-        per_rank_busy[rank] += max(finish_t - beg, 0.0) if winner == rank \
+        # A post-revocation re-execution (crash replay / re-run), plus
+        # whatever the speculative duplicate burned, is recovery cost.
+        reexec = dup_busy + (span if fstate.attempt[tid] > 0 else 0.0)
+        rank_busy = max(finish_t - beg, 0.0) if winner == rank \
             else max(min(end, finish_t) - beg, 0.0)
+        pending_busy[tid] = (t.kind.value, span, rank, rank_busy,
+                             backup_rank, dup_busy, reexec)
         if sink is not None:
             # Buffered, not emitted: a crash can revoke this execution
             # before it completes, and the trace must only show work
@@ -566,7 +583,11 @@ def simulate(graph: TaskGraph, cfg: RunConfig, *,
         t = tasks[tid]
         if window_ok(t):
             dispatch(tid, floor)
-        else:
+        elif tid not in park_time:
+            # The membership guard matters only under crash recovery: a
+            # replayed producer's completion re-arms a consumer that
+            # may still be sitting in `parked`, and appending it again
+            # would dispatch it twice when the window opens.
             parked.setdefault(gate[tid], []).append(tid)
             park_time[tid] = now
 
@@ -577,6 +598,7 @@ def simulate(graph: TaskGraph, cfg: RunConfig, *,
     def _purge_task_output(tid: int) -> None:
         copies.pop(tid, None)
         pending_ev.pop(tid, None)
+        pending_busy.pop(tid, None)
         for key in [k for k in xfer_cache if k[0] == tid]:
             del xfer_cache[key]
 
@@ -671,10 +693,20 @@ def simulate(graph: TaskGraph, cfg: RunConfig, *,
         if fstate is not None and epoch != fstate.attempt[tid]:
             continue  # stale completion of a revoked execution
         done[tid] = True
-        if fstate is not None and sink is not None:
-            pev = pending_ev.pop(tid, None)
-            if pev is not None:
-                sink.on_task(pev)
+        if fstate is not None:
+            pb = pending_busy.pop(tid, None)
+            if pb is not None:
+                kindv, span, prank, rank_busy, brank, dup_busy, reexec = pb
+                per_kind_busy[kindv] = per_kind_busy.get(kindv, 0.0) + span
+                per_rank_busy[prank] += rank_busy
+                if brank is not None:
+                    per_rank_busy[brank] += dup_busy
+                if reexec:
+                    fstate.stats.reexecution_seconds += reexec
+            if sink is not None:
+                pev = pending_ev.pop(tid, None)
+                if pev is not None:
+                    sink.on_task(pev)
         completed += 1
         makespan = max(makespan, now)
         t = tasks[tid]
@@ -696,6 +728,11 @@ def simulate(graph: TaskGraph, cfg: RunConfig, *,
                 for ph in list(parked.keys()):
                     if ph <= release_upto:
                         for ptid in parked.pop(ph):
+                            if done[ptid] or dispatched[ptid]:
+                                # Stale entry: crash recovery already
+                                # re-armed and dispatched this task.
+                                park_time.pop(ptid, None)
+                                continue
                             gated_since = park_time.pop(ptid, now)
                             stall_acc[STALL_GATE] += now - gated_since
                             if sink is not None:

@@ -13,6 +13,12 @@ from repro.runtime.task import Task
 KINDS = [TaskKind.GEMM, TaskKind.GEQRT, TaskKind.COPY, TaskKind.TRSM,
          TaskKind.REDUCE]
 
+# Restricting the eligible set (tight lookahead, phase barriers) reorders
+# greedy dispatch, and Graham's scheduling anomalies mean that can
+# occasionally *shorten* a list schedule.  Same margin convention as
+# tests/test_resilience_properties.py ANOMALY_MARGIN.
+ANOMALY_MARGIN = 0.97
+
 
 @st.composite
 def random_graphs(draw):
@@ -74,7 +80,7 @@ class TestRandomDags:
         g, ranks = gr
         open_span = simulate(g, cfg_for(ranks, lookahead=None)).makespan
         tight = simulate(g, cfg_for(ranks, lookahead=0)).makespan
-        assert tight >= open_span * (1 - 1e-9)
+        assert tight >= open_span * ANOMALY_MARGIN
 
     @given(random_graphs())
     @settings(max_examples=25)
@@ -83,7 +89,7 @@ class TestRandomDags:
         plain = simulate(g, cfg_for(ranks, lookahead=0)).makespan
         barred = simulate(g, cfg_for(ranks, lookahead=0,
                                      barrier=True)).makespan
-        assert barred >= plain * (1 - 1e-9)
+        assert barred >= plain * ANOMALY_MARGIN
 
     @given(random_graphs())
     @settings(max_examples=20)
