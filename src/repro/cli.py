@@ -84,13 +84,122 @@ def _print_recovery(schedule) -> None:
           f"{rec.recovery_bytes / 2**20:.1f} MiB recovery traffic")
 
 
+def _polar_input(args: argparse.Namespace) -> np.ndarray:
+    """The input matrix: a .npy file or a generated test problem."""
+    if args.generate is not None and args.matrix:
+        raise SystemExit("give a matrix file or --generate N, not both")
+    if args.generate is None:
+        if not args.matrix:
+            raise SystemExit("a matrix file or --generate N is required")
+        a = np.load(args.matrix)
+        if a.ndim != 2:
+            raise SystemExit(f"{args.matrix} does not hold a matrix")
+        return a
+    from .matrices.generator import generate_matrix
+
+    return generate_matrix(args.generate, cond=args.cond,
+                           dtype=np.dtype(args.dtype), seed=args.seed)
+
+
+def _polar_tiled(args: argparse.Namespace, a: np.ndarray) -> int:
+    """``repro polar --backend eager|threads``: the tiled QDWH path."""
+    import time
+
+    from . import polar_report
+    from .core.tiled_qdwh import tiled_qdwh
+    from .dist.grid import ProcessGrid
+    from .dist.matrix import DistMatrix
+    from .obs import IterationLog
+    from .obs.timeline import TimelineSink
+
+    from .runtime.executor import Runtime
+    from .runtime.parallel import default_workers
+
+    backend = args.backend
+    threads = backend == "threads"
+    workers = args.workers or (default_workers() if threads else 1)
+
+    def run_once(nworkers: int, sink=None):
+        rt = Runtime(ProcessGrid(1, 1), numeric=True,
+                     deferred=threads, workers=nworkers, sink=sink)
+        d = DistMatrix.from_array(rt, a, args.nb, name="A")
+        log = IterationLog() if args.iter_log else None
+        kw = {}
+        if args.max_iter is not None:
+            kw["max_iter"] = args.max_iter
+        t0 = time.perf_counter()
+        res = tiled_qdwh(rt, d, backend=backend, workers=nworkers,
+                         iter_log=log, **kw)
+        wall = time.perf_counter() - t0
+        rt.close()
+        return res, wall, log
+
+    sink = TimelineSink() if threads else None
+    res, wall, log = run_once(workers, sink)
+    u = res.u.to_array()
+    h = res.h.to_array()
+    rep = polar_report(a, u, h)
+
+    print(f"backend={backend} workers={workers if threads else 1} "
+          f"nb={args.nb} n={a.shape[1]} "
+          f"iterations={res.iterations} "
+          f"({res.it_qr} QR + {res.it_chol} Cholesky)")
+    print(f"orthogonality={rep.orthogonality:.3e} "
+          f"backward={rep.backward:.3e}")
+    print(f"wall={wall:.3f} s")
+    if log is not None:
+        print(log.table(), end="")
+
+    if threads and workers > 1 and not args.no_baseline:
+        from .perf.report import parallel_efficiency
+
+        _, wall1, _ = run_once(1)
+        eff = parallel_efficiency({1: wall1, workers: wall})
+        print(f"baseline workers=1: {wall1:.3f} s | speedup "
+              f"{wall1 / wall if wall else float('inf'):.2f}x | "
+              f"parallel efficiency {eff[workers]:.2f}")
+
+    trace_path = args.chrome_trace
+    if threads and trace_path is None:
+        trace_path = "polar_measured_trace.json"
+    if trace_path and sink is not None and len(sink):
+        from .obs.export import write_chrome_trace
+
+        write_chrome_trace(sink, trace_path)
+        print(f"measured chrome trace written to {trace_path}")
+
+    if args.metrics_json:
+        from .obs import get_registry
+
+        reg = get_registry()
+        reg.counter(f"polar.runs.tiled_{backend}").inc()
+        reg.counter("polar.iterations").inc(res.iterations)
+        reg.gauge("polar.orthogonality").set(rep.orthogonality)
+        reg.gauge("polar.backward_error").set(rep.backward)
+        if threads:
+            reg.gauge("polar.wall_seconds").set(wall)
+        _dump_metrics(args.metrics_json)
+    if args.output:
+        np.savez(args.output, u=u, h=h)
+        print(f"factors saved to {args.output}")
+    return 0
+
+
 def cmd_polar(args: argparse.Namespace) -> int:
     from . import polar, polar_report
     from .obs import IterationLog
 
-    a = np.load(args.matrix)
-    if a.ndim != 2:
-        raise SystemExit(f"{args.matrix} does not hold a matrix")
+    a = _polar_input(args)
+    if args.backend != "dense":
+        if args.method != "qdwh":
+            raise SystemExit(f"--backend {args.backend} supports "
+                             "--method qdwh only")
+        if args.checkpoint_dir:
+            raise SystemExit("--checkpoint-dir requires --backend dense")
+        return _polar_tiled(args, a)
+    if args.workers is not None:
+        raise SystemExit("--workers is only meaningful with "
+                         "--backend threads")
     if args.iter_log and args.method != "qdwh":
         raise SystemExit("--iter-log requires --method qdwh")
     log = IterationLog() if args.iter_log else None
@@ -310,10 +419,42 @@ def build_parser() -> argparse.ArgumentParser:
     sub = ap.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("polar", help="decompose a .npy matrix")
-    p.add_argument("matrix", help="path to a .npy file (m x n, m >= n)")
+    p.add_argument("matrix", nargs="?",
+                   help="path to a .npy file (m x n, m >= n); "
+                        "alternatively use --generate N")
     p.add_argument("--method", default="qdwh",
                    choices=["qdwh", "svd", "newton", "newton_scaled",
                             "dwh", "zolo"])
+    p.add_argument("--backend", default="dense",
+                   choices=["dense", "eager", "threads"],
+                   help="dense: the reference dense driver (default); "
+                        "eager: tiled QDWH with eager task execution; "
+                        "threads: tiled QDWH replayed on a thread pool "
+                        "with measured timestamps")
+    p.add_argument("--workers", type=int, default=None,
+                   help="thread count for --backend threads "
+                        "(default: one per core)")
+    p.add_argument("--nb", type=int, default=128,
+                   help="tile size for the tiled backends (default 128)")
+    p.add_argument("--generate", type=int, default=None, metavar="N",
+                   help="generate an N x N test matrix instead of "
+                        "loading one from disk")
+    p.add_argument("--cond", type=float, default=1e16,
+                   help="condition number for --generate (default 1e16)")
+    p.add_argument("--dtype", default="float64",
+                   choices=["float32", "float64", "complex64",
+                            "complex128"],
+                   help="dtype for --generate (default float64)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="RNG seed for --generate (default 0)")
+    p.add_argument("--chrome-trace", default=None, metavar="PATH",
+                   help="write the measured chrome://tracing JSON here "
+                        "(threads backend; default "
+                        "polar_measured_trace.json)")
+    p.add_argument("--no-baseline", action="store_true",
+                   help="skip the workers=1 baseline run (threads "
+                        "backend normally reports speedup and parallel "
+                        "efficiency against it)")
     p.add_argument("--output", help="save factors to this .npz path")
     p.add_argument("--iter-log", action="store_true",
                    help="print the per-iteration QDWH telemetry table")

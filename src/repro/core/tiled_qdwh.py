@@ -192,12 +192,18 @@ def _chol_iteration(rt: Runtime, a: DistMatrix, wa: float, wb: float,
     add(rt, theta, xt, beta, a)
 
 
+#: Execution backends for numeric tiled runs.
+BACKENDS = ("eager", "threads")
+
+
 def tiled_qdwh(rt: Runtime, a: DistMatrix, *,
                cond_est: Optional[float] = None,
                max_iter: int = QDWH_HARD_ITERATION_CAP,
                norm2est_sweeps: Optional[int] = None,
                condest_cycles: Optional[int] = None,
-               iter_log: Optional["IterationLog"] = None) -> TiledQdwhResult:
+               iter_log: Optional["IterationLog"] = None,
+               backend: str = "eager",
+               workers: Optional[int] = None) -> TiledQdwhResult:
     """Algorithm 1 on the tiled substrate.
 
     Parameters
@@ -206,6 +212,17 @@ def tiled_qdwh(rt: Runtime, a: DistMatrix, *,
         The runtime (numeric or symbolic).
     a:
         m x n DistMatrix (m >= n); overwritten by the polar factor U.
+    backend:
+        ``"eager"`` (default) runs each task payload at submit time —
+        the original single-threaded semantics, bit-identical to
+        earlier releases.  ``"threads"`` switches the runtime to
+        deferred recording and executes the DAG on a
+        :class:`repro.runtime.parallel.ParallelExecutor` thread pool
+        (real concurrency; numeric mode only).  A runtime constructed
+        with ``deferred=True`` already uses the threaded backend.
+    workers:
+        Thread count for ``backend="threads"`` (default: one per
+        core).  ``workers=1`` is bit-identical to eager execution.
     cond_est:
         Known condition estimate.  Optional in numeric mode (the tiled
         QR + trcondest stage runs otherwise); **required** in symbolic
@@ -227,12 +244,20 @@ def tiled_qdwh(rt: Runtime, a: DistMatrix, *,
     m, n = a.shape
     if m < n:
         raise ValueError(f"QDWH requires m >= n, got {m} x {n}")
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; expected one of "
+                         f"{BACKENDS}")
+    if backend == "threads":
+        if not rt.numeric:
+            raise ValueError("backend='threads' requires a numeric runtime")
+        rt.enable_deferred(workers=workers)
     dt = a.dtype
     if n == 0:
         # Empty problem: no tasks, no iterations — the trace/simulate
         # paths must survive a zero-task DAG rather than divide by the
         # (undefined) condition deflation below.
         h = DistMatrix(rt, 0, 0, a.nb, dt, layout=a.layout, name="H")
+        rt.sync()  # flush any pending window from the caller
         return TiledQdwhResult(u=a, h=h, iterations=0, it_qr=0,
                                it_chol=0, alpha=0.0, l0=0.0)
     inner_tol = qdwh_inner_tolerance(dt)
@@ -264,6 +289,7 @@ def tiled_qdwh(rt: Runtime, a: DistMatrix, *,
                         a.tile(i, j)[...] = 0
                     rt.submit(TaskKind.SET, reads=(), writes=(a.ref(i, j),),
                               rank=a.owner(i, j), fn=zbody, label="uzero")
+            rt.sync()  # materialize U = [I; 0], H = 0 before returning
             return TiledQdwhResult(u=a, h=h, iterations=0, it_qr=0,
                                    it_chol=0, alpha=0.0, l0=0.0)
         alpha *= 1.1  # estimator safety margin, as in the dense driver
@@ -358,6 +384,7 @@ def tiled_qdwh(rt: Runtime, a: DistMatrix, *,
     gemm(rt, 1.0, a, acpy, 0.0, h, opa="C")
     _symmetrize(rt, h)
 
+    rt.sync()  # deferred backend: execute the tail window (H formation)
     return TiledQdwhResult(u=a, h=h, iterations=it, it_qr=it_qr,
                            it_chol=it_chol, conv_history=conv_history,
                            alpha=float(alpha), l0=float(l0),

@@ -126,11 +126,20 @@ class DistMatrix:
     # ------------------------------------------------------------------
 
     def tile(self, i: int, j: int) -> np.ndarray:
-        """The tile array; allocates zeros lazily in numeric mode."""
-        if not self.rt.numeric:
+        """The tile array; allocates zeros lazily in numeric mode.
+
+        On a deferred runtime, a *driver-level* tile access (outside a
+        running execution window) first flushes the pending task window
+        so the data read is exactly what eager execution would show;
+        accesses from task payloads during execution never re-enter.
+        """
+        rt = self.rt
+        if not rt.numeric:
             raise RuntimeError(
                 "tile data is unavailable in symbolic mode; the perf "
                 "model must not touch numerics")
+        if rt.deferred and not rt._in_execution:
+            rt.sync()
         key = (i, j)
         t = self._tiles.get(key)
         if t is None:
@@ -145,6 +154,8 @@ class DistMatrix:
         if data.shape != expected:
             raise ValueError(
                 f"tile ({i},{j}) expects shape {expected}, got {data.shape}")
+        if self.rt.deferred and not self.rt._in_execution:
+            self.rt.sync()  # don't clobber a tile pending tasks still write
         # Always copy: a contiguous slice of a caller's array would
         # otherwise be stored as a view, and in-place tile updates
         # would silently mutate the caller's data.
@@ -182,6 +193,7 @@ class DistMatrix:
         """Gather all tiles into a dense array (numeric mode only)."""
         if not self.rt.numeric:
             raise RuntimeError("cannot gather a symbolic matrix")
+        self.rt.sync()  # deferred runtimes: materialize pending writes
         out = np.zeros((self.m, self.n), dtype=self.dtype)
         for i in range(self.mt):
             r0 = self.row_offsets[i]

@@ -110,6 +110,12 @@ def chrome_trace(timeline: TimelineSink) -> Dict[str, object]:
                        "tid": _slot_tid(slot), "args": {"name": slot}})
 
     for t in timeline.tasks:
+        args: Dict[str, object] = {"tid": t.tid, "phase": t.phase,
+                                   "flops": t.flops}
+        if getattr(t, "measured", False):
+            # Only measured runs carry the flag, so simulated traces
+            # stay byte-identical to their pre-measured-backend form.
+            args["measured"] = True
         events.append({
             "name": t.label or t.kind,
             "cat": t.kind,
@@ -118,7 +124,7 @@ def chrome_trace(timeline: TimelineSink) -> Dict[str, object]:
             "dur": t.duration * 1e6,
             "pid": t.rank,
             "tid": _slot_tid(t.slot),
-            "args": {"tid": t.tid, "phase": t.phase, "flops": t.flops},
+            "args": args,
         })
 
     # In-flight transfer counters: one track, one series per link leg.

@@ -42,6 +42,11 @@ class TaskEvent:
     #: bit (``end - start`` re-derives it only up to roundoff).
     duration: float
     label: str = ""
+    #: False for simulated schedules (machine-model durations); True
+    #: when the event carries real wall-clock timestamps captured by
+    #: the threaded backend (:mod:`repro.runtime.parallel`).  Same
+    #: schema either way, so every exporter works on both.
+    measured: bool = False
 
 
 @dataclass(frozen=True)

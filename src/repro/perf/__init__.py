@@ -18,6 +18,11 @@ from .memory import (
     qdwh_footprint,
     qdwh_workspace_elements,
 )
+from .report import (
+    measured_vs_model,
+    parallel_efficiency,
+    profile_report,
+)
 from .sweep import (
     figure_series,
     scaling_series,
@@ -30,6 +35,9 @@ __all__ = [
     "PerfPoint",
     "build_qdwh_graph",
     "simulate_qdwh",
+    "measured_vs_model",
+    "parallel_efficiency",
+    "profile_report",
     "figure_series",
     "scaling_series",
     "speedup_table",

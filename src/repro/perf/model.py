@@ -86,6 +86,9 @@ class PerfPoint:
     executed_flops: float
     task_count: int
     schedule: ScheduleResult
+    #: Wall-clock seconds of a real (threaded-backend) run of the same
+    #: problem, when one was taken; None for purely simulated points.
+    measured_s: Optional[float] = None
 
     @property
     def tflops(self) -> float:

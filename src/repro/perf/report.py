@@ -12,12 +12,48 @@ in to extend the report with timeline-level detail.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from ..bench.tables import format_table
 from ..obs.export import kernel_breakdown, rank_utilization
 from ..obs.timeline import TimelineSink
 from .model import PerfPoint
+
+
+def parallel_efficiency(walls: Dict[int, float]) -> Dict[int, float]:
+    """Parallel efficiency T(1) / (w * T(w)) per worker count.
+
+    ``walls`` maps worker count -> measured wall-clock seconds and must
+    include the single-worker baseline (key 1).  Efficiency 1.0 is
+    perfect linear scaling; values slightly above 1.0 can occur from
+    cache effects and are reported as-is.
+    """
+    if 1 not in walls:
+        raise ValueError("parallel_efficiency needs the workers=1 "
+                         "baseline (key 1)")
+    t1 = walls[1]
+    out: Dict[int, float] = {}
+    for w, tw in sorted(walls.items()):
+        if w < 1:
+            raise ValueError(f"worker count must be >= 1, got {w}")
+        out[w] = 0.0 if tw == 0.0 else t1 / (w * tw)
+    return out
+
+
+def measured_vs_model(point: PerfPoint) -> str:
+    """One-line measured-vs-modeled comparison for a PerfPoint.
+
+    Requires :attr:`PerfPoint.measured_s`; the ratio says how far the
+    machine model is from the real threaded-backend wall clock (> 1:
+    the model is optimistic; < 1: pessimistic).
+    """
+    if point.measured_s is None:
+        raise ValueError("PerfPoint has no measured_s; run the threads "
+                         "backend to obtain a measurement")
+    ratio = (point.measured_s / point.makespan
+             if point.makespan > 0.0 else float("inf"))
+    return (f"measured {point.measured_s:.3f} s vs modeled "
+            f"{point.makespan:.3f} s (measured/model {ratio:.2f}x)")
 
 
 def profile_report(point: PerfPoint,
@@ -70,6 +106,8 @@ def profile_report(point: PerfPoint,
     lines.append(
         f"critical path: {s.critical_path:.2f} s "
         f"({s.critical_path / point.makespan * 100:.0f}% of makespan)")
+    if point.measured_s is not None:
+        lines.append(measured_vs_model(point))
 
     if timeline is not None and len(timeline):
         trow = [[leg, f"{b / 1e9:.2f}"]

@@ -13,12 +13,16 @@ The pieces map onto what SLATE gets from OpenMP + MPI:
   model; the task-based mode allows arbitrary out-of-order execution
   within a lookahead window, the fork-join mode inserts a barrier
   after every phase (the ScaLAPACK/POLAR execution model).
+* :mod:`.parallel` — *real* threaded replay of a recorded DAG on a
+  thread pool (NumPy/BLAS kernels release the GIL), with measured
+  timestamps and execution-time ordering assertions.
 * :mod:`.trace` — per-kernel/per-rank breakdowns of a simulated run.
 """
 
 from .task import Task, TaskKind, DEVICE_ELIGIBLE
-from .graph import TaskGraph
+from .graph import GraphValidationError, TaskGraph
 from .executor import Runtime
+from .parallel import ExecutionStats, OrderingViolationError, ParallelExecutor
 from .scheduler import ScheduleResult, simulate
 from .trace import kernel_breakdown, rank_utilization, critical_path_kinds
 
@@ -27,7 +31,11 @@ __all__ = [
     "TaskKind",
     "DEVICE_ELIGIBLE",
     "TaskGraph",
+    "GraphValidationError",
     "Runtime",
+    "ParallelExecutor",
+    "ExecutionStats",
+    "OrderingViolationError",
     "ScheduleResult",
     "simulate",
     "kernel_breakdown",

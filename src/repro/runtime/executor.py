@@ -9,6 +9,13 @@ A :class:`Runtime` binds a process grid and an execution mode:
 * ``numeric=False`` — symbolic mode: payloads are skipped, only the
   DAG is built.  This is how the performance model emits task graphs
   for paper-scale matrices (n ~ 2e5) in milliseconds of real time.
+* ``numeric=True, deferred=True`` — payload closures are *recorded*
+  instead of run; :meth:`Runtime.sync` replays the pending window on a
+  :class:`repro.runtime.parallel.ParallelExecutor` thread pool, so
+  independent tiles execute concurrently (the real-hardware analogue
+  of the simulated task-based schedule).  Scalar reduction reads and
+  ``DistMatrix`` gathers sync automatically, so adaptive algorithms
+  (convergence tests, estimators) run unchanged.
 
 Phases: ops bump :meth:`advance_phase` at every panel step.  The
 fork-join (ScaLAPACK) scheduler model inserts a barrier between
@@ -31,10 +38,18 @@ class Runtime:
 
     def __init__(self, grid: ProcessGrid, *, numeric: bool = True,
                  collect_graph: bool = True,
-                 tile_dim_hint: Optional[int] = None) -> None:
+                 tile_dim_hint: Optional[int] = None,
+                 deferred: bool = False,
+                 workers: Optional[int] = None,
+                 sink=None,
+                 lookahead: Optional[int] = None) -> None:
+        if deferred and not numeric:
+            raise ValueError(
+                "deferred execution requires numeric mode (symbolic "
+                "graphs have no payloads to run)")
         self.grid = grid
         self.numeric = numeric
-        self.collect_graph = collect_graph or not numeric
+        self.collect_graph = collect_graph or not numeric or deferred
         #: When set, overrides every task's tile_dim for the machine
         #: efficiency lookup.  The perf model simulates paper-scale
         #: matrices with coarsened tiles (to bound task counts) while
@@ -55,8 +70,21 @@ class Runtime:
         self.scalar_mat = self.new_matrix_id()
         self._scalar_ids = itertools.count()
         #: Cached metric counters for eager kernel invocations
-        #: (kind -> Counter in the process-wide registry).
+        #: (kind -> Counter in the process-wide registry).  Kernel
+        #: invocation metrics are published from exactly one execution
+        #: path: here when a payload runs eagerly, or by the
+        #: ParallelExecutor when it runs a recorded payload — never
+        #: both, and never for payload-less (symbolic) tasks.
         self._kernel_counters: dict = {}
+        #: Deferred-execution state (threaded backend).
+        self.deferred = bool(deferred)
+        self._workers = workers
+        self._exec_sink = sink
+        self._exec_lookahead = lookahead
+        self._pending_fns: dict = {}
+        self._exec_cursor = 0
+        self._executor = None
+        self._in_execution = False
 
     # ------------------------------------------------------------------
     # Identifiers and phases
@@ -132,15 +160,95 @@ class Runtime:
         if self.collect_graph:
             self.graph.add(task)
         if self.numeric and fn is not None:
-            fn()
-            counter = self._kernel_counters.get(kind)
-            if counter is None:
-                from ..obs.metrics import get_registry
-                counter = get_registry().counter(
-                    f"kernel.invocations.{kind.value}")
-                self._kernel_counters[kind] = counter
-            counter.inc()
+            if self.deferred:
+                self._pending_fns[task.tid] = fn
+            else:
+                fn()
+                self._count_kernel(kind)
         return task
+
+    def _count_kernel(self, kind: TaskKind) -> None:
+        """Publish one eager kernel invocation to the metrics registry."""
+        counter = self._kernel_counters.get(kind)
+        if counter is None:
+            from ..obs.metrics import get_registry
+            counter = get_registry().counter(
+                f"kernel.invocations.{kind.value}")
+            self._kernel_counters[kind] = counter
+        counter.inc()
+
+    # ------------------------------------------------------------------
+    # Deferred (threaded) execution
+    # ------------------------------------------------------------------
+
+    def enable_deferred(self, *, workers: Optional[int] = None,
+                        sink=None, lookahead: Optional[int] = None) -> None:
+        """Switch this runtime to deferred execution.
+
+        Tasks submitted so far (eagerly executed) stay as they are;
+        from here on payload closures are recorded and replayed by
+        :meth:`sync` on the threaded backend.  Idempotent; a changed
+        ``workers`` count flushes pending work and re-pools.
+        """
+        if not self.numeric:
+            raise ValueError("deferred execution requires numeric mode")
+        if workers is not None and self._executor is not None \
+                and workers != self._executor.workers:
+            self.sync()
+            self._executor.close()
+            self._executor = None
+        if workers is not None:
+            self._workers = workers
+        if sink is not None:
+            self._exec_sink = sink
+        if lookahead is not None:
+            self._exec_lookahead = lookahead
+        if not self.deferred:
+            self.deferred = True
+            # Everything before this point already ran eagerly.
+            self._exec_cursor = len(self.graph.tasks)
+
+    @property
+    def executor(self):
+        """The lazily created :class:`ParallelExecutor` (deferred mode)."""
+        if self._executor is None:
+            from .parallel import ParallelExecutor
+            self._executor = ParallelExecutor(
+                self.graph, self._pending_fns, workers=self._workers,
+                lookahead=self._exec_lookahead, sink=self._exec_sink)
+        return self._executor
+
+    @property
+    def exec_stats(self):
+        """Measured execution accounting, or None before any sync."""
+        return self._executor.stats if self._executor is not None else None
+
+    def sync(self) -> None:
+        """Run every recorded-but-pending payload (deferred mode).
+
+        A no-op for eager/symbolic runtimes, when nothing is pending,
+        and while an execution window is already in flight (task
+        payloads touch tiles, which would otherwise re-enter here).
+        Scalar reductions and DistMatrix gathers call this before
+        exposing values, so driver code sees exactly the eager-mode
+        dataflow.
+        """
+        if not self.deferred or self._in_execution:
+            return
+        end = len(self.graph.tasks)
+        if end == self._exec_cursor:
+            return
+        self._in_execution = True
+        try:
+            self.executor.run(self._exec_cursor, end)
+        finally:
+            self._in_execution = False
+            self._exec_cursor = end
+
+    def close(self) -> None:
+        """Release the threaded backend's worker pool, if any."""
+        if self._executor is not None:
+            self._executor.close()
 
     def register_tiles(self, refs: Iterable[TileRef], nbytes_each: int,
                        owner: int = -1) -> None:

@@ -15,9 +15,20 @@ scheduler never needs the tile tables again.
 
 from __future__ import annotations
 
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from .task import Task, TileRef
+
+
+class GraphValidationError(ValueError):
+    """A task graph violates the OpenMP-depend structural invariants."""
+
+    def __init__(self, problems: List[str]) -> None:
+        self.problems = problems
+        preview = "; ".join(problems[:5])
+        more = f" (+{len(problems) - 5} more)" if len(problems) > 5 else ""
+        super().__init__(f"{len(problems)} graph invariant violation(s): "
+                         f"{preview}{more}")
 
 
 class TaskGraph:
@@ -85,6 +96,107 @@ class TaskGraph:
     def validate_topological(self) -> bool:
         """Program order must already be a topological order."""
         return all(all(d < t.tid for d in t.deps) for t in self.tasks)
+
+    def validate(self, end: Optional[int] = None, *,
+                 raise_on_error: bool = True) -> List[str]:
+        """Check the structural invariants real DAG execution relies on.
+
+        Verified over tasks ``[0, end)`` (default: the whole graph):
+
+        * task ids equal their position (the executor indexes by tid);
+        * every dependency edge points backwards (``dep < tid``) to a
+          valid task — program order is a topological order, which
+          also rules out cycles;
+        * explicit cycle detection over the edge set, so graphs whose
+          ``deps`` were mutated after :meth:`add` still get a precise
+          "cycle" report rather than an executor hang;
+        * OpenMP ``task depend`` serialization per tile: a task reading
+          a tile depends on its last writer (RAW), a task writing a
+          tile depends on its last writer (WAW — hence no two
+          concurrent writers per tile) and on every reader since that
+          write (WAR).
+
+        Returns the list of problems (empty when valid); raises
+        :class:`GraphValidationError` instead when ``raise_on_error``.
+        """
+        limit = len(self.tasks) if end is None else end
+        problems: List[str] = []
+        backwards = True
+        for idx in range(limit):
+            t = self.tasks[idx]
+            if t.tid != idx:
+                problems.append(f"task at position {idx} has tid {t.tid}")
+            for d in t.deps:
+                if not (0 <= d < limit):
+                    problems.append(
+                        f"task {t.tid} depends on out-of-range task {d}")
+                    backwards = False
+                elif d == t.tid:
+                    problems.append(f"task {t.tid} depends on itself")
+                    backwards = False
+                elif d > t.tid:
+                    problems.append(
+                        f"forward dependency edge {d} -> {t.tid} "
+                        f"(program order is not topological)")
+                    backwards = False
+
+        # Kahn's algorithm over the (valid-range) edges.  Redundant
+        # when every edge already points backwards; decisive when a
+        # mutated graph needs a cycle called out explicitly.
+        if not backwards:
+            indeg = [0] * limit
+            succ: Dict[int, List[int]] = {}
+            for idx in range(limit):
+                for d in self.tasks[idx].deps:
+                    if 0 <= d < limit and d != idx:
+                        succ.setdefault(d, []).append(idx)
+                        indeg[idx] += 1
+            frontier = [i for i in range(limit) if indeg[i] == 0]
+            seen = 0
+            while frontier:
+                seen += 1
+                for s in succ.get(frontier.pop(), ()):
+                    indeg[s] -= 1
+                    if indeg[s] == 0:
+                        frontier.append(s)
+            if seen < limit:
+                problems.append(
+                    f"dependency cycle among {limit - seen} task(s)")
+
+        # Replay the per-tile writer/reader tables and require the
+        # builder's direct edges (the semantics of OpenMP depend
+        # clauses; guarantees no two writers of a tile can overlap).
+        last_writer: Dict[TileRef, int] = {}
+        readers: Dict[TileRef, Set[int]] = {}
+        for idx in range(limit):
+            t = self.tasks[idx]
+            deps = set(t.deps)
+            for ref in t.reads:
+                w = last_writer.get(ref)
+                if w is not None and w not in deps and w != t.tid:
+                    problems.append(
+                        f"task {t.tid} reads tile {ref} without depending "
+                        f"on its last writer {w}")
+            for ref in t.writes:
+                w = last_writer.get(ref)
+                if w is not None and w not in deps and w != t.tid:
+                    problems.append(
+                        f"tasks {w} and {t.tid} both write tile {ref} "
+                        f"with no ordering edge (concurrent writers)")
+                for r in readers.get(ref, ()):
+                    if r not in deps and r != t.tid:
+                        problems.append(
+                            f"task {t.tid} writes tile {ref} without "
+                            f"depending on reader {r}")
+            for ref in t.reads:
+                readers.setdefault(ref, set()).add(t.tid)
+            for ref in t.writes:
+                last_writer[ref] = t.tid
+                readers[ref] = set()
+
+        if problems and raise_on_error:
+            raise GraphValidationError(problems)
+        return problems
 
     def critical_path_seconds(self, duration) -> float:
         """Length of the critical path under ``duration(task) -> s``.

@@ -1,0 +1,427 @@
+"""Real threaded execution of recorded task graphs.
+
+Everything else in :mod:`repro.runtime` *simulates* concurrency; this
+module actually runs it.  A :class:`ParallelExecutor` replays a
+recorded :class:`~repro.runtime.graph.TaskGraph` on a
+``concurrent.futures.ThreadPoolExecutor``: tasks are dispatched as
+their dependency counts drain, exactly the dataflow execution SLATE
+gets from OpenMP ``task depend``.  NumPy/BLAS kernels release the GIL,
+so independent tiles genuinely overlap on multicore hosts.
+
+Guarantees and safety nets:
+
+* **Dependency order** — a task starts only after every recorded
+  dependency finished.  The dispatch ready-queue is a min-heap on task
+  id, so a single-worker run executes in exact program order and is
+  bit-identical to eager execution.
+* **Lookahead window** — like the schedule simulator, an optional
+  ``lookahead`` bounds how many program phases past the completed
+  prefix may enter the ready queue (SLATE's bounded lookahead panels);
+  ``None`` leaves dataflow order unconstrained.
+* **Epoch / last-writer assertions** — before a task touches its
+  tiles, the executor checks (under a lock) that every tile it reads
+  or overwrites was last written by exactly the task program order
+  says (the tile's *epoch*), and that no concurrent reader/writer is
+  in flight.  Any scheduling bug that would corrupt data surfaces as
+  an :class:`OrderingViolationError` at execution time instead of as a
+  silently wrong result.
+* **Measured timeline** — with a ``sink``
+  (:class:`repro.obs.timeline.TraceSink`) attached, every execution
+  emits a :class:`~repro.obs.timeline.TaskEvent` carrying *real*
+  ``perf_counter`` start/finish timestamps, flagged ``measured=True``.
+  The schema matches simulated traces, so Chrome-trace export, the
+  ASCII Gantt, and stall attribution work unchanged on real runs.
+
+The executor runs *windows* of an append-only graph: a deferred
+:class:`~repro.runtime.executor.Runtime` records payload closures and
+calls :meth:`ParallelExecutor.run` at every synchronization point
+(scalar reduction reads, ``to_array`` gathers), so adaptive numeric
+algorithms keep their data-dependent control flow while every window
+executes with real concurrency.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import queue
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .graph import TaskGraph
+from .task import Task, TaskKind, TileRef
+
+__all__ = ["ParallelExecutor", "ExecutionStats", "OrderingViolationError",
+           "default_workers"]
+
+
+class OrderingViolationError(RuntimeError):
+    """A task touched a tile out of the recorded dependency order."""
+
+
+def default_workers() -> int:
+    """Worker-count default: one thread per core."""
+    return max(1, os.cpu_count() or 1)
+
+
+@dataclass
+class ExecutionStats:
+    """Accumulated accounting of a :class:`ParallelExecutor`."""
+
+    workers: int = 1
+    tasks_run: int = 0
+    windows: int = 0
+    #: Wall-clock seconds spent inside :meth:`ParallelExecutor.run`
+    #: (the measured makespan across all execution windows).
+    wall_seconds: float = 0.0
+    #: Summed per-task execution seconds (over all worker threads);
+    #: ``busy_seconds / (wall_seconds * workers)`` is the measured
+    #: parallel utilization.
+    busy_seconds: float = 0.0
+    per_kind_seconds: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def utilization(self) -> float:
+        denom = self.wall_seconds * max(self.workers, 1)
+        return self.busy_seconds / denom if denom > 0.0 else 0.0
+
+
+class ParallelExecutor:
+    """Replay a recorded task graph on a thread pool.
+
+    Parameters
+    ----------
+    graph:
+        The (append-only) task graph.  Windows of it are executed by
+        successive :meth:`run` calls; tasks before a window's start are
+        assumed already executed (eagerly or by a previous window).
+    fns:
+        ``tid -> payload closure``.  Tasks without a payload (symbolic
+        graphs, pure-metadata tasks) are ordering no-ops: they respect
+        and propagate dependencies but execute nothing and publish no
+        kernel metrics — replaying an eagerly-executed or symbolic
+        graph never double-counts kernel invocations.
+    workers:
+        Thread-pool size (default: one per core).  ``workers=1``
+        executes in exact program order.
+    lookahead:
+        Optional phase-window bound on the ready queue (``None`` =
+        unbounded dataflow order, like SLATE's default).
+    sink:
+        Optional :class:`repro.obs.timeline.TraceSink` receiving
+        measured :class:`TaskEvent`s.
+    validate:
+        Run :meth:`TaskGraph.validate` over each window before
+        executing it (cycle/forward-edge/concurrent-writer checks).
+    """
+
+    def __init__(self, graph: TaskGraph,
+                 fns: Optional[Dict[int, Callable[[], None]]] = None, *,
+                 workers: Optional[int] = None,
+                 lookahead: Optional[int] = None,
+                 sink=None,
+                 validate: bool = True) -> None:
+        self.graph = graph
+        self.fns = {} if fns is None else fns
+        self.workers = max(1, int(workers) if workers else default_workers())
+        self.lookahead = lookahead
+        self.sink = sink
+        self.validate = validate
+        self.stats = ExecutionStats(workers=self.workers)
+        if validate:
+            graph.validate()
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._lock = threading.Lock()
+        self._resq: "queue.Queue[Tuple[int, float, float, int, Optional[BaseException]]]" = queue.Queue()
+        #: Tasks whose effects are visible (executed here or accounted
+        #: as an eager/pre-window execution).
+        self._done: Dict[int, bool] = {}
+        #: Tile epoch table: ref -> tid of the last *completed* writer.
+        self._completed_writer: Dict[TileRef, int] = {}
+        #: In-flight access tracking for the race assertions.
+        self._writer_active: Dict[TileRef, int] = {}
+        self._readers_active: Dict[TileRef, int] = {}
+        #: Program-order expectation per task: ((ref, last_writer), ...)
+        #: over the task's reads and writes, filled by ``_prepare``.
+        self._expected: Dict[int, Tuple[Tuple[TileRef, Optional[int]], ...]] = {}
+        self._prep_last_writer: Dict[TileRef, int] = {}
+        self._prep_cursor = 0
+        #: First tid not yet accounted for (executed or external).
+        self._floor = 0
+        self._epoch: Optional[float] = None
+        self._slot_of_thread: Dict[int, int] = {}
+        self._counters: Dict[TaskKind, object] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-exec")
+        return self._pool
+
+    # ------------------------------------------------------------------
+    # Window preparation
+    # ------------------------------------------------------------------
+
+    def _prepare(self, end: int) -> None:
+        """Extend the program-order epoch expectations up to ``end``."""
+        tasks = self.graph.tasks
+        for tid in range(self._prep_cursor, end):
+            t = tasks[tid]
+            exp = []
+            seen = set()
+            for ref in t.reads + t.writes:
+                if ref in seen:
+                    continue
+                seen.add(ref)
+                exp.append((ref, self._prep_last_writer.get(ref)))
+            self._expected[tid] = tuple(exp)
+            for ref in t.writes:
+                self._prep_last_writer[ref] = tid
+        self._prep_cursor = max(self._prep_cursor, end)
+
+    def _account_external(self, upto: int) -> None:
+        """Tasks in ``[floor, upto)`` ran outside this executor (eager
+        prefix before deferral was enabled); fold their effects into
+        the epoch tables so later windows see consistent state."""
+        tasks = self.graph.tasks
+        for tid in range(self._floor, upto):
+            self._done[tid] = True
+            self._expected.pop(tid, None)
+            for ref in tasks[tid].writes:
+                self._completed_writer[ref] = tid
+        self._floor = max(self._floor, upto)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(self, start: int = 0, end: Optional[int] = None) -> float:
+        """Execute tasks ``[start, end)``; returns the window's wall
+        seconds.  Dependencies on tasks before ``start`` are treated as
+        satisfied (they executed in a previous window or eagerly)."""
+        tasks = self.graph.tasks
+        if end is None:
+            end = len(tasks)
+        if self.validate:
+            self.graph.validate(end)
+        self._prepare(end)
+        if start > self._floor:
+            self._account_external(start)
+        if end <= start:
+            return 0.0
+        self._floor = end
+
+        # Window-local dependency bookkeeping.
+        indeg: Dict[int, int] = {}
+        succ: Dict[int, List[int]] = {}
+        for tid in range(start, end):
+            cnt = 0
+            for d in tasks[tid].deps:
+                if d >= start and not self._done.get(d, False):
+                    succ.setdefault(d, []).append(tid)
+                    cnt += 1
+            indeg[tid] = cnt
+
+        # Lookahead gate over program phases (panel steps).
+        phase_remaining: Dict[int, int] = {}
+        for tid in range(start, end):
+            p = tasks[tid].phase
+            phase_remaining[p] = phase_remaining.get(p, 0) + 1
+        phases = sorted(phase_remaining)
+        prefix_idx = 0  # index into `phases` of the oldest open phase
+
+        def gate_open(p: int) -> bool:
+            if self.lookahead is None:
+                return True
+            prefix = phases[prefix_idx] if prefix_idx < len(phases) else p
+            return p <= prefix + self.lookahead
+
+        ready: List[int] = []
+        parked: Dict[int, List[int]] = {}
+
+        def make_eligible(tid: int) -> None:
+            p = tasks[tid].phase
+            if gate_open(p):
+                heapq.heappush(ready, tid)
+            else:
+                parked.setdefault(p, []).append(tid)
+
+        for tid in range(start, end):
+            if indeg[tid] == 0:
+                make_eligible(tid)
+
+        pool = self._ensure_pool()
+        t_wall0 = perf_counter()
+        if self._epoch is None:
+            self._epoch = t_wall0
+        inflight = 0
+        completed = 0
+        n_window = end - start
+        failure: Optional[BaseException] = None
+
+        while completed < n_window:
+            while ready and inflight < self.workers and failure is None:
+                tid = heapq.heappop(ready)
+                pool.submit(self._execute, tid)
+                inflight += 1
+            if inflight == 0:
+                if failure is not None:
+                    break
+                raise RuntimeError(
+                    f"executor stalled with {n_window - completed} task(s) "
+                    "unfinished and none ready — dependency bookkeeping "
+                    "bug or a graph the validator should have rejected")
+            tid, t0, t1, slot, exc = self._resq.get()
+            inflight -= 1
+            completed += 1
+            if exc is not None:
+                failure = failure or exc
+                continue
+            t = tasks[tid]
+            dur = t1 - t0
+            self.stats.tasks_run += 1
+            self.stats.busy_seconds += dur
+            kind = t.kind.value
+            self.stats.per_kind_seconds[kind] = (
+                self.stats.per_kind_seconds.get(kind, 0.0) + dur)
+            if self.sink is not None:
+                from ..obs.timeline import TaskEvent
+                self.sink.on_task(TaskEvent(
+                    tid=t.tid, kind=kind, rank=t.rank, slot=f"thr{slot}",
+                    phase=t.phase, flops=t.flops, start=t0, end=t1,
+                    duration=dur, label=t.label, measured=True))
+            if failure is not None:
+                continue
+            for s in succ.get(tid, ()):
+                indeg[s] -= 1
+                if indeg[s] == 0:
+                    make_eligible(s)
+            p = t.phase
+            phase_remaining[p] -= 1
+            if phase_remaining[p] == 0:
+                while (prefix_idx < len(phases)
+                       and phase_remaining[phases[prefix_idx]] == 0):
+                    prefix_idx += 1
+                if self.lookahead is not None:
+                    limit = ((phases[prefix_idx] if prefix_idx < len(phases)
+                              else p) + self.lookahead)
+                    for pp in [q for q in parked if q <= limit]:
+                        for tid2 in parked.pop(pp):
+                            heapq.heappush(ready, tid2)
+
+        wall = perf_counter() - t_wall0
+        self.stats.wall_seconds += wall
+        self.stats.windows += 1
+        if failure is not None:
+            raise failure
+        return wall
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+
+    def _slot(self) -> int:
+        ident = threading.get_ident()
+        slot = self._slot_of_thread.get(ident)
+        if slot is None:
+            slot = len(self._slot_of_thread)
+            self._slot_of_thread[ident] = slot
+        return slot
+
+    def _check_in(self, t: Task) -> None:
+        """Epoch + concurrent-access assertions; atomic (all checks
+        pass before any marking).  Caller holds the lock."""
+        writes = set(t.writes)
+        for ref, expected in self._expected.pop(t.tid, ()):
+            got = self._completed_writer.get(ref)
+            if got != expected:
+                raise OrderingViolationError(
+                    f"task {t.tid} ({t.label or t.kind.value}) touched tile "
+                    f"{ref} at the wrong epoch: last completed writer is "
+                    f"{got}, program order requires {expected}")
+        for ref in t.reads:
+            if ref in writes:
+                continue
+            w = self._writer_active.get(ref)
+            if w is not None:
+                raise OrderingViolationError(
+                    f"task {t.tid} reads tile {ref} while task {w} is "
+                    f"writing it (missing RAW/WAR edge)")
+        for ref in writes:
+            w = self._writer_active.get(ref)
+            if w is not None:
+                raise OrderingViolationError(
+                    f"tasks {w} and {t.tid} write tile {ref} concurrently")
+            if self._readers_active.get(ref, 0) > 0:
+                raise OrderingViolationError(
+                    f"task {t.tid} writes tile {ref} while "
+                    f"{self._readers_active[ref]} reader(s) are active")
+        for ref in t.reads:
+            if ref not in writes:
+                self._readers_active[ref] = (
+                    self._readers_active.get(ref, 0) + 1)
+        for ref in writes:
+            self._writer_active[ref] = t.tid
+
+    def _check_out(self, t: Task) -> None:
+        """Release in-flight marks and advance tile epochs."""
+        writes = set(t.writes)
+        for ref in t.reads:
+            if ref not in writes:
+                left = self._readers_active.get(ref, 1) - 1
+                if left:
+                    self._readers_active[ref] = left
+                else:
+                    self._readers_active.pop(ref, None)
+        for ref in writes:
+            self._writer_active.pop(ref, None)
+            self._completed_writer[ref] = t.tid
+        self._done[t.tid] = True
+
+    def _count(self, kind: TaskKind) -> None:
+        counter = self._counters.get(kind)
+        if counter is None:
+            from ..obs.metrics import get_registry
+            counter = get_registry().counter(
+                f"kernel.invocations.{kind.value}")
+            self._counters[kind] = counter
+        counter.inc()
+
+    def _execute(self, tid: int) -> None:
+        t = self.graph.tasks[tid]
+        slot = t0 = t1 = 0
+        try:
+            with self._lock:
+                slot = self._slot()
+                self._check_in(t)
+            fn = self.fns.pop(tid, None)
+            t0 = perf_counter() - self._epoch
+            if fn is not None:
+                fn()
+                self._count(t.kind)
+            t1 = perf_counter() - self._epoch
+            with self._lock:
+                self._check_out(t)
+        except BaseException as exc:  # propagated by the dispatch loop
+            self._resq.put((tid, float(t0), float(t1), slot, exc))
+            return
+        self._resq.put((tid, t0, t1, slot, None))

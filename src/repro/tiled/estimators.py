@@ -104,7 +104,7 @@ def norm2est_tiled(rt: Runtime, a: DistMatrix, *,
         final: List[Optional[float]] = [e]
         rt.submit(TaskKind.REDUCE, reads=(nx.ref,),
                   writes=(out,), rank=0, label="norm2est.final")
-        return ScalarResult(ref=out, _box=final)
+        return ScalarResult(ref=out, _box=final, _rt=rt)
 
     # Symbolic: emit the fixed-sweep graph.
     box = [1.0]
@@ -209,6 +209,7 @@ def _gather_vec(rt: Runtime, x: DistMatrix) -> np.ndarray:
         rt.submit(TaskKind.COPY, reads=(x.ref(i, 0),), writes=(ref,),
                   rank=0, fn=body, label=f"gather({i})")
     if rt.numeric:
+        rt.sync()  # deferred backend: the gather bodies fill `outs`
         return np.concatenate(outs) if outs else np.empty(0, dtype=x.dtype)
     return np.empty(0, dtype=x.dtype)
 
@@ -243,7 +244,7 @@ def _r_norm1(rt: Runtime, fac: QRFactors) -> ScalarResult:
 
     rt.submit(TaskKind.REDUCE, reads=tuple(refs), writes=(out,), rank=0,
               fn=reduce_body, label="rnorm1.reduce")
-    return ScalarResult(ref=out, _box=box)
+    return ScalarResult(ref=out, _box=box, _rt=rt)
 
 
 def trcondest_tiled(rt: Runtime, fac: QRFactors, *,

@@ -262,6 +262,7 @@ def getrs_vec(rt: Runtime, fac: LUFactors, b: np.ndarray, *,
                       writes=(rt.new_scalar_ref(),), rank=a.owner(k, k),
                       flops=float(a.tile_cols(k)) ** 2, fn=udiag,
                       label=f"getrs.udiag({k})")
+        rt.sync()  # deferred backend: the solve bodies fill `x`
         return x
 
     # conj_trans: A^H x = b  <=>  U^H y = b, L^H z = y, x = P^T z.
@@ -324,6 +325,7 @@ def getrs_vec(rt: Runtime, fac: LUFactors, b: np.ndarray, *,
               reads=tuple(fac.piv_ref(k) for k in range(nt)),
               writes=(rt.new_scalar_ref(n * 8),), rank=0,
               flops=float(n), fn=undo_pivots, label="getrs.pivots.T")
+    rt.sync()  # deferred backend: the solve bodies fill `x`
     return x
 
 
@@ -343,6 +345,7 @@ def gecondest_tiled(rt: Runtime, a: DistMatrix, *,
     anorm = norm_one(rt, a).value
     if fac is None:
         fac = getrf(rt, a)
+    rt.sync()  # deferred backend: the panel bodies set `fac.singular`
     if anorm == 0.0 or fac.singular:
         return _const(rt, 0.0)
     n = a.n

@@ -23,14 +23,26 @@ from ..runtime.task import TaskKind, TileRef
 
 @dataclass
 class ScalarResult:
-    """A scalar produced by a tiled reduction."""
+    """A scalar produced by a tiled reduction.
+
+    On a deferred (threaded-backend) runtime, reading :attr:`value` is
+    a synchronization point: the pending task window — including the
+    reduction that fills the box — is flushed first, so adaptive
+    drivers (convergence loops, estimators) behave exactly as under
+    eager execution.
+    """
 
     ref: TileRef
     _box: List[Optional[float]]
+    _rt: Optional[Runtime] = None
 
     @property
     def value(self) -> float:
         v = self._box[0]
+        if v is None and self._rt is not None \
+                and getattr(self._rt, "deferred", False):
+            self._rt.sync()
+            v = self._box[0]
         if v is None:
             raise RuntimeError("scalar not computed (symbolic mode?)")
         return float(v)
@@ -72,7 +84,7 @@ def _tile_reduce(rt: Runtime, a: DistMatrix, partial_fn, combine_fn,
     rt.submit(TaskKind.REDUCE, reads=tuple(refs.values()),
               writes=(out,), rank=0, flops=float(len(refs)),
               fn=reduce_body, label=f"{label}.reduce")
-    return ScalarResult(ref=out, _box=box)
+    return ScalarResult(ref=out, _box=box, _rt=rt)
 
 
 def norm_one(rt: Runtime, a: DistMatrix) -> ScalarResult:

@@ -1,0 +1,395 @@
+"""Tests for the threaded execution backend.
+
+Covers :class:`repro.runtime.parallel.ParallelExecutor` (dependency
+order, lookahead gating, ordering-violation detection, measured
+timeline events, stats), :meth:`repro.runtime.graph.TaskGraph.validate`
+(structural invariants), the determinism contract of the backend
+(workers=1 bit-identical to eager; workers=4 reproducible to O(eps)),
+and the single-publication rule for kernel-invocation metrics.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.tiled_qdwh import tiled_qdwh
+from repro.dist import DistMatrix
+from repro.matrices import generate_matrix
+from repro.obs import get_registry
+from repro.obs.timeline import TimelineSink
+from repro.runtime import (
+    GraphValidationError,
+    OrderingViolationError,
+    ParallelExecutor,
+    TaskGraph,
+    TaskKind,
+)
+from repro.runtime.task import Task
+
+from .conftest import make_runtime
+
+
+def _task(tid, reads=(), writes=(), phase=0, kind=TaskKind.GEMM):
+    return Task(tid=tid, kind=kind,
+                reads=tuple((0, r, 0) for r in reads),
+                writes=tuple((0, w, 0) for w in writes),
+                rank=0, phase=phase)
+
+
+def _graph(specs):
+    """Graph from (reads, writes[, phase]) tuples via dependency
+    inference — valid by construction."""
+    g = TaskGraph()
+    tiles = set()
+    for spec in specs:
+        tiles |= set(spec[0]) | set(spec[1])
+    for t in tiles:
+        g.register_tile((0, t, 0), 64, owner=0)
+    for tid, spec in enumerate(specs):
+        phase = spec[2] if len(spec) > 2 else 0
+        g.add(_task(tid, reads=spec[0], writes=spec[1], phase=phase))
+    return g
+
+
+class TestGraphValidate:
+    def test_valid_by_construction(self):
+        g = _graph([((), (0,)), ((0,), (1,)), ((0, 1), (2,)), ((), (0,))])
+        assert g.validate() == []
+
+    def test_tid_position_mismatch(self):
+        g = TaskGraph()
+        g.add(_task(0, writes=(0,)))
+        g.tasks[0].tid = 5
+        probs = g.validate(raise_on_error=False)
+        assert any("tid" in p for p in probs)
+
+    def test_forward_edge(self):
+        g = _graph([((), (0,)), ((0,), (1,))])
+        g.tasks[0].deps = (1,)
+        probs = g.validate(raise_on_error=False)
+        assert any("forward" in p for p in probs)
+
+    def test_cycle_reported(self):
+        g = _graph([((), (0,)), ((0,), (1,))])
+        g.tasks[0].deps = (1,)  # 0 -> 1 -> 0
+        probs = g.validate(raise_on_error=False)
+        assert any("cycle" in p for p in probs)
+
+    def test_self_dependency(self):
+        g = _graph([((), (0,))])
+        g.tasks[0].deps = (0,)
+        probs = g.validate(raise_on_error=False)
+        assert any("itself" in p for p in probs)
+
+    def test_out_of_range_dep(self):
+        g = _graph([((), (0,))])
+        g.tasks[0].deps = (7,)
+        probs = g.validate(raise_on_error=False)
+        assert any("out-of-range" in p for p in probs)
+
+    def test_missing_raw_edge(self):
+        g = _graph([((), (0,)), ((0,), (1,))])
+        g.tasks[1].deps = ()  # strip the read-after-write edge
+        probs = g.validate(raise_on_error=False)
+        assert any("last writer" in p for p in probs)
+
+    def test_concurrent_writers(self):
+        g = _graph([((), (0,)), ((), (0,))])
+        g.tasks[1].deps = ()  # strip the write-after-write edge
+        probs = g.validate(raise_on_error=False)
+        assert any("concurrent writers" in p for p in probs)
+
+    def test_missing_war_edge(self):
+        g = _graph([((), (0,)), ((0,), (1,)), ((), (0,))])
+        g.tasks[2].deps = ()  # strip write-after-read (and WAW)
+        probs = g.validate(raise_on_error=False)
+        assert any("reader" in p for p in probs)
+
+    def test_raises_with_problem_list(self):
+        g = _graph([((), (0,)), ((0,), (1,))])
+        g.tasks[1].deps = ()
+        with pytest.raises(GraphValidationError) as ei:
+            g.validate()
+        assert ei.value.problems
+
+    def test_window_limits_checks(self):
+        g = _graph([((), (0,)), ((0,), (1,))])
+        g.tasks[1].deps = ()
+        assert g.validate(1) == []  # the bad task is outside the window
+
+
+class TestParallelExecutor:
+    def test_rejects_invalid_graph(self):
+        g = _graph([((), (0,)), ((0,), (1,))])
+        g.tasks[1].deps = ()
+        with pytest.raises(GraphValidationError):
+            ParallelExecutor(g)
+
+    def test_dependency_order_diamond(self):
+        # 0 writes t0; 1 and 2 read t0; 3 reads both results.
+        g = _graph([((), (0,)), ((0,), (1,)), ((0,), (2,)), ((1, 2), (3,))])
+        order = []
+        lock = threading.Lock()
+
+        def mk(tid):
+            def fn():
+                with lock:
+                    order.append(tid)
+            return fn
+
+        with ParallelExecutor(g, {t: mk(t) for t in range(4)},
+                              workers=4) as ex:
+            ex.run()
+        assert order.index(0) < order.index(1)
+        assert order.index(0) < order.index(2)
+        assert order.index(3) == 3
+
+    def test_single_worker_program_order(self):
+        # Independent tasks: a 1-thread pool must still follow tid order.
+        g = _graph([((), (i,)) for i in range(8)])
+        order = []
+        fns = {t: (lambda t=t: order.append(t)) for t in range(8)}
+        with ParallelExecutor(g, fns, workers=1) as ex:
+            ex.run()
+        assert order == list(range(8))
+
+    def test_lookahead_gates_phases(self):
+        # Two dataflow-independent tasks in consecutive phases: with
+        # lookahead=0 the phase-1 task must wait out phase 0.
+        g = _graph([((), (0,), 0), ((), (1,), 1)])
+        fns = {0: lambda: time.sleep(0.05), 1: lambda: None}
+        sink = TimelineSink()
+        with ParallelExecutor(g, fns, workers=2, lookahead=0,
+                              sink=sink) as ex:
+            ex.run()
+        ev = {e.tid: e for e in sink.tasks}
+        assert ev[1].start >= ev[0].end
+
+    def test_no_lookahead_overlaps_phases(self):
+        g = _graph([((), (0,), 0), ((), (1,), 1)])
+        fns = {0: lambda: time.sleep(0.05), 1: lambda: time.sleep(0.05)}
+        sink = TimelineSink()
+        with ParallelExecutor(g, fns, workers=2, sink=sink) as ex:
+            ex.run()
+        ev = {e.tid: e for e in sink.tasks}
+        # Both start before either finishes (true concurrency).
+        assert ev[1].start < max(ev[0].end, ev[1].end)
+
+    def test_detects_missing_raw_edge_at_runtime(self):
+        # Reader whose RAW edge was stripped races its writer; the
+        # epoch assertion fires whichever thread wins.
+        g = _graph([((), (0,)), ((0,), (1,))])
+        g.tasks[1].deps = ()
+        fns = {0: lambda: time.sleep(0.1), 1: lambda: None}
+        with ParallelExecutor(g, fns, workers=2, validate=False) as ex:
+            with pytest.raises(OrderingViolationError):
+                ex.run()
+
+    def test_detects_concurrent_writers_at_runtime(self):
+        g = _graph([((), (0,)), ((), (0,))])
+        g.tasks[1].deps = ()
+        fns = {0: lambda: time.sleep(0.1), 1: lambda: None}
+        with ParallelExecutor(g, fns, workers=2, validate=False) as ex:
+            with pytest.raises(OrderingViolationError):
+                ex.run()
+
+    def test_payload_exception_propagates(self):
+        g = _graph([((), (0,))])
+
+        def boom():
+            raise ZeroDivisionError("payload failure")
+
+        with ParallelExecutor(g, {0: boom}) as ex:
+            with pytest.raises(ZeroDivisionError):
+                ex.run()
+
+    def test_measured_sink_events(self):
+        from repro.obs.export import chrome_trace
+        g = _graph([((), (0,)), ((0,), (1,)), ((1,), (2,))])
+        sink = TimelineSink()
+        fns = {t: (lambda: None) for t in range(3)}
+        with ParallelExecutor(g, fns, workers=2, sink=sink) as ex:
+            ex.run()
+        assert len(sink.tasks) == 3
+        assert all(e.measured for e in sink.tasks)
+        assert all(e.end >= e.start >= 0.0 for e in sink.tasks)
+        assert all(e.slot.startswith("thr") for e in sink.tasks)
+        xs = [e for e in chrome_trace(sink)["traceEvents"]
+              if e.get("ph") == "X"]
+        assert len(xs) == 3
+        assert all(e["args"]["measured"] for e in xs)
+
+    def test_windowed_execution_and_stats(self):
+        g = _graph([((), (0,)), ((0,), (1,)), ((1,), (2,)), ((2,), (3,))])
+        done = []
+        fns = {t: (lambda t=t: done.append(t)) for t in range(4)}
+        with ParallelExecutor(g, fns, workers=2) as ex:
+            ex.run(0, 2)
+            assert done == [0, 1]
+            ex.run(2, 4)
+        assert done == [0, 1, 2, 3]
+        assert ex.stats.windows == 2
+        assert ex.stats.tasks_run == 4
+        assert ex.stats.workers == 2
+        assert ex.stats.wall_seconds > 0.0
+        assert 0.0 <= ex.stats.utilization <= 1.0
+
+    def test_payloadless_tasks_are_noops(self):
+        # Replaying a graph with no payloads (symbolic/eager history)
+        # completes and publishes no kernel metrics.
+        g = _graph([((), (0,)), ((0,), (1,))])
+        before = get_registry().counter(
+            "kernel.invocations.gemm").value
+        with ParallelExecutor(g, {}, workers=2) as ex:
+            ex.run()
+        after = get_registry().counter("kernel.invocations.gemm").value
+        assert after == before
+        assert ex.stats.tasks_run == 2
+
+
+def _run_qdwh(a, nb=16, backend="eager", workers=None):
+    rt = make_runtime(1, 1)
+    if backend == "threads":
+        rt.enable_deferred(workers=workers)
+    da = DistMatrix.from_array(rt, a.copy(), nb)
+    res = tiled_qdwh(rt, da, backend=backend, workers=workers)
+    u, h = res.u.to_array(), res.h.to_array()
+    rt.close()
+    return u, h
+
+
+class TestDeterminism:
+    def test_workers1_bit_identical_to_eager(self):
+        a = generate_matrix(64, 48, cond=1e8, seed=11)
+        ue, he = _run_qdwh(a)
+        u1, h1 = _run_qdwh(a, backend="threads", workers=1)
+        assert np.array_equal(ue, u1)
+        assert np.array_equal(he, h1)
+
+    def test_workers4_run_to_run_reproducible(self):
+        # Multi-worker runs may permute floating-point reduction order
+        # (dict-insertion order in the combine closures); run-to-run
+        # scatter must stay at the roundoff level, 10 * eps * ||A||.
+        a = generate_matrix(48, cond=10.0, seed=12)
+        tol = 10 * np.finfo(np.float64).eps * np.linalg.norm(a)
+        runs = [_run_qdwh(a, backend="threads", workers=4)
+                for _ in range(5)]
+        u0, h0 = runs[0]
+        for u, h in runs[1:]:
+            assert np.max(np.abs(u - u0)) <= tol
+            assert np.max(np.abs(h - h0)) <= tol
+
+
+class TestKernelCounterSinglePath:
+    """Kernel invocation counters are published from exactly one
+    execution path (eager submit or the executor), never both."""
+
+    def _count_all(self):
+        snap = get_registry().snapshot()["counters"]
+        return sum(v for k, v in snap.items()
+                   if k.startswith("kernel.invocations."))
+
+    def _submit_work(self, rt):
+        hits = []
+        tiles = [(90, i, 0) for i in range(4)]
+        rt.register_tiles(tiles, 64)
+        for i, ref in enumerate(tiles):
+            rt.submit(TaskKind.GEMM, reads=(), writes=(ref,), rank=0,
+                      fn=lambda i=i: hits.append(i))
+        return hits
+
+    def test_eager_counts_once_per_payload(self):
+        rt = make_runtime(1, 1)
+        before = self._count_all()
+        hits = self._submit_work(rt)
+        assert len(hits) == 4
+        assert self._count_all() - before == 4
+
+    def test_deferred_counts_once_per_payload(self):
+        rt = make_runtime(1, 1)
+        rt.enable_deferred(workers=2)
+        before = self._count_all()
+        hits = self._submit_work(rt)
+        assert hits == []  # recorded, not run
+        rt.sync()
+        assert len(hits) == 4
+        assert self._count_all() - before == 4
+        rt.sync()  # idempotent: nothing pending, nothing recounted
+        assert self._count_all() - before == 4
+        rt.close()
+
+    def test_symbolic_counts_nothing(self):
+        rt = make_runtime(1, 1, numeric=False)
+        before = self._count_all()
+        self._submit_work(rt)
+        assert self._count_all() - before == 0
+
+    def test_eager_equals_deferred_for_same_program(self):
+        # workers=1 replays the exact eager program (bit-identical
+        # dataflow), so the kernel census must match exactly.
+        a = generate_matrix(32, cond=100.0, seed=13)
+        before = self._count_all()
+        _run_qdwh(a, nb=16)
+        eager_delta = self._count_all() - before
+        before = self._count_all()
+        _run_qdwh(a, nb=16, backend="threads", workers=1)
+        deferred_delta = self._count_all() - before
+        assert eager_delta > 0
+        assert deferred_delta == eager_delta
+
+
+class TestRuntimeDeferred:
+    def test_deferred_requires_numeric(self):
+        from repro.dist import ProcessGrid
+        from repro.runtime import Runtime
+        with pytest.raises(ValueError):
+            Runtime(ProcessGrid(1, 1), numeric=False, deferred=True)
+
+    def test_backend_validation(self):
+        rt = make_runtime(1, 1)
+        da = DistMatrix.from_array(rt, np.eye(8), 4)
+        with pytest.raises(ValueError):
+            tiled_qdwh(rt, da, backend="cuda")
+        rt_s = make_runtime(1, 1, numeric=False)
+        da_s = DistMatrix(rt_s, 8, 8, 4)
+        with pytest.raises(ValueError):
+            tiled_qdwh(rt_s, da_s, backend="threads", cond_est=1e4)
+
+    def test_scalar_reads_sync(self):
+        from repro.tiled.norms import norm_fro
+        rt = make_runtime(1, 1)
+        rt.enable_deferred(workers=2)
+        a = generate_matrix(24, cond=10.0, seed=14)
+        da = DistMatrix.from_array(rt, a, 8)
+        nrm = norm_fro(rt, da)
+        assert nrm.value == pytest.approx(np.linalg.norm(a))
+        rt.close()
+
+    def test_exec_stats_exposed(self):
+        a = generate_matrix(32, cond=100.0, seed=15)
+        rt = make_runtime(1, 1)
+        rt.enable_deferred(workers=2)
+        da = DistMatrix.from_array(rt, a, 16)
+        tiled_qdwh(rt, da, backend="threads", workers=2)
+        stats = rt.exec_stats
+        assert stats is not None
+        assert stats.tasks_run == len(rt.graph)
+        assert stats.windows >= 1
+        assert stats.per_kind_seconds
+        rt.close()
+
+    def test_measured_timeline_through_runtime(self):
+        from repro.dist import ProcessGrid
+        from repro.runtime import Runtime
+        sink = TimelineSink()
+        rt = Runtime(ProcessGrid(1, 1), deferred=True, workers=2,
+                     sink=sink)
+        a = generate_matrix(24, cond=10.0, seed=16)
+        da = DistMatrix.from_array(rt, a, 8)
+        res = tiled_qdwh(rt, da, backend="threads", workers=2)
+        res.u.to_array()
+        assert len(sink.tasks) == len(rt.graph)
+        assert all(e.measured for e in sink.tasks)
+        rt.close()

@@ -98,3 +98,31 @@ class TestRandomDags:
         a = simulate(g, cfg_for(ranks)).makespan
         b = simulate(g, cfg_for(ranks)).makespan
         assert a == b
+
+
+class TestGraphValidation:
+    """Structural invariants of builder-produced DAGs."""
+
+    @given(random_graphs())
+    @settings(max_examples=40)
+    def test_builder_graphs_always_validate(self, gr):
+        # Dependency inference via TaskGraph.add must satisfy every
+        # invariant validate() checks: topological program order, no
+        # cycles, and OpenMP-depend serialization per tile.
+        g, _ = gr
+        assert g.validate() == []
+        assert g.validate_topological()
+
+    @given(random_graphs(), st.data())
+    @settings(max_examples=25)
+    def test_edge_stripping_is_detected(self, gr, data):
+        # Removing all dependency edges from a task with a dependency
+        # must break an invariant (it had that edge for a reason).
+        g, _ = gr
+        with_deps = [t.tid for t in g.tasks if t.deps]
+        if not with_deps:
+            return
+        victim = data.draw(st.sampled_from(with_deps))
+        g.tasks[victim].deps = ()
+        problems = g.validate(raise_on_error=False)
+        assert problems, f"stripping deps of task {victim} undetected"
