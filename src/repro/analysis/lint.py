@@ -1,0 +1,425 @@
+"""repro-lint: static AST rules for task-submitting code.
+
+TileSan (:mod:`.sanitizer`) only checks footprints that *execute*;
+this pass checks the source itself, so a broken footprint is caught at
+review time even on paths no test exercises.  All rules are
+best-effort static analysis over ``ast`` — helper-mediated tile
+accesses and dynamically built footprints are skipped, never guessed.
+
+Rules (a ``submit`` call here means ``<runtime>.submit(TaskKind.X,
+...)`` — the first argument must literally be a ``TaskKind``
+attribute, so executor/thread-pool ``submit`` calls are not matched):
+
+=======  =================================================================
+REP001   ``submit(..., fn=...)`` must declare a footprint: at least one
+         of ``reads=`` / ``writes=``.
+REP002   Payload closures must not call ``.tile(`` / ``.set_tile(`` on
+         tiles absent from the declared footprint.  Matching is
+         best-effort: receivers must be plain names, coordinates are
+         compared structurally, names are resolved through simple
+         assignments (including tuple unpacking and conditional
+         expressions) in enclosing scopes; footprints built from
+         generator expressions or concatenation are treated as opaque
+         and skipped.
+REP003   A ``submit`` with a non-empty ``writes=`` must set
+         ``bytes_out=`` (the scheduler's communication volume model
+         prices task outputs; a silent 0 under-reports traffic).
+REP004   No ``.to_array()`` call and no ``.value`` read of a known
+         scalar result inside a payload — both are sync points, and a
+         re-entrant sync inside a payload is suppressed on deferred
+         runtimes, yielding stale data.
+=======  =================================================================
+
+Suppression: put ``# repro-lint: ignore`` (all rules) or
+``# repro-lint: ignore[REP002]`` / ``ignore[REP002, REP003]`` on the
+offending line or on the line of the enclosing ``submit`` call.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
+
+FOOTPRINT_MISSING = "REP001"
+PAYLOAD_FOOTPRINT = "REP002"
+BYTES_OUT_MISSING = "REP003"
+SYNC_IN_PAYLOAD = "REP004"
+
+ALL_RULES = (FOOTPRINT_MISSING, PAYLOAD_FOOTPRINT, BYTES_OUT_MISSING,
+             SYNC_IN_PAYLOAD)
+
+#: Methods returning pseudo-tile refs (scalars, side buffers).  Entries
+#: built from these carry data the payload reads through captured
+#: Python objects, not through ``.tile()``, so they are ignorable for
+#: REP002 matching (neither a match target nor a reason to go opaque).
+_PSEUDO_REF_ATTRS = frozenset({"new_scalar_ref", "t_ref", "tt_ref"})
+
+#: Functions returning ScalarResult: a ``.value`` read of their result
+#: inside a payload is REP004.
+_SCALAR_FUNCS = frozenset({
+    "norm_one", "norm_inf", "norm_fro", "norm_max", "column_abs_sums_max",
+    "norm2est_tiled", "trcondest_tiled", "gecondest_tiled", "_const_scalar",
+})
+
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*ignore(?:\[([^\]]*)\])?")
+
+_FuncNode = Union[ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda]
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One static-rule violation."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+# A matrix-tile entry is (receiver name, coord0 dump, coord1 dump).
+_Entry = Tuple[str, str, str]
+
+
+def _dump(node: ast.AST) -> str:
+    return ast.dump(node)
+
+
+class _Scope:
+    """One lexical function (or module) scope."""
+
+    def __init__(self, node: ast.AST, parent: Optional["_Scope"]):
+        self.node = node
+        self.parent = parent
+        # name -> ordered list of (lineno, function node)
+        self.defs: Dict[str, List[Tuple[int, _FuncNode]]] = {}
+        # name -> (entries, opaque); entries are matrix-tile triples
+        self.ref_env: Dict[str, Tuple[FrozenSet[_Entry], bool]] = {}
+        self.scalar_names: Set[str] = set()
+
+    def lookup_ref(self, name: str) -> Optional[Tuple[FrozenSet[_Entry], bool]]:
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            if name in scope.ref_env:
+                return scope.ref_env[name]
+            scope = scope.parent
+        return None
+
+    def lookup_def(self, name: str, before_line: int) -> Optional[_FuncNode]:
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            best: Optional[_FuncNode] = None
+            best_line = -1
+            for lineno, fnode in scope.defs.get(name, ()):
+                if best_line < lineno <= before_line:
+                    best, best_line = fnode, lineno
+            if best is not None:
+                return best
+            scope = scope.parent
+        return None
+
+    def is_scalar_name(self, name: str) -> bool:
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            if name in scope.scalar_names:
+                return True
+            scope = scope.parent
+        return False
+
+
+def _scope_walk(node: ast.AST):
+    """Walk a scope's own nodes without entering nested function bodies."""
+
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        n = stack.pop()
+        yield n
+        if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(n))
+
+
+def _resolve_value(expr: ast.AST, scope: _Scope) -> Tuple[FrozenSet[_Entry], bool]:
+    """Resolve an expression to matrix-tile entries.
+
+    Returns ``(entries, opaque)``; ``opaque`` means the expression may
+    denote refs we cannot enumerate, so membership checks against it
+    must be skipped rather than flagged.
+    """
+
+    if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Attribute):
+        attr = expr.func.attr
+        if attr == "ref" and isinstance(expr.func.value, ast.Name) \
+                and len(expr.args) == 2 and not expr.keywords:
+            recv = expr.func.value.id
+            return frozenset({(recv, _dump(expr.args[0]), _dump(expr.args[1]))}), False
+        if attr in _PSEUDO_REF_ATTRS:
+            return frozenset(), False  # pseudo ref: ignorable, not opaque
+        return frozenset(), True
+    if isinstance(expr, ast.Name):
+        hit = scope.lookup_ref(expr.id)
+        if hit is None:
+            return frozenset(), True
+        return hit
+    if isinstance(expr, ast.IfExp):
+        b_e, b_o = _resolve_value(expr.body, scope)
+        o_e, o_o = _resolve_value(expr.orelse, scope)
+        return b_e | o_e, b_o or o_o
+    if isinstance(expr, (ast.Tuple, ast.List)):
+        entries: Set[_Entry] = set()
+        opaque = False
+        for elt in expr.elts:
+            if isinstance(elt, ast.Starred):
+                elt = elt.value
+            e, o = _resolve_value(elt, scope)
+            entries |= e
+            opaque = opaque or o
+        return frozenset(entries), opaque
+    return frozenset(), True
+
+
+def _collect_scope_env(scope: _Scope) -> None:
+    """Record defs, ref-producing assignments, and scalar-result names."""
+
+    for n in _scope_walk(scope.node):
+        if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            scope.defs.setdefault(n.name, []).append((n.lineno, n))
+        elif isinstance(n, ast.Assign):
+            if len(n.targets) == 1 and isinstance(n.targets[0], ast.Name):
+                name = n.targets[0].id
+                entries, opaque = _resolve_value(n.value, scope)
+                prev = scope.ref_env.get(name)
+                if prev is not None:  # rebinding: union, keep any opacity
+                    entries, opaque = entries | prev[0], opaque or prev[1]
+                scope.ref_env[name] = (entries, opaque)
+                if isinstance(n.value, ast.Call):
+                    fname = None
+                    if isinstance(n.value.func, ast.Name):
+                        fname = n.value.func.id
+                    elif isinstance(n.value.func, ast.Attribute):
+                        fname = n.value.func.attr
+                    if fname in _SCALAR_FUNCS:
+                        scope.scalar_names.add(name)
+            elif len(n.targets) == 1 and isinstance(n.targets[0], ast.Tuple) \
+                    and isinstance(n.value, ast.Tuple) \
+                    and len(n.targets[0].elts) == len(n.value.elts):
+                for tgt, val in zip(n.targets[0].elts, n.value.elts):
+                    if isinstance(tgt, ast.Name):
+                        scope.ref_env[tgt.id] = _resolve_value(val, scope)
+
+
+def _is_task_submit(call: ast.Call) -> bool:
+    """True for ``<rt>.submit(TaskKind.X, ...)`` calls only."""
+
+    if not (isinstance(call.func, ast.Attribute) and call.func.attr == "submit"):
+        return False
+    kind = call.args[0] if call.args else None
+    if kind is None:
+        for kw in call.keywords:
+            if kw.arg == "kind":
+                kind = kw.value
+    return (isinstance(kind, ast.Attribute)
+            and isinstance(kind.value, ast.Name)
+            and kind.value.id == "TaskKind")
+
+
+def _kw(call: ast.Call, name: str) -> Optional[ast.AST]:
+    for kw in call.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+def _nonempty_literal(expr: ast.AST) -> bool:
+    """True unless the expression is a literally empty tuple/list."""
+
+    if isinstance(expr, (ast.Tuple, ast.List)):
+        return bool(expr.elts)
+    if isinstance(expr, ast.Constant) and expr.value is None:
+        return False
+    return True
+
+
+class _Linter:
+    def __init__(self, path: str, source: str):
+        self.path = path
+        self.lines = source.splitlines()
+        self.findings: List[LintFinding] = []
+
+    # ----------------------------------------------------------- suppression
+
+    def _suppressed(self, rule: str, *linenos: int) -> bool:
+        for lineno in linenos:
+            if not 1 <= lineno <= len(self.lines):
+                continue
+            m = _SUPPRESS_RE.search(self.lines[lineno - 1])
+            if m is None:
+                continue
+            if m.group(1) is None:
+                return True
+            rules = {r.strip() for r in m.group(1).split(",")}
+            if rule in rules:
+                return True
+        return False
+
+    def _flag(self, rule: str, message: str, node: ast.AST,
+              extra_lines: Sequence[int] = ()) -> None:
+        if self._suppressed(rule, node.lineno, *extra_lines):
+            return
+        self.findings.append(
+            LintFinding(self.path, node.lineno, node.col_offset, rule, message)
+        )
+
+    # ------------------------------------------------------------ scope pass
+
+    def run(self, tree: ast.Module) -> None:
+        self._visit_scope(_Scope(tree, None))
+
+    def _visit_scope(self, scope: _Scope) -> None:
+        _collect_scope_env(scope)
+        for n in _scope_walk(scope.node):
+            if isinstance(n, ast.Call) and _is_task_submit(n):
+                self._check_submit(n, scope)
+        for n in _scope_walk(scope.node):
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                self._visit_scope(_Scope(n, scope))
+
+    # --------------------------------------------------------------- checks
+
+    def _check_submit(self, call: ast.Call, scope: _Scope) -> None:
+        fn = _kw(call, "fn")
+        has_fn = fn is not None and not (
+            isinstance(fn, ast.Constant) and fn.value is None)
+        reads = _kw(call, "reads")
+        writes = _kw(call, "writes")
+
+        if has_fn and reads is None and writes is None:
+            self._flag(FOOTPRINT_MISSING,
+                       "submit(..., fn=...) without reads=/writes=: the "
+                       "payload's tile footprint must be declared", call)
+
+        if writes is not None and _nonempty_literal(writes) \
+                and _kw(call, "bytes_out") is None:
+            self._flag(BYTES_OUT_MISSING,
+                       "submit with writes= must set bytes_out= (task "
+                       "output volume feeds the communication model)", call)
+
+        if not has_fn:
+            return
+        payload = self._resolve_payload(fn, scope, call.lineno)
+        if payload is None:
+            return
+        read_entries, reads_opaque = (
+            _resolve_value(reads, scope) if reads is not None
+            else (frozenset(), False))
+        write_entries, writes_opaque = (
+            _resolve_value(writes, scope) if writes is not None
+            else (frozenset(), False))
+        self._check_payload(payload, scope, call,
+                            read_entries, reads_opaque,
+                            write_entries, writes_opaque)
+
+    def _resolve_payload(self, fn: ast.AST, scope: _Scope,
+                         lineno: int) -> Optional[_FuncNode]:
+        if isinstance(fn, ast.Lambda):
+            return fn
+        if isinstance(fn, ast.Name):
+            return scope.lookup_def(fn.id, lineno)
+        return None
+
+    def _check_payload(self, payload: _FuncNode, scope: _Scope,
+                       submit: ast.Call,
+                       read_entries: FrozenSet[_Entry], reads_opaque: bool,
+                       write_entries: FrozenSet[_Entry], writes_opaque: bool
+                       ) -> None:
+        receivers = {e[0] for e in read_entries | write_entries}
+        body = payload.body if isinstance(payload, ast.Lambda) else payload
+        for n in ast.walk(body):
+            if not isinstance(n, ast.Call):
+                if isinstance(n, ast.Attribute) and n.attr == "value" \
+                        and isinstance(n.value, ast.Name) \
+                        and isinstance(n.ctx, ast.Load) \
+                        and scope.is_scalar_name(n.value.id):
+                    self._flag(SYNC_IN_PAYLOAD,
+                               f"ScalarResult '{n.value.id}.value' read "
+                               "inside a payload (re-entrant sync hazard)",
+                               n, (submit.lineno,))
+                continue
+            func = n.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr == "to_array":
+                self._flag(SYNC_IN_PAYLOAD,
+                           ".to_array() inside a payload (re-entrant sync "
+                           "hazard)", n, (submit.lineno,))
+                continue
+            if func.attr not in ("tile", "set_tile"):
+                continue
+            if not isinstance(func.value, ast.Name) or len(n.args) < 2:
+                continue
+            recv = func.value.id
+            entry = (recv, _dump(n.args[0]), _dump(n.args[1]))
+            if func.attr == "set_tile":
+                if entry in write_entries or writes_opaque:
+                    continue
+                self._flag(PAYLOAD_FOOTPRINT,
+                           f"payload calls {recv}.set_tile({_src(n.args[0])}, "
+                           f"{_src(n.args[1])}, ...) but that tile is not in "
+                           "the declared writes=", n, (submit.lineno,))
+            else:
+                if entry in read_entries or entry in write_entries:
+                    continue
+                if reads_opaque or writes_opaque:
+                    continue
+                if recv not in receivers:
+                    self._flag(PAYLOAD_FOOTPRINT,
+                               f"payload accesses {recv}.tile(...) but no "
+                               f"tile of '{recv}' appears in the declared "
+                               "footprint", n, (submit.lineno,))
+                else:
+                    self._flag(PAYLOAD_FOOTPRINT,
+                               f"payload calls {recv}.tile({_src(n.args[0])}, "
+                               f"{_src(n.args[1])}) but that tile is not in "
+                               "the declared reads=/writes=", n,
+                               (submit.lineno,))
+
+
+def _src(node: ast.AST) -> str:
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse is py>=3.9
+        return "<expr>"
+
+
+def lint_source(source: str, path: str = "<string>") -> List[LintFinding]:
+    """Run all rules over one module's source text."""
+
+    tree = ast.parse(source, filename=path)
+    linter = _Linter(path, source)
+    linter.run(tree)
+    return linter.findings
+
+
+def lint_paths(paths: Sequence[str]) -> List[LintFinding]:
+    """Run all rules over ``.py`` files in the given files/directories."""
+
+    files: List[str] = []
+    for p in paths:
+        if os.path.isdir(p):
+            for root, _dirs, names in os.walk(p):
+                files.extend(os.path.join(root, n) for n in sorted(names)
+                             if n.endswith(".py"))
+        elif p.endswith(".py"):
+            files.append(p)
+    findings: List[LintFinding] = []
+    for f in sorted(set(files)):
+        with open(f, "r", encoding="utf-8") as fh:
+            findings.extend(lint_source(fh.read(), f))
+    findings.sort(key=lambda x: (x.path, x.line, x.col, x.rule))
+    return findings

@@ -18,6 +18,7 @@ Run ``python -m repro.cli --help`` (or the ``repro`` console script).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -411,6 +412,72 @@ def cmd_validate(args: argparse.Namespace) -> int:
     return 0 if rep.passed else 1
 
 
+def _lint_static(args: argparse.Namespace) -> int:
+    import repro
+    from .analysis import lint_paths
+
+    paths = args.paths or [os.path.dirname(repro.__file__)]
+    findings = lint_paths(paths)
+    for f in findings:
+        print(f.format())
+    print(f"repro-lint: {len(findings)} finding(s) over {len(paths)} "
+          f"path(s)")
+    return 1 if findings else 0
+
+
+def _lint_sanitize(args: argparse.Namespace) -> int:
+    import warnings
+
+    import numpy as np
+
+    from .analysis.sanitizer import SanitizerWarning
+    from .core.tiled_qdwh import tiled_qdwh
+    from .dist import DistMatrix, ProcessGrid
+    from .matrices import generate_matrix
+    from .runtime import Runtime
+
+    a = generate_matrix(args.n, cond=args.cond, dtype=np.float64,
+                        seed=args.seed)
+    dirty = 0
+    for backend in ("eager", "threads"):
+        rt = Runtime(ProcessGrid(2, 2), sanitize="warn")
+        da = DistMatrix.from_array(rt, a.copy(), args.nb)
+        with warnings.catch_warnings():
+            # Findings are collected on the sanitizer; the per-finding
+            # warnings would only duplicate the report below.
+            warnings.simplefilter("ignore", SanitizerWarning)
+            tiled_qdwh(rt, da, backend=backend,
+                       workers=args.workers if backend == "threads"
+                       else None)
+            rt.sync()
+        san = rt.sanitizer
+        races = rt.graph.check_races(footprints=san.footprints(),
+                                     raise_on_error=False)
+        for f in san.findings:
+            print(f"  {backend}: {f.message()}")
+        for r in races:
+            print(f"  {backend}: {r.message()}")
+        summary = san.summary()
+        print(f"tilesan[{backend}]: {summary.pop('tasks_checked')} task(s) "
+              f"checked, {len(san.findings)} finding(s), "
+              f"{len(races)} race(s)")
+        dirty += len(san.findings) + len(races)
+        rt.close()
+    return 1 if dirty else 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Static AST rules and/or a QDWH run under the TileSan sanitizer."""
+    run_static = args.static or not args.sanitize
+    run_sanitize = args.sanitize or not args.static
+    rc = 0
+    if run_static:
+        rc |= _lint_static(args)
+    if run_sanitize:
+        rc |= _lint_sanitize(args)
+    return rc
+
+
 def build_parser() -> argparse.ArgumentParser:
     ap = argparse.ArgumentParser(
         prog="repro",
@@ -570,6 +637,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cpu", action="store_true",
                    help="CPU-only run (host memory capacity)")
     p.set_defaults(fn=cmd_memory)
+
+    p = sub.add_parser(
+        "lint",
+        help="correctness tooling: static footprint rules + TileSan")
+    p.add_argument("--static", action="store_true",
+                   help="run only the repro-lint AST rules")
+    p.add_argument("--sanitize", action="store_true",
+                   help="run only a small QDWH (eager + threads) under "
+                        "the TileSan footprint sanitizer and the "
+                        "happens-before race checker")
+    p.add_argument("paths", nargs="*",
+                   help="files/directories for --static (default: the "
+                        "installed repro package)")
+    p.add_argument("--n", type=int, default=64,
+                   help="matrix size for --sanitize (default 64)")
+    p.add_argument("--nb", type=int, default=16,
+                   help="tile size for --sanitize (default 16)")
+    p.add_argument("--cond", type=float, default=1e8,
+                   help="condition number for --sanitize (default 1e8)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workers", type=int, default=4,
+                   help="threads-backend worker count (default 4)")
+    p.set_defaults(fn=cmd_lint)
 
     p = sub.add_parser("validate",
                        help="run the paper-claim acceptance matrix")

@@ -73,6 +73,7 @@ def _copy_scaled(rt: Runtime, alpha: float, src: DistMatrix,
                       writes=(dst.ref(di, j),), rank=dst.owner(di, j),
                       flops=float(src.tile_rows(i) * src.tile_cols(j)),
                       tile_dim=dst.nb, fn=body,
+                      bytes_out=dst.tile_nbytes(di, j),
                       label=f"cpysc({i},{j})")
 
 
@@ -93,7 +94,9 @@ def _set_identity_block(rt: Runtime, w: DistMatrix, row_offset: int) -> None:
             rt.submit(TaskKind.SET, reads=(), writes=(w.ref(di, j),),
                       rank=w.owner(di, j),
                       flops=float(w.tile_rows(di) * w.tile_cols(j)),
-                      tile_dim=w.nb, fn=body, label=f"wident({di},{j})")
+                      tile_dim=w.nb, fn=body,
+                      bytes_out=w.tile_nbytes(di, j),
+                      label=f"wident({di},{j})")
 
 
 def _split_rows(rt: Runtime, q: DistMatrix, top_mt: int,
@@ -121,7 +124,9 @@ def _split_rows(rt: Runtime, q: DistMatrix, top_mt: int,
             rt.submit(TaskKind.COPY, reads=(q.ref(i, j),),
                       writes=(dst.ref(di, j),), rank=dst.owner(di, j),
                       flops=float(q.tile_rows(i) * q.tile_cols(j)),
-                      tile_dim=q.nb, fn=body, label=f"split({i},{j})")
+                      tile_dim=q.nb, fn=body,
+                      bytes_out=dst.tile_nbytes(di, j),
+                      label=f"split({i},{j})")
     return q1, q2
 
 
@@ -138,7 +143,9 @@ def _symmetrize(rt: Runtime, h: DistMatrix) -> None:
                 rt.submit(TaskKind.ADD, reads=(h.ref(i, i),),
                           writes=(h.ref(i, i),), rank=h.owner(i, i),
                           flops=float(h.tile_rows(i) ** 2),
-                          tile_dim=h.nb, fn=body, label=f"symm({i},{i})")
+                          tile_dim=h.nb, fn=body,
+                          bytes_out=h.tile_nbytes(i, i),
+                          label=f"symm({i},{i})")
             else:
 
                 def body(i=i, j=j):
@@ -153,7 +160,9 @@ def _symmetrize(rt: Runtime, h: DistMatrix) -> None:
                           writes=(h.ref(i, j), h.ref(j, i)),
                           rank=h.owner(i, j),
                           flops=2.0 * h.tile_rows(i) * h.tile_cols(j),
-                          tile_dim=h.nb, fn=body, label=f"symm({i},{j})")
+                          tile_dim=h.nb, fn=body,
+                          bytes_out=2 * h.tile_nbytes(i, j),
+                          label=f"symm({i},{j})")
 
 
 def _qr_iteration(rt: Runtime, a: DistMatrix, wa: float, wb: float,
@@ -288,7 +297,8 @@ def tiled_qdwh(rt: Runtime, a: DistMatrix, *,
                     def zbody(i=i, j=j):
                         a.tile(i, j)[...] = 0
                     rt.submit(TaskKind.SET, reads=(), writes=(a.ref(i, j),),
-                              rank=a.owner(i, j), fn=zbody, label="uzero")
+                              rank=a.owner(i, j), fn=zbody,
+                              bytes_out=a.tile_nbytes(i, j), label="uzero")
             rt.sync()  # materialize U = [I; 0], H = 0 before returning
             return TiledQdwhResult(u=a, h=h, iterations=0, it_qr=0,
                                    it_chol=0, alpha=0.0, l0=0.0)

@@ -140,6 +140,13 @@ class DistMatrix:
                 "model must not touch numerics")
         if rt.deferred and not rt._in_execution:
             rt.sync()
+        san = rt._sanitizer
+        if san is not None:
+            # TileSan: record the access (and possibly raise) *before*
+            # handing out the array, so in raise mode an undeclared
+            # access never observes or mutates tile data.  A ``tile()``
+            # of a declared-write tile counts as the in-place write.
+            san.on_access((self.mat_id, i, j), write=False)
         key = (i, j)
         t = self._tiles.get(key)
         if t is None:
@@ -156,6 +163,9 @@ class DistMatrix:
                 f"tile ({i},{j}) expects shape {expected}, got {data.shape}")
         if self.rt.deferred and not self.rt._in_execution:
             self.rt.sync()  # don't clobber a tile pending tasks still write
+        san = self.rt._sanitizer
+        if san is not None:
+            san.on_access((self.mat_id, i, j), write=True)
         # Always copy: a contiguous slice of a caller's array would
         # otherwise be stored as a view, and in-place tile updates
         # would silently mutate the caller's data.
@@ -193,6 +203,11 @@ class DistMatrix:
         """Gather all tiles into a dense array (numeric mode only)."""
         if not self.rt.numeric:
             raise RuntimeError("cannot gather a symbolic matrix")
+        san = self.rt._sanitizer
+        if san is not None:
+            # A gather inside a payload is a re-entrant sync hazard
+            # (the inner sync is suppressed; pending writes are lost).
+            san.on_sync((self.mat_id, -1, -1), "DistMatrix.to_array()")
         self.rt.sync()  # deferred runtimes: materialize pending writes
         out = np.zeros((self.m, self.n), dtype=self.dtype)
         for i in range(self.mt):

@@ -41,6 +41,7 @@ from .timeline import (
     STALL_LINK,
     BarrierEvent,
     FaultEvent,
+    SanitizerEvent,
     StallEvent,
     TaskEvent,
     TimelineSink,
@@ -72,6 +73,7 @@ __all__ = [
     "STALL_GATE",
     "STALL_LINK",
     "BarrierEvent",
+    "SanitizerEvent",
     "StallEvent",
     "TaskEvent",
     "TimelineSink",

@@ -181,6 +181,21 @@ def chrome_trace(timeline: TimelineSink) -> Dict[str, object]:
                      "detail": f.detail},
         })
 
+    # TileSan footprint findings as instants on their own row.
+    for s in getattr(timeline, "sanitizer", ()):
+        events.append({
+            "name": f"{s.kind} t{s.tid}",
+            "cat": "sanitizer",
+            "ph": "i",
+            "s": "g",
+            "ts": s.time * 1e6,
+            "pid": sched_pid,
+            "tid": 3,
+            "args": {"tid": s.tid, "kind": s.kind,
+                     "task_kind": s.task_kind, "label": s.label,
+                     "ref": list(s.ref), "detail": s.detail},
+        })
+
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 

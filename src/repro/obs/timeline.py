@@ -105,6 +105,26 @@ class StallEvent:
     end: float         # when it was finally dispatched
 
 
+@dataclass(frozen=True)
+class SanitizerEvent:
+    """One TileSan footprint finding (analysis subsystem).
+
+    ``kind`` is a finding kind from :mod:`repro.analysis.sanitizer`
+    (undeclared-read / undeclared-write / phantom-declaration /
+    sync-in-payload); ``ref`` is the offending tile.
+    """
+
+    kind: str
+    tid: int
+    task_kind: str
+    label: str
+    ref: tuple
+    detail: str = ""
+    #: Trace-time placement; the sanitizer itself is timebase-agnostic
+    #: and leaves 0.0 (findings render at the trace origin).
+    time: float = 0.0
+
+
 class TraceSink:
     """Callback interface the scheduler drives.  All no-ops here."""
 
@@ -123,6 +143,9 @@ class TraceSink:
     def on_fault(self, ev: FaultEvent) -> None:  # pragma: no cover
         pass
 
+    def on_sanitizer(self, ev: SanitizerEvent) -> None:  # pragma: no cover
+        pass
+
 
 class TimelineSink(TraceSink):
     """Collects every event in arrival order.
@@ -138,6 +161,7 @@ class TimelineSink(TraceSink):
         self.barriers: List[BarrierEvent] = []
         self.stalls: List[StallEvent] = []
         self.faults: List[FaultEvent] = []
+        self.sanitizer: List[SanitizerEvent] = []
 
     # -- collection ----------------------------------------------------
 
@@ -155,6 +179,9 @@ class TimelineSink(TraceSink):
 
     def on_fault(self, ev: FaultEvent) -> None:
         self.faults.append(ev)
+
+    def on_sanitizer(self, ev: SanitizerEvent) -> None:
+        self.sanitizer.append(ev)
 
     # -- aggregations --------------------------------------------------
 
@@ -209,4 +236,11 @@ class TimelineSink(TraceSink):
         out: Dict[str, int] = {}
         for f in self.faults:
             out[f.kind] = out.get(f.kind, 0) + 1
+        return out
+
+    def sanitizer_counts(self) -> Dict[str, int]:
+        """TileSan findings by kind."""
+        out: Dict[str, int] = {}
+        for s in self.sanitizer:
+            out[s.kind] = out.get(s.kind, 0) + 1
         return out

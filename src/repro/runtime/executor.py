@@ -32,6 +32,9 @@ from ..dist.layout import BlockCyclic
 from .graph import TaskGraph
 from .task import Task, TaskKind, TileRef
 
+#: Sentinel: resolve the sanitizer mode from the REPRO_SANITIZE env var.
+_SANITIZE_FROM_ENV = object()
+
 
 class Runtime:
     """Execution context for tiled algorithms."""
@@ -42,7 +45,8 @@ class Runtime:
                  deferred: bool = False,
                  workers: Optional[int] = None,
                  sink=None,
-                 lookahead: Optional[int] = None) -> None:
+                 lookahead: Optional[int] = None,
+                 sanitize=_SANITIZE_FROM_ENV) -> None:
         if deferred and not numeric:
             raise ValueError(
                 "deferred execution requires numeric mode (symbolic "
@@ -85,6 +89,17 @@ class Runtime:
         self._exec_cursor = 0
         self._executor = None
         self._in_execution = False
+        #: TileSan footprint sanitizer (``sanitize="warn"|"raise"|None``;
+        #: default comes from the REPRO_SANITIZE env var).  Only numeric
+        #: runtimes instrument payloads — symbolic mode never runs any.
+        if sanitize is _SANITIZE_FROM_ENV:
+            from ..analysis.sanitizer import sanitize_mode_from_env
+            sanitize = sanitize_mode_from_env()
+        self._sanitizer = None
+        if sanitize is not None and numeric:
+            from ..analysis.sanitizer import TileSanitizer
+            self._sanitizer = TileSanitizer(self.graph, mode=sanitize,
+                                            sink=sink)
 
     # ------------------------------------------------------------------
     # Identifiers and phases
@@ -95,10 +110,13 @@ class Runtime:
         return next(self._matrix_ids)
 
     def new_scalar_ref(self, nbytes: int = 8) -> TileRef:
-        """A fresh pseudo-tile carrying a scalar reduction result."""
+        """A fresh pseudo-tile carrying a scalar reduction result.
+
+        Registered unconditionally: the sanitizer and race checker need
+        tile metadata even when no task graph is collected.
+        """
         ref = (self.scalar_mat, next(self._scalar_ids), 0)
-        if self.collect_graph:
-            self.graph.register_tile(ref, nbytes)
+        self.graph.register_tile(ref, nbytes)
         return ref
 
     @property
@@ -135,19 +153,30 @@ class Runtime:
                bytes_out: int = 0,
                tile_dim: int = 0,
                label: str = "",
-               fn: Optional[Callable[[], None]] = None) -> Task:
+               fn: Optional[Callable[[], None]] = None,
+               sanitize: bool = True) -> Task:
         """Submit one task; runs ``fn`` now when in numeric mode.
 
-        ``rank=None`` is only valid when every write ref has been
-        registered with an owner through a DistMatrix; callers normally
-        pass the owner of the primary output tile (owner-computes).
+        ``rank=None`` resolves owner-computes placement from the
+        graph's tile registry: the first write ref registered with an
+        owner (through a DistMatrix) wins.  On a single-rank grid the
+        owner is trivially rank 0.  Otherwise ``rank=None`` is an
+        error — silently defaulting to rank 0 would skew every
+        per-rank metric the scheduler produces.
+
+        ``sanitize=False`` opts this task's payload out of TileSan
+        footprint checking (for payloads that legitimately touch tiles
+        through captured buffers the sanitizer cannot attribute).
         """
+        writes = tuple(writes)
+        if rank is None:
+            rank = self._resolve_rank(kind, writes, label)
         task = Task(
             tid=next(self._task_ids),
             kind=kind,
             reads=tuple(reads),
-            writes=tuple(writes),
-            rank=0 if rank is None else rank,
+            writes=writes,
+            rank=rank,
             phase=self._phase,
             flops=flops * self.flops_scale,
             bytes_out=bytes_out,
@@ -156,6 +185,7 @@ class Runtime:
             coarse=self.coarse_hint,
             op=self._op,
             label=label,
+            sanitize=sanitize,
         )
         if self.collect_graph:
             self.graph.add(task)
@@ -163,9 +193,31 @@ class Runtime:
             if self.deferred:
                 self._pending_fns[task.tid] = fn
             else:
-                fn()
+                san = self._sanitizer
+                if san is not None and task.sanitize:
+                    with san.task_scope(task):
+                        fn()
+                else:
+                    fn()
                 self._count_kernel(kind)
         return task
+
+    def _resolve_rank(self, kind: TaskKind, writes: Sequence[TileRef],
+                      label: str) -> int:
+        """Owner of the primary (first owner-registered) write ref."""
+        if self.grid.size == 1:
+            return 0
+        owners = self.graph.tile_owner
+        for ref in writes:
+            owner = owners.get(ref)
+            if owner is not None and owner >= 0:
+                return owner
+        what = f"{kind.name} [{label}]" if label else kind.name
+        raise ValueError(
+            f"submit({what}, rank=None): no write ref has a registered "
+            f"owner on this {self.grid.p}x{self.grid.q} grid; pass "
+            f"rank= explicitly (owner-computes on the primary output "
+            f"tile)")
 
     def _count_kernel(self, kind: TaskKind) -> None:
         """Publish one eager kernel invocation to the metrics registry."""
@@ -215,8 +267,14 @@ class Runtime:
             from .parallel import ParallelExecutor
             self._executor = ParallelExecutor(
                 self.graph, self._pending_fns, workers=self._workers,
-                lookahead=self._exec_lookahead, sink=self._exec_sink)
+                lookahead=self._exec_lookahead, sink=self._exec_sink,
+                sanitizer=self._sanitizer)
         return self._executor
+
+    @property
+    def sanitizer(self):
+        """The TileSan instance, or None when sanitizing is off."""
+        return self._sanitizer
 
     @property
     def exec_stats(self):
@@ -252,7 +310,12 @@ class Runtime:
 
     def register_tiles(self, refs: Iterable[TileRef], nbytes_each: int,
                        owner: int = -1) -> None:
-        """Bulk tile-size registration (called by DistMatrix)."""
-        if self.collect_graph:
-            for ref in refs:
-                self.graph.register_tile(ref, nbytes_each, owner)
+        """Bulk tile-size registration (called by DistMatrix).
+
+        Unconditional — even with ``collect_graph=False`` the registry
+        is kept (a cheap dict): owner resolution for ``rank=None``
+        submits, the sanitizer's observable-tile test, and the race
+        checker all need it in pure-eager runs.
+        """
+        for ref in refs:
+            self.graph.register_tile(ref, nbytes_each, owner)

@@ -198,6 +198,22 @@ class TaskGraph:
             raise GraphValidationError(problems)
         return problems
 
+    def check_races(self, footprints=None, *, raise_on_error: bool = True):
+        """Happens-before race check (transitive, unlike :meth:`validate`).
+
+        :meth:`validate` demands the builder's *direct* per-tile edges;
+        this accepts any graph where conflicting accesses are ordered
+        by *some* dependency path, and is therefore the right check for
+        mutated/replayed graphs and for footprints *observed* by the
+        TileSan sanitizer (``footprints`` maps tid -> (reads, writes);
+        pass ``TileSanitizer.footprints()``).  Returns the list of
+        :class:`repro.analysis.races.RaceFinding`; raises
+        :class:`repro.analysis.races.RaceError` when ``raise_on_error``
+        and races were found.
+        """
+        from ..analysis.races import check_races as _check
+        return _check(self, footprints, raise_on_error=raise_on_error)
+
     def critical_path_seconds(self, duration) -> float:
         """Length of the critical path under ``duration(task) -> s``.
 

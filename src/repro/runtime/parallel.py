@@ -116,6 +116,11 @@ class ParallelExecutor:
     validate:
         Run :meth:`TaskGraph.validate` over each window before
         executing it (cycle/forward-edge/concurrent-writer checks).
+    sanitizer:
+        Optional :class:`repro.analysis.sanitizer.TileSanitizer`; each
+        payload runs inside a sanitizer frame on its worker thread, so
+        actual tile accesses are diffed against the declared footprint
+        exactly as in eager mode.
     """
 
     def __init__(self, graph: TaskGraph,
@@ -123,13 +128,15 @@ class ParallelExecutor:
                  workers: Optional[int] = None,
                  lookahead: Optional[int] = None,
                  sink=None,
-                 validate: bool = True) -> None:
+                 validate: bool = True,
+                 sanitizer=None) -> None:
         self.graph = graph
         self.fns = {} if fns is None else fns
         self.workers = max(1, int(workers) if workers else default_workers())
         self.lookahead = lookahead
         self.sink = sink
         self.validate = validate
+        self.sanitizer = sanitizer
         self.stats = ExecutionStats(workers=self.workers)
         if validate:
             graph.validate()
@@ -416,7 +423,12 @@ class ParallelExecutor:
             fn = self.fns.pop(tid, None)
             t0 = perf_counter() - self._epoch
             if fn is not None:
-                fn()
+                san = self.sanitizer
+                if san is not None and t.sanitize:
+                    with san.task_scope(t):
+                        fn()
+                else:
+                    fn()
                 self._count(t.kind)
             t1 = perf_counter() - self._epoch
             with self._lock:

@@ -96,6 +96,10 @@ class Task:
     #: memory (a GPU consumer pays H2D; a remote consumer pays the
     #: wire), exactly like SLATE fetching a tile on first touch.
     cold_reads: Tuple[TileRef, ...] = field(default_factory=tuple)
+    #: Opt-out for the TileSan footprint sanitizer
+    #: (``submit(..., sanitize=False)``): the payload's accesses are
+    #: neither recorded nor diffed against the declaration.
+    sanitize: bool = True
 
     @property
     def gpu_eligible(self) -> bool:

@@ -83,6 +83,7 @@ def gemm(rt: Runtime, alpha: complex, a: DistMatrix, b: DistMatrix,
                 rt.submit(TaskKind.GEMM, reads=(aref, bref),
                           writes=(cref,), rank=rank, flops=fl,
                           tile_dim=c.nb, fn=body,
+                          bytes_out=c.tile_nbytes(i, j),
                           label=f"gemm({i},{j},{k})")
 
 
@@ -132,6 +133,7 @@ def herk(rt: Runtime, alpha: float, a: DistMatrix, beta: float,
                 rt.submit(TaskKind.HERK if i == j else TaskKind.GEMM,
                           reads=tuple(arefs), writes=(cref,), rank=rank,
                           flops=fl, tile_dim=c.nb, fn=body,
+                          bytes_out=c.tile_nbytes(i, j),
                           label=f"herk({i},{j},{k})")
 
 
@@ -154,7 +156,9 @@ def mirror_lower(rt: Runtime, c: DistMatrix) -> None:
             rt.submit(TaskKind.COPY, reads=(src,), writes=(dst,),
                       rank=c.owner(j, i),
                       flops=float(c.tile_rows(i) * c.tile_cols(j)),
-                      tile_dim=c.nb, fn=body, label=f"mirror({i},{j})")
+                      tile_dim=c.nb, fn=body,
+                      bytes_out=c.tile_nbytes(j, i),
+                      label=f"mirror({i},{j})")
 
 
 def add(rt: Runtime, alpha: complex, a: DistMatrix, beta: complex,
@@ -177,6 +181,7 @@ def add(rt: Runtime, alpha: complex, a: DistMatrix, beta: complex,
             rt.submit(TaskKind.ADD, reads=(a.ref(i, j),),
                       writes=(b.ref(i, j),), rank=b.owner(i, j),
                       flops=fl, tile_dim=b.nb, fn=body,
+                      bytes_out=b.tile_nbytes(i, j),
                       label=f"add({i},{j})")
 
 
@@ -192,7 +197,8 @@ def scale(rt: Runtime, alpha: complex, a: DistMatrix) -> None:
 
             rt.submit(TaskKind.SCALE, reads=(), writes=(a.ref(i, j),),
                       rank=a.owner(i, j), flops=fl, tile_dim=a.nb,
-                      fn=body, label=f"scale({i},{j})")
+                      fn=body, bytes_out=a.tile_nbytes(i, j),
+                      label=f"scale({i},{j})")
 
 
 def copy(rt: Runtime, src: DistMatrix, dst: DistMatrix, *,
@@ -223,7 +229,9 @@ def copy(rt: Runtime, src: DistMatrix, dst: DistMatrix, *,
             rt.submit(TaskKind.COPY, reads=(src.ref(i, j),),
                       writes=(dst.ref(di, j),), rank=dst.owner(di, j),
                       flops=float(src.tile_rows(i) * src.tile_cols(j)),
-                      tile_dim=dst.nb, fn=body, label=f"copy({i},{j})")
+                      tile_dim=dst.nb, fn=body,
+                      bytes_out=dst.tile_nbytes(di, j),
+                      label=f"copy({i},{j})")
 
 
 def set_zero(rt: Runtime, a: DistMatrix) -> None:
@@ -238,7 +246,9 @@ def set_zero(rt: Runtime, a: DistMatrix) -> None:
             rt.submit(TaskKind.SET, reads=(), writes=(a.ref(i, j),),
                       rank=a.owner(i, j),
                       flops=float(a.tile_rows(i) * a.tile_cols(j)),
-                      tile_dim=a.nb, fn=body, label=f"zero({i},{j})")
+                      tile_dim=a.nb, fn=body,
+                      bytes_out=a.tile_nbytes(i, j),
+                      label=f"zero({i},{j})")
 
 
 def set_identity(rt: Runtime, a: DistMatrix, *, row_offset: int = 0,
@@ -265,7 +275,9 @@ def set_identity(rt: Runtime, a: DistMatrix, *, row_offset: int = 0,
             rt.submit(TaskKind.SET, reads=(), writes=(a.ref(di, j),),
                       rank=a.owner(di, j),
                       flops=float(a.tile_rows(di) * a.tile_cols(j)),
-                      tile_dim=a.nb, fn=body, label=f"eye({di},{j})")
+                      tile_dim=a.nb, fn=body,
+                      bytes_out=a.tile_nbytes(di, j),
+                      label=f"eye({di},{j})")
 
 
 def set_diag_add(rt: Runtime, a: DistMatrix, alpha: complex = 1.0) -> None:
@@ -282,7 +294,8 @@ def set_diag_add(rt: Runtime, a: DistMatrix, alpha: complex = 1.0) -> None:
 
         rt.submit(TaskKind.SET, reads=(a.ref(k, k),),
                   writes=(a.ref(k, k),), rank=a.owner(k, k),
-                  tile_dim=a.nb, fn=body, label=f"diag+({k})")
+                  tile_dim=a.nb, fn=body,
+                  bytes_out=a.tile_nbytes(k, k), label=f"diag+({k})")
 
 
 def transpose_conj(rt: Runtime, a: DistMatrix,
@@ -307,5 +320,7 @@ def transpose_conj(rt: Runtime, a: DistMatrix,
             rt.submit(TaskKind.COPY, reads=(a.ref(i, j),),
                       writes=(out.ref(j, i),), rank=out.owner(j, i),
                       flops=float(a.tile_rows(i) * a.tile_cols(j)),
-                      tile_dim=a.nb, fn=body, label=f"trans({i},{j})")
+                      tile_dim=a.nb, fn=body,
+                      bytes_out=out.tile_nbytes(j, i),
+                      label=f"trans({i},{j})")
     return out

@@ -38,10 +38,18 @@ class ScalarResult:
 
     @property
     def value(self) -> float:
+        rt = self._rt
+        if rt is not None:
+            san = getattr(rt, "_sanitizer", None)
+            if san is not None:
+                # Reading a scalar inside a payload is a re-entrant
+                # sync hazard (the inner sync is suppressed; the box
+                # may not be filled yet).  No-op outside payloads.
+                san.on_sync(self.ref, "ScalarResult.value")
         v = self._box[0]
-        if v is None and self._rt is not None \
-                and getattr(self._rt, "deferred", False):
-            self._rt.sync()
+        if v is None and rt is not None \
+                and getattr(rt, "deferred", False):
+            rt.sync()
             v = self._box[0]
         if v is None:
             raise RuntimeError("scalar not computed (symbolic mode?)")
@@ -74,6 +82,7 @@ def _tile_reduce(rt: Runtime, a: DistMatrix, partial_fn, combine_fn,
             rt.submit(TaskKind.NORM, reads=(a.ref(i, j),),
                       writes=(refs[(i, j)],), rank=a.owner(i, j),
                       flops=fl, tile_dim=a.nb, fn=body,
+                      bytes_out=partial_bytes(i, j),
                       label=f"{label}.part({i},{j})")
     box: List[Optional[float]] = [None]
     out = rt.new_scalar_ref()
@@ -83,7 +92,7 @@ def _tile_reduce(rt: Runtime, a: DistMatrix, partial_fn, combine_fn,
 
     rt.submit(TaskKind.REDUCE, reads=tuple(refs.values()),
               writes=(out,), rank=0, flops=float(len(refs)),
-              fn=reduce_body, label=f"{label}.reduce")
+              fn=reduce_body, bytes_out=8, label=f"{label}.reduce")
     return ScalarResult(ref=out, _box=box, _rt=rt)
 
 
@@ -169,7 +178,9 @@ def column_abs_sums(rt: Runtime, a: DistMatrix, x: DistMatrix) -> None:
             rt.submit(TaskKind.NORM, reads=(a.ref(i, j),), writes=(ref,),
                       rank=a.owner(i, j),
                       flops=2.0 * a.tile_rows(i) * a.tile_cols(j),
-                      tile_dim=a.nb, fn=body, label=f"colsum({i},{j})")
+                      tile_dim=a.nb, fn=body,
+                      bytes_out=a.tile_cols(j) * 8,
+                      label=f"colsum({i},{j})")
 
         def reduce_body(j=j):
             acc = parts[(0, j)].copy()
@@ -180,4 +191,5 @@ def column_abs_sums(rt: Runtime, a: DistMatrix, x: DistMatrix) -> None:
         rt.submit(TaskKind.REDUCE, reads=tuple(refs),
                   writes=(x.ref(j, 0),), rank=x.owner(j, 0),
                   flops=float(a.mt * a.tile_cols(j)), fn=reduce_body,
+                  bytes_out=x.tile_nbytes(j, 0),
                   label=f"colsum.red({j})")

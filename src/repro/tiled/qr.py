@@ -150,6 +150,7 @@ def _geqrf_flat(rt: Runtime, a: DistMatrix) -> QRFactors:
         rt.submit(TaskKind.GEQRT, reads=(a.ref(k, k),),
                   writes=(a.ref(k, k), tkk), rank=a.owner(k, k),
                   flops=F.tile_geqrt(mb, kb), tile_dim=a.nb, fn=panel,
+                  bytes_out=a.tile_nbytes(k, k) + kb * kb * itemsize,
                   label=f"geqrt({k})")
 
         for j in range(k + 1, a.nt):
@@ -162,7 +163,9 @@ def _geqrf_flat(rt: Runtime, a: DistMatrix) -> QRFactors:
             rt.submit(TaskKind.UNMQR, reads=(a.ref(k, k), tkk),
                       writes=(a.ref(k, j),), rank=a.owner(k, j),
                       flops=F.tile_unmqr(mb, a.tile_cols(j), kb),
-                      tile_dim=a.nb, fn=row_apply, label=f"unmqr({k},{j})")
+                      tile_dim=a.nb, fn=row_apply,
+                      bytes_out=a.tile_nbytes(k, j),
+                      label=f"unmqr({k},{j})")
 
         for i in range(k + 1, a.mt):
             tik = fac.t_ref(i, k)
@@ -182,7 +185,10 @@ def _geqrf_flat(rt: Runtime, a: DistMatrix) -> QRFactors:
                       writes=(a.ref(k, k), a.ref(i, k), tik),
                       rank=a.owner(i, k),
                       flops=F.tile_tpqrt(mbi, kb), tile_dim=a.nb,
-                      fn=couple, label=f"tpqrt({i},{k})")
+                      fn=couple,
+                      bytes_out=(a.tile_nbytes(k, k) + a.tile_nbytes(i, k)
+                                 + 2 * kb * kb * itemsize),
+                      label=f"tpqrt({i},{k})")
 
             for j in range(k + 1, a.nt):
 
@@ -201,6 +207,8 @@ def _geqrf_flat(rt: Runtime, a: DistMatrix) -> QRFactors:
                           rank=a.owner(i, j),
                           flops=F.tile_tpmqrt(mbi, a.tile_cols(j), kb),
                           tile_dim=a.nb, fn=pair_apply,
+                          bytes_out=(a.tile_nbytes(k, j)
+                                     + a.tile_nbytes(i, j)),
                           label=f"tpmqrt({i},{j},{k})")
     return fac
 
@@ -236,7 +244,9 @@ def _geqrf_tree(rt: Runtime, a: DistMatrix) -> QRFactors:
             rt.submit(TaskKind.GEQRT, reads=(a.ref(i, k),),
                       writes=(a.ref(i, k), tik), rank=a.owner(i, k),
                       flops=F.tile_geqrt(mbi, kb), tile_dim=a.nb,
-                      fn=rowfac, label=f"ts.geqrt({i},{k})")
+                      fn=rowfac,
+                      bytes_out=a.tile_nbytes(i, k) + kb * kb * itemsize,
+                      label=f"ts.geqrt({i},{k})")
 
             for j in range(k + 1, a.nt):
 
@@ -250,6 +260,7 @@ def _geqrf_tree(rt: Runtime, a: DistMatrix) -> QRFactors:
                           writes=(a.ref(i, j),), rank=a.owner(i, j),
                           flops=F.tile_unmqr(mbi, a.tile_cols(j), kb),
                           tile_dim=a.nb, fn=rowupd,
+                          bytes_out=a.tile_nbytes(i, j),
                           label=f"ts.unmqr({i},{j})")
 
         # 2. Binary combine rounds (log2 depth).
@@ -274,7 +285,11 @@ def _geqrf_tree(rt: Runtime, a: DistMatrix) -> QRFactors:
                           writes=(a.ref(i1, k), ttref),
                           rank=a.owner(i1, k),
                           flops=F.tile_ttqrt(kb), tile_dim=a.nb,
-                          fn=combine, label=f"ttqrt({i1},{i2},{k})")
+                          fn=combine,
+                          bytes_out=(a.tile_nbytes(i1, k)
+                                     + (kb * kb + rows_eff * kb)
+                                     * itemsize),
+                          label=f"ttqrt({i1},{i2},{k})")
 
                 for j in range(k + 1, a.nt):
 
@@ -294,6 +309,8 @@ def _geqrf_tree(rt: Runtime, a: DistMatrix) -> QRFactors:
                               rank=a.owner(i1, j),
                               flops=F.tile_ttmqrt(kb, a.tile_cols(j)),
                               tile_dim=a.nb, fn=pairupd,
+                              bytes_out=(a.tile_nbytes(i1, j)
+                                         + a.tile_nbytes(i2, j)),
                               label=f"ttmqrt({i1},{i2},{j})")
     return fac
 
@@ -313,7 +330,9 @@ def _set_econ_identity(rt: Runtime, q: DistMatrix) -> None:
             rt.submit(TaskKind.SET, reads=(), writes=(q.ref(i, j),),
                       rank=q.owner(i, j),
                       flops=float(q.tile_rows(i) * q.tile_cols(j)),
-                      tile_dim=q.nb, fn=body, label=f"qeye({i},{j})")
+                      tile_dim=q.nb, fn=body,
+                      bytes_out=q.tile_nbytes(i, j),
+                      label=f"qeye({i},{j})")
 
 
 def unmqr_identity(rt: Runtime, fac: QRFactors) -> DistMatrix:
@@ -356,6 +375,8 @@ def unmqr_identity(rt: Runtime, fac: QRFactors) -> DistMatrix:
                           rank=q.owner(i, j),
                           flops=F.tile_tpmqrt(mbi, q.tile_cols(j), kb),
                           tile_dim=q.nb, fn=pair_apply,
+                          bytes_out=(q.tile_nbytes(k, j)
+                                     + q.tile_nbytes(i, j)),
                           label=f"q.tpmqrt({i},{j},{k})")
         for j in range(q.nt):
 
@@ -368,6 +389,7 @@ def unmqr_identity(rt: Runtime, fac: QRFactors) -> DistMatrix:
                       writes=(q.ref(k, j),), rank=q.owner(k, j),
                       flops=F.tile_unmqr(mb, q.tile_cols(j), kb),
                       tile_dim=q.nb, fn=head_apply,
+                      bytes_out=q.tile_nbytes(k, j),
                       label=f"q.unmqr({k},{j})")
     return q
 
@@ -401,6 +423,8 @@ def _apply_q_tree(rt: Runtime, fac: QRFactors, q: DistMatrix) -> None:
                               rank=q.owner(i1, j),
                               flops=F.tile_ttmqrt(kb, q.tile_cols(j)),
                               tile_dim=q.nb, fn=pairupd,
+                              bytes_out=(q.tile_nbytes(i1, j)
+                                         + q.tile_nbytes(i2, j)),
                               label=f"q.ttmqrt({i1},{i2},{j})")
         for i in range(k, a.mt):
             tik = fac.t_ref(i, k)
@@ -417,6 +441,7 @@ def _apply_q_tree(rt: Runtime, fac: QRFactors, q: DistMatrix) -> None:
                           writes=(q.ref(i, j),), rank=q.owner(i, j),
                           flops=F.tile_unmqr(mbi, q.tile_cols(j), kb),
                           tile_dim=q.nb, fn=rowapply,
+                          bytes_out=q.tile_nbytes(i, j),
                           label=f"q.ts.unmqr({i},{j})")
 
 
