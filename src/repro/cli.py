@@ -8,7 +8,9 @@ Subcommands, mirroring how a downstream user would drive the library:
   (Chrome/Perfetto trace, terminal Gantt, metrics snapshot).
 * ``repro sweep``               — a figure-style size sweep.
 * ``repro faults``              — fault-injected run vs. fault-free baseline,
-  recovery accounting, and the Young/Daly checkpoint trade-off.
+  recovery accounting, and the Young/Daly checkpoint trade-off;
+  ``--live`` runs the plan inside a real threaded QDWH instead of the
+  simulator and gates on convergence + zero leaked attempts.
 * ``repro memory``              — feasibility limits from the footprint model.
 * ``repro validate``            — run the acceptance matrix (paper claims).
 
@@ -63,7 +65,10 @@ def _fault_plan_from_args(args: argparse.Namespace, ranks: int,
         max_attempts=getattr(args, "max_attempts", 4),
         straggler=getattr(args, "straggler", None) or (),
         link_factor=getattr(args, "link_factor", 1.0),
-        speculation=not getattr(args, "no_speculation", False))
+        speculation=not getattr(args, "no_speculation", False),
+        stall_p=getattr(args, "stall_p", 0.0),
+        stall_seconds=getattr(args, "stall_seconds", 0.25),
+        corrupt_p=getattr(args, "corrupt_p", 0.0))
     return None if plan.empty else plan
 
 
@@ -102,6 +107,24 @@ def _polar_input(args: argparse.Namespace) -> np.ndarray:
                            dtype=np.dtype(args.dtype), seed=args.seed)
 
 
+def _live_recovery_from_args(args: argparse.Namespace, fault_plan):
+    """RecoveryPolicy from the polar/faults live-execution flags."""
+    if (getattr(args, "retries", None) is None
+            and getattr(args, "task_timeout", None) is None
+            and fault_plan is None):
+        return None
+    from .resilience.live import RecoveryPolicy
+
+    kw = {}
+    if getattr(args, "retries", None) is not None:
+        kw["max_retries"] = args.retries
+    if getattr(args, "task_timeout", None) is not None:
+        kw["task_timeout"] = args.task_timeout
+    if fault_plan is not None:
+        kw["scrub_writes"] = bool(fault_plan.corruptions)
+    return RecoveryPolicy(**kw)
+
+
 def _polar_tiled(args: argparse.Namespace, a: np.ndarray) -> int:
     """``repro polar --backend eager|threads``: the tiled QDWH path."""
     import time
@@ -120,9 +143,29 @@ def _polar_tiled(args: argparse.Namespace, a: np.ndarray) -> int:
     threads = backend == "threads"
     workers = args.workers or (default_workers() if threads else 1)
 
-    def run_once(nworkers: int, sink=None):
+    fault_plan = None
+    if args.fault_plan:
+        from .resilience import FaultPlan
+
+        fault_plan = FaultPlan.from_json(args.fault_plan)
+    recovery = _live_recovery_from_args(args, fault_plan)
+    if (fault_plan is not None or recovery is not None) and not threads:
+        raise SystemExit("--fault-plan/--retries/--task-timeout require "
+                         "--backend threads (live fault tolerance runs "
+                         "inside the thread pool)")
+    checkpoint = None
+    if args.checkpoint_dir:
+        from .resilience import CheckpointPolicy, QdwhCheckpointer
+
+        checkpoint = QdwhCheckpointer(
+            args.checkpoint_dir,
+            CheckpointPolicy(every=args.checkpoint_every))
+
+    def run_once(nworkers: int, sink=None, live=False):
         rt = Runtime(ProcessGrid(1, 1), numeric=True,
-                     deferred=threads, workers=nworkers, sink=sink)
+                     deferred=threads, workers=nworkers, sink=sink,
+                     faults=fault_plan if live else None,
+                     recovery=recovery if live else None)
         d = DistMatrix.from_array(rt, a, args.nb, name="A")
         log = IterationLog() if args.iter_log else None
         kw = {}
@@ -130,13 +173,17 @@ def _polar_tiled(args: argparse.Namespace, a: np.ndarray) -> int:
             kw["max_iter"] = args.max_iter
         t0 = time.perf_counter()
         res = tiled_qdwh(rt, d, backend=backend, workers=nworkers,
-                         iter_log=log, **kw)
+                         iter_log=log,
+                         checkpoint=checkpoint if live else None, **kw)
         wall = time.perf_counter() - t0
+        stats = rt.exec_stats
+        leaked = (rt._executor.inflight_attempts
+                  if rt._executor is not None else 0)
         rt.close()
-        return res, wall, log
+        return res, wall, log, stats, leaked
 
     sink = TimelineSink() if threads else None
-    res, wall, log = run_once(workers, sink)
+    res, wall, log, stats, leaked = run_once(workers, sink, live=True)
     u = res.u.to_array()
     h = res.h.to_array()
     rep = polar_report(a, u, h)
@@ -144,17 +191,28 @@ def _polar_tiled(args: argparse.Namespace, a: np.ndarray) -> int:
     print(f"backend={backend} workers={workers if threads else 1} "
           f"nb={args.nb} n={a.shape[1]} "
           f"iterations={res.iterations} "
-          f"({res.it_qr} QR + {res.it_chol} Cholesky)")
+          f"({res.it_qr} QR + {res.it_chol} Cholesky)"
+          + (" [degraded to dense]" if res.degraded else ""))
     print(f"orthogonality={rep.orthogonality:.3e} "
           f"backward={rep.backward:.3e}")
     print(f"wall={wall:.3f} s")
+    for msg in res.health_log:
+        print(f"health: {msg}")
+    if stats is not None and (fault_plan is not None
+                              or recovery is not None):
+        from .perf.report import recovery_report
+
+        print(recovery_report(stats.recovery), end="")
+        if leaked:
+            print(f"WARNING: {leaked} attempt(s) still in flight "
+                  f"after close")
     if log is not None:
         print(log.table(), end="")
 
     if threads and workers > 1 and not args.no_baseline:
         from .perf.report import parallel_efficiency
 
-        _, wall1, _ = run_once(1)
+        _, wall1, _, _, _ = run_once(1)
         eff = parallel_efficiency({1: wall1, workers: wall})
         print(f"baseline workers=1: {wall1:.3f} s | speedup "
               f"{wall1 / wall if wall else float('inf'):.2f}x | "
@@ -195,11 +253,13 @@ def cmd_polar(args: argparse.Namespace) -> int:
         if args.method != "qdwh":
             raise SystemExit(f"--backend {args.backend} supports "
                              "--method qdwh only")
-        if args.checkpoint_dir:
-            raise SystemExit("--checkpoint-dir requires --backend dense")
         return _polar_tiled(args, a)
     if args.workers is not None:
         raise SystemExit("--workers is only meaningful with "
+                         "--backend threads")
+    if args.fault_plan or args.retries is not None \
+            or args.task_timeout is not None:
+        raise SystemExit("--fault-plan/--retries/--task-timeout require "
                          "--backend threads")
     if args.iter_log and args.method != "qdwh":
         raise SystemExit("--iter-log requires --method qdwh")
@@ -312,12 +372,94 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _faults_live(args: argparse.Namespace) -> int:
+    """``repro faults --live``: seeded live-fault smoke on real threads.
+
+    Runs a fault-injected tiled QDWH on the threaded backend next to a
+    fault-free baseline and gates the exit code on three invariants:
+    the faulty run converges, its backward error stays within the
+    condition-scaled tolerance, and the executor leaks no in-flight
+    attempts after close.
+    """
+    import math
+
+    from . import polar_report
+    from .core.tiled_qdwh import tiled_qdwh
+    from .dist import DistMatrix, ProcessGrid
+    from .matrices import generate_matrix
+    from .obs import TimelineSink
+    from .perf.report import recovery_report
+    from .resilience import plan_from_spec
+    from .resilience.live import RecoveryPolicy
+    from .runtime import Runtime
+
+    plan = _fault_plan_from_args(args, 1, 0.0)
+    if plan is None:
+        # Default smoke plan: transients + stalls + one corruption.
+        plan = plan_from_spec(seed=args.fault_seed, transient_p=0.1,
+                              max_attempts=4, stall_p=0.05,
+                              stall_seconds=0.05, corrupt_p=0.02)
+    if plan.crashes:
+        raise SystemExit("--live injects faults into real worker "
+                         "threads; rank crashes are simulator-only "
+                         "(drop --crash/--mttf)")
+    pol = RecoveryPolicy(
+        max_retries=args.retries if args.retries is not None else 3,
+        task_timeout=args.task_timeout,
+        scrub_writes=bool(plan.corruptions))
+    a = generate_matrix(args.live_n, cond=args.cond, seed=args.fault_seed)
+
+    sink = TimelineSink()
+    rt = Runtime(ProcessGrid(1, 1), faults=plan, recovery=pol, sink=sink)
+    d = DistMatrix.from_array(rt, a, args.live_nb, name="A")
+    res = tiled_qdwh(rt, d, backend="threads", workers=args.workers)
+    rep = polar_report(a, d.to_array(), res.h.to_array())
+    stats = rt.exec_stats
+    leaked = (rt._executor.inflight_attempts
+              if rt._executor is not None else 0)
+    rt.close()
+
+    rt0 = Runtime(ProcessGrid(1, 1))
+    d0 = DistMatrix.from_array(rt0, a, args.live_nb, name="A")
+    res0 = tiled_qdwh(rt0, d0)
+    rep0 = polar_report(a, d0.to_array(), res0.h.to_array())
+    rt0.close()
+
+    eps = float(np.finfo(a.dtype).eps)
+    tol = max(1e3 * eps, 100.0 * eps * math.sqrt(args.cond),
+              10.0 * rep0.backward)
+    ok = res.converged and leaked == 0 and rep.backward <= tol
+    print(f"live fault smoke: n={args.live_n} nb={args.live_nb} "
+          f"cond={args.cond:g} workers={args.workers} "
+          f"seed={args.fault_seed}")
+    print(f"  faulty:     converged={res.converged} "
+          f"iterations={res.iterations} backward={rep.backward:.3e}"
+          + (" [degraded to dense]" if res.degraded else ""))
+    print(f"  fault-free: converged={res0.converged} "
+          f"iterations={res0.iterations} backward={rep0.backward:.3e}")
+    print(f"  gate: backward <= {tol:.3e}, leaked attempts = {leaked}")
+    for msg in res.health_log:
+        print(f"  health: {msg}")
+    if stats is not None:
+        print(recovery_report(stats.recovery), end="")
+    counts = sink.fault_counts()
+    if counts:
+        print("  events:    " + "  ".join(
+            f"{k}={v}" for k, v in sorted(counts.items())))
+    if args.metrics_json:
+        _dump_metrics(args.metrics_json)
+    print("PASS" if ok else "FAIL")
+    return 0 if ok else 1
+
+
 def cmd_faults(args: argparse.Namespace) -> int:
     """Fault-injected run vs. fault-free baseline + checkpoint trade-off."""
     from .obs import TimelineSink
     from .perf import simulate_qdwh
     from .resilience import checkpoint_write_cost, recovery_overhead_curve
 
+    if args.live:
+        return _faults_live(args)
     machine = _machine(args.machine)
     base = simulate_qdwh(machine, args.nodes, args.n, args.impl,
                          cond=args.cond, nb=args.nb,
@@ -527,9 +669,24 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the per-iteration QDWH telemetry table")
     p.add_argument("--checkpoint-dir",
                    help="write/resume QDWH iteration checkpoints in this "
-                        "directory (qdwh only); an interrupted run "
-                        "restarted with the same directory resumes "
-                        "mid-iteration and returns identical factors")
+                        "directory (qdwh only; dense and tiled backends); "
+                        "an interrupted run restarted with the same "
+                        "directory resumes mid-iteration and returns "
+                        "identical factors")
+    p.add_argument("--fault-plan", default=None, metavar="PLAN.json",
+                   help="threads backend: inject this FaultPlan's live "
+                        "faults (transients, worker stalls, tile "
+                        "corruption) into the worker pool "
+                        "(see repro faults --emit-plan)")
+    p.add_argument("--retries", type=int, default=None, metavar="N",
+                   help="threads backend: per-task retry budget for "
+                        "transient failures (default 2 when recovery "
+                        "is active)")
+    p.add_argument("--task-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="threads backend: wall-clock seconds before a "
+                        "running attempt is flagged timed out and a "
+                        "backup may be launched")
     p.add_argument("--checkpoint-every", type=int, default=1,
                    help="checkpoint every k-th iteration (default 1)")
     p.add_argument("--max-iter", type=int, default=None,
@@ -609,6 +766,29 @@ def build_parser() -> argparse.ArgumentParser:
                    help="degrade every link's bandwidth by this factor")
     p.add_argument("--no-speculation", action="store_true",
                    help="disable speculative straggler duplication")
+    p.add_argument("--stall-p", type=float, default=0.0,
+                   help="live worker-stall probability per task "
+                        "(--live and threads-backend plans)")
+    p.add_argument("--stall-seconds", type=float, default=0.25,
+                   help="injected stall duration (default 0.25 s)")
+    p.add_argument("--corrupt-p", type=float, default=0.0,
+                   help="live tile-corruption probability per task "
+                        "(one NaN event budget)")
+    p.add_argument("--live", action="store_true",
+                   help="run the fault plan inside a real threaded QDWH "
+                        "(n=--live-n) instead of the simulator, and "
+                        "gate the exit code on convergence, backward "
+                        "error, and zero leaked attempts")
+    p.add_argument("--live-n", type=int, default=256,
+                   help="matrix size for --live (default 256)")
+    p.add_argument("--live-nb", type=int, default=64,
+                   help="tile size for --live (default 64)")
+    p.add_argument("--workers", type=int, default=4,
+                   help="thread count for --live (default 4)")
+    p.add_argument("--retries", type=int, default=None,
+                   help="per-task retry budget for --live (default 3)")
+    p.add_argument("--task-timeout", type=float, default=None,
+                   help="wall-clock task timeout for --live")
     p.add_argument("--mttf", type=float, default=None,
                    help="draw Poisson rank crashes for this system MTTF "
                         "(seconds) instead of explicit --crash specs")

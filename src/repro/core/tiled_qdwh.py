@@ -19,6 +19,7 @@ Two execution modes share this one code path:
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, List, Optional, Tuple
 
@@ -26,6 +27,7 @@ import numpy as np
 
 if TYPE_CHECKING:
     from ..obs.qdwh_log import IterationLog
+    from ..resilience.checkpoint import QdwhCheckpointer
 
 from ..config import (
     QDWH_HARD_ITERATION_CAP,
@@ -33,6 +35,8 @@ from ..config import (
     qdwh_weight_tolerance,
 )
 from ..dist.matrix import DistMatrix
+from ..obs.metrics import get_registry
+from ..obs.timeline import FAULT_HEALTH, FaultEvent
 from ..runtime.executor import Runtime
 from ..runtime.task import TaskKind
 from ..tiled.blas3 import add, copy, gemm, herk, scale, transpose_conj
@@ -45,7 +49,14 @@ from .params import QdwhParams, dynamical_weights, parameter_schedule
 
 @dataclass
 class TiledQdwhResult:
-    """Outcome of a tiled QDWH run."""
+    """Outcome of a tiled QDWH run.
+
+    ``degraded`` is True when a numerical health guard abandoned the
+    tiled iteration and recomputed the factors on the dense
+    :func:`repro.core.qdwh_dense.qdwh` path; ``health_log`` lists every
+    guard intervention (also emitted as RuntimeWarnings, FAULT_HEALTH
+    trace events, and ``RecoveryStats.health_events``).
+    """
 
     u: DistMatrix
     h: DistMatrix
@@ -56,6 +67,36 @@ class TiledQdwhResult:
     alpha: float = 0.0
     l0: float = 0.0
     converged: bool = True
+    degraded: bool = False
+    health_log: List[str] = field(default_factory=list)
+
+
+def _health(rt: Runtime, health_log: List[str], msg: str) -> None:
+    """Record one numerical-health intervention everywhere it is
+    visible: the result's ``health_log``, a RuntimeWarning, the metrics
+    registry, the trace sink (FAULT_HEALTH), and — when a threaded
+    executor is live — ``RecoveryStats.health_events``."""
+    health_log.append(msg)
+    warnings.warn(f"tiled_qdwh: {msg}", RuntimeWarning, stacklevel=3)
+    get_registry().counter("resilience.health_events").inc()
+    sink = rt._exec_sink
+    if sink is not None:
+        sink.on_fault(FaultEvent(kind=FAULT_HEALTH, time=0.0, rank=0,
+                                 tid=-1, detail=msg))
+    stats = rt.exec_stats
+    if stats is not None:
+        stats.recovery.health_events += 1
+
+
+def _scatter_dense(mat: DistMatrix, arr: np.ndarray) -> None:
+    """Driver-level scatter of a dense array into an existing matrix
+    (checkpoint resume / dense-fallback install; not a tiled op)."""
+    for i in range(mat.mt):
+        r0 = mat.row_offsets[i]
+        for j in range(mat.nt):
+            c0 = mat.col_offsets[j]
+            mat.set_tile(i, j, arr[r0:r0 + mat.tile_rows(i),
+                                   c0:c0 + mat.tile_cols(j)])
 
 
 def _copy_scaled(rt: Runtime, alpha: float, src: DistMatrix,
@@ -212,7 +253,9 @@ def tiled_qdwh(rt: Runtime, a: DistMatrix, *,
                condest_cycles: Optional[int] = None,
                iter_log: Optional["IterationLog"] = None,
                backend: str = "eager",
-               workers: Optional[int] = None) -> TiledQdwhResult:
+               workers: Optional[int] = None,
+               checkpoint: Optional["QdwhCheckpointer"] = None
+               ) -> TiledQdwhResult:
     """Algorithm 1 on the tiled substrate.
 
     Parameters
@@ -244,6 +287,34 @@ def tiled_qdwh(rt: Runtime, a: DistMatrix, *,
         Optional :class:`repro.obs.qdwh_log.IterationLog`: one record
         per iteration (variant, weights, convergence).  In symbolic
         mode the convergence column is NaN (no numeric data flows).
+    checkpoint:
+        Optional :class:`repro.resilience.checkpoint.QdwhCheckpointer`
+        (numeric mode only; ignored for symbolic runs).  The loop state
+        is saved per the checkpointer's policy after each iteration —
+        on the threaded backend always *after* ``rt.sync()``, so a
+        snapshot only ever captures committed tile state — and a
+        matching checkpoint found on entry resumes the loop mid-run
+        (stale state from a different input is ignored, exactly as in
+        the dense driver).  A converged run clears the directory.
+
+    Numerical health guards (numeric mode)
+    --------------------------------------
+    The iteration defends itself against corrupted data and estimator
+    failures instead of crashing or silently diverging:
+
+    * unusable ``norm2est`` / condition estimates fall back to
+      conservative bounds (Frobenius norm; ``l0 = tiny``);
+    * a Cholesky-iteration breakdown (``posv`` raising
+      ``LinAlgError``) redoes that step with the unconditionally
+      stable QR iteration;
+    * a non-finite or exploding iterate, and non-convergence at the
+      hard iteration cap, degrade to the dense
+      :func:`repro.core.qdwh_dense.qdwh` path on the pristine input
+      copy (``degraded=True`` on the result) with a RuntimeWarning
+      instead of raising.
+
+    Every intervention is appended to the result's ``health_log`` and
+    emitted as a FAULT_HEALTH trace event.
 
     Returns
     -------
@@ -275,97 +346,242 @@ def tiled_qdwh(rt: Runtime, a: DistMatrix, *,
     if not rt.numeric and cond_est is None:
         raise ValueError("symbolic tiled_qdwh requires cond_est")
 
+    health_log: List[str] = []
+    #: cond_est as handed to a dense fallback; nulled when the guard
+    #: below finds it unusable (the dense driver validates it too).
+    dense_cond = cond_est
+
+    # --- Checkpoint resume (numeric only, mirrors the dense driver). ---
+    resume_state = ckpt_fp = None
+    if checkpoint is not None and rt.numeric:
+        from ..resilience.checkpoint import input_fingerprint
+        ckpt_fp = input_fingerprint(a.to_array())
+        state = checkpoint.load()
+        if state is not None:
+            saved = np.asarray(state["ak"])
+            if (saved.shape != (m, n) or saved.dtype != dt
+                    or state.get("fingerprint") != ckpt_fp):
+                state = None  # stale checkpoint from a different problem
+        resume_state = state
+
     # Backup A for the final H = U^H A (Algorithm 1, line 8).
     acpy = DistMatrix(rt, m, n, a.nb, dt, layout=a.layout, name="Acpy",
                       row_heights=a.row_heights, col_widths=a.col_widths)
     copy(rt, a, acpy)
 
-    # --- Two-norm estimate and scaling (lines 10-13). ---
-    rt.advance_phase()
-    alpha_res = norm2est_tiled(rt, a, sweeps=norm2est_sweeps)
-    if rt.numeric:
-        alpha = alpha_res.value
-        if alpha == 0.0:
-            # Zero matrix: conventional polar factors U = [I; 0], H = 0.
-            _set_identity_block(rt, a, 0)  # writes top n x n block
-            h = DistMatrix(rt, n, n, a.nb, dt, layout=a.layout, name="H",
-                           row_heights=a.col_widths, col_widths=a.col_widths)
-            from ..tiled.blas3 import set_zero
-            set_zero(rt, h)
-            for i in range(a.nt, a.mt):
-                for j in range(a.nt):
-                    def zbody(i=i, j=j):
-                        a.tile(i, j)[...] = 0
-                    rt.submit(TaskKind.SET, reads=(), writes=(a.ref(i, j),),
-                              rank=a.owner(i, j), fn=zbody,
-                              bytes_out=a.tile_nbytes(i, j), label="uzero")
-            rt.sync()  # materialize U = [I; 0], H = 0 before returning
-            return TiledQdwhResult(u=a, h=h, iterations=0, it_qr=0,
-                                   it_chol=0, alpha=0.0, l0=0.0)
-        alpha *= 1.1  # estimator safety margin, as in the dense driver
+    if resume_state is not None:
+        # Skip estimation and scaling: reinstall the saved (already
+        # scaled) iterate.  set_tile syncs the acpy copy above first,
+        # so the backup still captures the *original* input.
+        _scatter_dense(a, np.asarray(resume_state["ak"]))
+        alpha = float(resume_state["alpha"])
+        l0 = float(resume_state["l0"])
     else:
-        alpha = 1.0
-    rt.advance_phase()
-    scale(rt, 1.0 / alpha, a)
+        # --- Two-norm estimate and scaling (lines 10-13). ---
+        rt.advance_phase()
+        alpha_res = norm2est_tiled(rt, a, sweeps=norm2est_sweeps)
+        if rt.numeric:
+            alpha = alpha_res.value
+            if not np.isfinite(alpha) or alpha < 0.0:
+                # Health guard: the power iteration came back with
+                # garbage.  ||A||_F >= ||A||_2 is a safe scaling bound.
+                _health(rt, health_log,
+                        f"norm2est returned {alpha!r}; falling back to "
+                        f"the Frobenius-norm upper bound")
+                alpha = float(norm_fro(rt, a).value)
+                if not np.isfinite(alpha):
+                    raise ValueError(
+                        "input matrix contains non-finite entries")
+            if alpha == 0.0:
+                # Zero matrix: conventional polar factors U = [I; 0], H = 0.
+                _set_identity_block(rt, a, 0)  # writes top n x n block
+                h = DistMatrix(rt, n, n, a.nb, dt, layout=a.layout, name="H",
+                               row_heights=a.col_widths,
+                               col_widths=a.col_widths)
+                from ..tiled.blas3 import set_zero
+                set_zero(rt, h)
+                for i in range(a.nt, a.mt):
+                    for j in range(a.nt):
+                        def zbody(i=i, j=j):
+                            a.tile(i, j)[...] = 0
+                        rt.submit(TaskKind.SET, reads=(),
+                                  writes=(a.ref(i, j),),
+                                  rank=a.owner(i, j), fn=zbody,
+                                  bytes_out=a.tile_nbytes(i, j),
+                                  label="uzero")
+                rt.sync()  # materialize U = [I; 0], H = 0 before returning
+                return TiledQdwhResult(u=a, h=h, iterations=0, it_qr=0,
+                                       it_chol=0, alpha=0.0, l0=0.0,
+                                       health_log=health_log)
+            alpha *= 1.1  # estimator safety margin, as in the dense driver
+        else:
+            alpha = 1.0
+        rt.advance_phase()
+        scale(rt, 1.0 / alpha, a)
 
-    # --- Condition estimate -> l0 (lines 14-19). ---
-    if cond_est is not None:
-        l0 = 1.0 / (cond_est * math.sqrt(n))
-        if not rt.numeric:
-            # Emit the estimation stage's tasks anyway so the simulated
-            # cost includes the paper's stage 1 (QR + trcondest).
+        # --- Condition estimate -> l0 (lines 14-19). ---
+        if cond_est is not None:
+            if rt.numeric and not (np.isfinite(cond_est)
+                                   and cond_est >= 1.0):
+                # Health guard: a nonsense user/caller estimate must
+                # not poison the weight recurrence; tiny is always a
+                # valid (if slow) lower bound on sigma_min.
+                _health(rt, health_log,
+                        f"unusable cond_est={cond_est!r}; using the "
+                        f"conservative default lower bound")
+                dense_cond = None
+                l0 = float(np.finfo(np.float64).tiny)
+            else:
+                l0 = 1.0 / (cond_est * math.sqrt(n))
+            if not rt.numeric:
+                # Emit the estimation stage's tasks anyway so the
+                # simulated cost includes the paper's stage 1
+                # (QR + trcondest).
+                w1 = DistMatrix(rt, m, n, a.nb, dt, layout=a.layout,
+                                name="W1c", row_heights=a.row_heights,
+                                col_widths=a.col_widths)
+                copy(rt, a, w1)
+                fac = geqrf(rt, w1)
+                trcondest_tiled(rt, fac, cycles=condest_cycles)
+                norm_one(rt, a)
+        else:
             w1 = DistMatrix(rt, m, n, a.nb, dt, layout=a.layout, name="W1c",
                             row_heights=a.row_heights,
                             col_widths=a.col_widths)
             copy(rt, a, w1)
             fac = geqrf(rt, w1)
-            trcondest_tiled(rt, fac, cycles=condest_cycles)
-            norm_one(rt, a)
-    else:
-        w1 = DistMatrix(rt, m, n, a.nb, dt, layout=a.layout, name="W1c",
-                        row_heights=a.row_heights, col_widths=a.col_widths)
-        copy(rt, a, w1)
-        fac = geqrf(rt, w1)
-        rcond = trcondest_tiled(rt, fac, cycles=condest_cycles)
-        anorm = norm_one(rt, a)
-        l0 = anorm.value * rcond.value / math.sqrt(n)
-        if not np.isfinite(l0) or l0 <= 0.0:
-            l0 = float(np.finfo(np.float64).tiny)
-        l0 = min(l0, 1.0)
+            rcond = trcondest_tiled(rt, fac, cycles=condest_cycles)
+            anorm = norm_one(rt, a)
+            l0 = anorm.value * rcond.value / math.sqrt(n)
+            if not np.isfinite(l0) or l0 <= 0.0:
+                _health(rt, health_log,
+                        f"condition estimator returned unusable "
+                        f"l0={l0!r}; using the conservative default "
+                        f"lower bound")
+                l0 = float(np.finfo(np.float64).tiny)
+            l0 = min(l0, 1.0)
 
     conv_history: List[float] = []
+    weight_history: List[Tuple[float, float, float]] = []
     it = it_qr = it_chol = 0
     converged = True
     if iter_log is not None:
         iter_log.m, iter_log.n = m, n
 
     if rt.numeric:
-        li = l0
-        conv = 100.0
+        if resume_state is not None:
+            li = float(resume_state["li"])
+            conv = float(resume_state["conv"])
+            it = int(resume_state["it"])
+            it_qr = int(resume_state["it_qr"])
+            it_chol = int(resume_state["it_chol"])
+            conv_history = [float(c) for c in resume_state["conv_history"]]
+            weight_history = [tuple(float(x) for x in w)
+                              for w in resume_state["weight_history"]]
+        else:
+            li = l0
+            conv = 100.0
+        #: QDWH iterates stay in the unit-ball image of the rational
+        #: map (||A_k||_2 <~ 1.3), so ||A_k - A_{k-1}||_F can never
+        #: legitimately exceed ~2.6 sqrt(n); beyond this bound the
+        #: iterate has been corrupted.
+        conv_guard = 4.0 * math.sqrt(n) + 4.0
+
+        def _degrade(reason: str) -> TiledQdwhResult:
+            """Last-resort path: redo the factorization densely on the
+            pristine input backup and scatter the factors back."""
+            _health(rt, health_log, reason)
+            from .qdwh_dense import qdwh as dense_qdwh
+            res = dense_qdwh(acpy.to_array(), cond_est=dense_cond,
+                             max_iter=QDWH_HARD_ITERATION_CAP)
+            _scatter_dense(a, res.u)
+            hh = DistMatrix(rt, n, n, a.nb, dt, layout=a.layout, name="H",
+                            row_heights=a.col_widths,
+                            col_widths=a.col_widths)
+            _scatter_dense(hh, res.h)
+            if checkpoint is not None and res.converged:
+                checkpoint.clear()
+            return TiledQdwhResult(
+                u=a, h=hh, iterations=it + res.iterations,
+                it_qr=it_qr + res.it_qr, it_chol=it_chol + res.it_chol,
+                conv_history=conv_history + [float(c) for c
+                                             in res.conv_history],
+                alpha=float(res.alpha), l0=float(res.l0),
+                converged=res.converged, degraded=True,
+                health_log=health_log)
+
         prev = DistMatrix(rt, m, n, a.nb, dt, layout=a.layout, name="prev",
                           row_heights=a.row_heights, col_widths=a.col_widths)
         while conv >= inner_tol or abs(li - 1.0) >= weight_tol:
             if it >= max_iter:
+                if max_iter >= QDWH_HARD_ITERATION_CAP:
+                    # Health guard: out of budget at the hard cap.
+                    # Raising would discard the run; hand the pristine
+                    # input to the dense driver instead.
+                    return _degrade(
+                        f"no convergence after {it} iterations "
+                        f"(conv={conv:.3e}, |li-1|={abs(li - 1.0):.3e}); "
+                        f"degrading to the dense QDWH path")
+                # A deliberately small budget (interrupt/checkpoint
+                # workflows) keeps the partial result.
                 converged = False
                 break
             l_enter = li
             wa, wb, wc, li = dynamical_weights(li)
+            variant = "qr" if wc > 100.0 else "chol"
             copy(rt, a, prev)
             if wc > 100.0:
                 _qr_iteration(rt, a, wa, wb, wc)
                 it_qr += 1
             else:
-                _chol_iteration(rt, a, wa, wb, wc)
-                it_chol += 1
+                try:
+                    # Commit prev = A_{k-1} first: a breakdown must be
+                    # recoverable from prev, so it cannot share an
+                    # execution window with the posv that may raise.
+                    rt.sync()
+                    _chol_iteration(rt, a, wa, wb, wc)
+                    rt.sync()  # deferred: surface the breakdown here
+                    it_chol += 1
+                except np.linalg.LinAlgError as exc:
+                    # Health guard: Z = I + c A^H A not SPD (corrupted
+                    # or ill-conditioned iterate).  A is written only
+                    # by the final add, which depends on the complete
+                    # posv solve, so the iterate is still A_{k-1};
+                    # drop the dead window and redo the step with the
+                    # unconditionally stable QR variant.
+                    _health(rt, health_log,
+                            f"Cholesky breakdown at iteration {it + 1} "
+                            f"({exc}); redoing the step with the QR "
+                            f"iteration")
+                    rt.abandon_pending()
+                    copy(rt, prev, a)  # defensive restore + re-chains epochs
+                    _qr_iteration(rt, a, wa, wb, wc)
+                    it_qr += 1
+                    variant = "qr"
             rt.advance_phase()
             add(rt, 1.0, a, -1.0, prev)  # prev = A_k - A_{k-1}
-            conv = norm_fro(rt, prev).value
+            conv = float(norm_fro(rt, prev).value)
+            if not np.isfinite(conv) or conv > conv_guard:
+                # Health guard: NaN/Inf or an exploding iterate —
+                # corruption slipped past the executor's defenses.
+                return _degrade(
+                    f"iterate health check failed at iteration {it + 1} "
+                    f"(||A_k - A_k-1||_F = {conv!r}); degrading to the "
+                    f"dense QDWH path")
             conv_history.append(conv)
+            weight_history.append((wa, wb, wc))
             it += 1
             if iter_log is not None:
-                iter_log.record(variant="qr" if wc > 100.0 else "chol",
+                iter_log.record(variant=variant,
                                 a=wa, b=wb, c=wc, L=l_enter, L_next=li,
                                 conv=conv)
+            if checkpoint is not None and checkpoint.due(it):
+                rt.sync()  # checkpoint only committed tile state
+                checkpoint.save(ak=a.to_array(), li=li, conv=conv, it=it,
+                                it_qr=it_qr, it_chol=it_chol, alpha=alpha,
+                                l0=l0, conv_history=conv_history,
+                                weight_history=weight_history,
+                                fingerprint=ckpt_fp)
     else:
         schedule: List[QdwhParams] = parameter_schedule(l0, dtype=dt,
                                                         max_iter=max_iter)
@@ -395,7 +611,9 @@ def tiled_qdwh(rt: Runtime, a: DistMatrix, *,
     _symmetrize(rt, h)
 
     rt.sync()  # deferred backend: execute the tail window (H formation)
+    if checkpoint is not None and rt.numeric and converged:
+        checkpoint.clear()
     return TiledQdwhResult(u=a, h=h, iterations=it, it_qr=it_qr,
                            it_chol=it_chol, conv_history=conv_history,
                            alpha=float(alpha), l0=float(l0),
-                           converged=converged)
+                           converged=converged, health_log=health_log)

@@ -79,6 +79,7 @@ class DistMatrix:
         self.row_offsets = _offsets(self.row_heights)
         self.col_offsets = _offsets(self.col_widths)
         self._tiles: Dict[Tuple[int, int], Optional[np.ndarray]] = {}
+        rt.register_matrix(self)  # weak: executor-side tile access
         itemsize = self.dtype.itemsize
         for i in range(self.mt):
             for j in range(self.nt):

@@ -76,6 +76,13 @@ FAULT_TRANSIENT = "transient"
 FAULT_REPLAY = "replay"
 FAULT_SPECULATE = "speculate"
 FAULT_CHECKPOINT = "checkpoint"
+#: Live-backend (ParallelExecutor) recovery events.
+FAULT_RETRY = "retry"
+FAULT_TIMEOUT = "timeout"
+FAULT_STALL = "stall"
+FAULT_CORRUPTION = "corruption"
+#: Algorithm-level numerical health interventions (tiled_qdwh guards).
+FAULT_HEALTH = "health"
 
 
 @dataclass(frozen=True)

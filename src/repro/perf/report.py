@@ -56,6 +56,30 @@ def measured_vs_model(point: PerfPoint) -> str:
             f"{point.makespan:.3f} s (measured/model {ratio:.2f}x)")
 
 
+def recovery_report(stats) -> str:
+    """Render a :class:`repro.resilience.faults.RecoveryStats` as a
+    table (live threaded-backend runs and fault simulations alike).
+
+    Only non-zero counters appear; an all-quiet run renders as a
+    single line so fault-free reports stay clean.
+    """
+    d = stats.as_dict()
+    rows: List[List[str]] = []
+    for key, value in d.items():
+        if key == "dead_ranks":
+            if value:
+                rows.append([key, ", ".join(str(r) for r in value)])
+            continue
+        if isinstance(value, float):
+            if value > 0.0:
+                rows.append([key, f"{value:.4f}"])
+        elif value:
+            rows.append([key, str(value)])
+    if not rows:
+        return "recovery: clean run (no faults, retries, or guards)\n"
+    return format_table("recovery", ["event", "count"], rows) + "\n"
+
+
 def profile_report(point: PerfPoint,
                    timeline: Optional[TimelineSink] = None) -> str:
     """A multi-section text report for one simulated run.

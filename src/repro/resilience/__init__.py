@@ -10,8 +10,13 @@ errors, degraded links, and stragglers.  This package supplies
   retry with backoff, rank-crash lineage replay
   (:func:`lineage_replay_set`), and straggler speculation;
 * :mod:`.checkpoint` — QDWH checkpoint/restart: a real ``.npz``
-  round-trip for the eager numeric path and the Young/Daly cost
-  model for the simulator.
+  round-trip for the dense and tiled numeric paths and the Young/Daly
+  cost model for the simulator;
+* :mod:`.live` — live execution: the same :class:`FaultPlan`
+  transients plus worker stalls and tile corruption fired inside real
+  ``ParallelExecutor`` threads, and the :class:`RecoveryPolicy`
+  (retries, timeouts, straggler speculation, write scrubbing) the
+  executor survives them with.
 
 See ``docs/resilience.md`` for the full model.
 """
@@ -32,8 +37,17 @@ from .faults import (
     RankCrash,
     RecoveryStats,
     StragglerSlot,
+    TileCorruption,
     TransientFaults,
+    WorkerStall,
     plan_from_spec,
+)
+from .live import (
+    InjectedTransientError,
+    LiveFaultInjector,
+    RecoveryPolicy,
+    TileAccessor,
+    TileCorruptionDetected,
 )
 from .recovery import (
     AllRanksDead,
@@ -56,8 +70,15 @@ __all__ = [
     "RankCrash",
     "RecoveryStats",
     "StragglerSlot",
+    "TileCorruption",
     "TransientFaults",
+    "WorkerStall",
     "plan_from_spec",
+    "InjectedTransientError",
+    "LiveFaultInjector",
+    "RecoveryPolicy",
+    "TileAccessor",
+    "TileCorruptionDetected",
     "AllRanksDead",
     "FaultToleranceExceeded",
     "ResilienceState",

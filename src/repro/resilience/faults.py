@@ -16,6 +16,19 @@ describes what goes wrong in one simulated run:
   window (thermal throttling, a noisy neighbour); the scheduler's
   straggler mitigation speculatively duplicates the affected tasks.
 
+Two further fault classes target the *live* threaded backend
+(:mod:`repro.runtime.parallel` via :mod:`repro.resilience.live`) and
+are ignored by the simulator:
+
+* :class:`WorkerStall` — an injected pre-payload sleep inside a real
+  worker thread (models a descheduled core / page-fault storm); the
+  executor's straggler monitor detects it and launches a speculative
+  backup attempt;
+* :class:`TileCorruption` — a NaN/Inf overwrite of one of a task's
+  output tiles after the payload ran (models a silent data corruption
+  that *is* caught, e.g. by checksums); the executor restores the
+  pre-task snapshot and retries.
+
 Plans are **deterministic**: the same plan and seed perturb the same
 tasks the same way regardless of dispatch order (per-task derived
 RNG streams), so faulty makespans are bit-reproducible — the property
@@ -118,6 +131,79 @@ class StragglerSlot:
 
 
 @dataclass(frozen=True)
+class WorkerStall:
+    """Injected pre-payload sleep inside a live worker thread.
+
+    Each attempt of each matching task stalls with probability
+    ``probability`` for ``seconds`` of wall-clock time before its
+    payload runs.  The sleep is interruptible: when the executor's
+    straggler monitor launches a backup attempt and the backup claims
+    the payload first, the stalled original wakes immediately and
+    reports itself lost.  ``kinds`` (lowercase :class:`TaskKind`
+    names, e.g. ``("gemm",)``) restricts which tasks may stall;
+    ``None`` matches every kind.
+    """
+
+    probability: float
+    seconds: float = 0.25
+    kinds: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.kinds is not None:
+            object.__setattr__(self, "kinds",
+                               tuple(str(k).lower() for k in self.kinds))
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(
+                f"stall probability must be in [0, 1], got "
+                f"{self.probability}")
+        if self.seconds <= 0.0:
+            raise ValueError(
+                f"stall seconds must be > 0, got {self.seconds}")
+
+    def matches_kind(self, kind: str) -> bool:
+        return self.kinds is None or kind.lower() in self.kinds
+
+
+@dataclass(frozen=True)
+class TileCorruption:
+    """Post-payload NaN/Inf overwrite of one output tile (live backend).
+
+    After a matching task's payload runs, with probability
+    ``probability`` one of its write tiles has a single entry replaced
+    by ``value`` ("nan" or "inf").  The executor detects the
+    corruption, restores the task's pre-execution tile snapshot, and
+    retries — so a corruption consumes one retry, exactly like a
+    transient.  At most ``max_events`` corruptions fire per run
+    (first-come in dispatch order).  ``kinds`` restricts eligible task
+    kinds as in :class:`WorkerStall`.
+    """
+
+    probability: float
+    value: str = "nan"
+    max_events: int = 1
+    kinds: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.kinds is not None:
+            object.__setattr__(self, "kinds",
+                               tuple(str(k).lower() for k in self.kinds))
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(
+                f"corruption probability must be in [0, 1], got "
+                f"{self.probability}")
+        if self.value not in ("nan", "inf"):
+            raise ValueError(
+                f"corruption value must be 'nan' or 'inf', got "
+                f"{self.value!r}")
+        if self.max_events < 1:
+            raise ValueError(
+                f"max_events must be >= 1, got {self.max_events}")
+
+    def matches_kind(self, kind: str) -> bool:
+        return self.kinds is None or kind.lower() in self.kinds
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """One run's worth of injected faults (deterministic given seed)."""
 
@@ -126,6 +212,9 @@ class FaultPlan:
     transient: Optional[TransientFaults] = None
     links: Tuple[LinkDegradation, ...] = ()
     stragglers: Tuple[StragglerSlot, ...] = ()
+    #: Live-backend faults (ignored by the schedule simulator).
+    stalls: Tuple[WorkerStall, ...] = ()
+    corruptions: Tuple[TileCorruption, ...] = ()
     #: Straggler mitigation: duplicate a task on another rank once it
     #: has run ``speculation_factor`` times its nominal duration
     #: without finishing; first finisher wins, the loser is cancelled.
@@ -140,6 +229,8 @@ class FaultPlan:
         object.__setattr__(self, "crashes", tuple(self.crashes))
         object.__setattr__(self, "links", tuple(self.links))
         object.__setattr__(self, "stragglers", tuple(self.stragglers))
+        object.__setattr__(self, "stalls", tuple(self.stalls))
+        object.__setattr__(self, "corruptions", tuple(self.corruptions))
         if self.speculation_factor < 1.0:
             raise ValueError(
                 f"speculation_factor must be >= 1, got "
@@ -156,8 +247,16 @@ class FaultPlan:
     def empty(self) -> bool:
         """True when the plan injects nothing at all."""
         return (not self.crashes and not self.links and not self.stragglers
+                and not self.live_faults
                 and (self.transient is None
                      or self.transient.probability == 0.0))
+
+    @property
+    def live_faults(self) -> bool:
+        """True when the plan carries live-backend stall/corruption
+        injections."""
+        return (any(s.probability > 0.0 for s in self.stalls)
+                or any(c.probability > 0.0 for c in self.corruptions))
 
     # ------------------------------------------------------------------
     # Deterministic per-task randomness
@@ -237,11 +336,23 @@ class FaultPlan:
                 {"rank": s.rank, "factor": s.factor, "start": s.start,
                  "end": (None if math.isinf(s.end) else s.end)}
                 for s in self.stragglers]
+        if self.stalls:
+            out["stalls"] = [
+                {"probability": s.probability, "seconds": s.seconds,
+                 "kinds": (None if s.kinds is None else list(s.kinds))}
+                for s in self.stalls]
+        if self.corruptions:
+            out["corruptions"] = [
+                {"probability": c.probability, "value": c.value,
+                 "max_events": c.max_events,
+                 "kinds": (None if c.kinds is None else list(c.kinds))}
+                for c in self.corruptions]
         return out
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "FaultPlan":
         known = {"seed", "crashes", "transient", "links", "stragglers",
+                 "stalls", "corruptions",
                  "speculation", "speculation_factor", "crash_detect_delay"}
         unknown = set(data) - known
         if unknown:
@@ -267,6 +378,19 @@ class FaultPlan:
                 rank=int(s["rank"]), factor=float(s["factor"]),
                 **window(s))
                 for s in data.get("stragglers", ())),
+            stalls=tuple(WorkerStall(
+                probability=float(s["probability"]),
+                seconds=float(s.get("seconds", 0.25)),
+                kinds=(None if s.get("kinds") is None
+                       else tuple(s["kinds"])))
+                for s in data.get("stalls", ())),
+            corruptions=tuple(TileCorruption(
+                probability=float(c["probability"]),
+                value=str(c.get("value", "nan")),
+                max_events=int(c.get("max_events", 1)),
+                kinds=(None if c.get("kinds") is None
+                       else tuple(c["kinds"])))
+                for c in data.get("corruptions", ())),
             speculation=bool(data.get("speculation", True)),
             speculation_factor=float(data.get("speculation_factor", 2.0)),
             crash_detect_delay=float(data.get("crash_detect_delay", 0.0)),
@@ -304,6 +428,13 @@ class RecoveryStats:
     #: re-communication flows through the regular transfer paths and
     #: is counted in the run's CommCounters.)
     recovery_bytes: int = 0
+    #: Live-backend counters (ParallelExecutor; zero for simulated runs).
+    timeouts: int = 0
+    corrupted_tiles: int = 0
+    injected_stalls: int = 0
+    #: Algorithm-level health interventions (NaN guard, Cholesky→QR
+    #: fallback, estimator defaults, dense degradation).
+    health_events: int = 0
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -319,6 +450,10 @@ class RecoveryStats:
             "degraded_transfers": self.degraded_transfers,
             "reexecution_seconds": self.reexecution_seconds,
             "recovery_bytes": self.recovery_bytes,
+            "timeouts": self.timeouts,
+            "corrupted_tiles": self.corrupted_tiles,
+            "injected_stalls": self.injected_stalls,
+            "health_events": self.health_events,
         }
 
     def publish(self, registry, prefix: str = "resilience") -> None:
@@ -334,7 +469,11 @@ class RecoveryStats:
                 ("speculation_wins", self.speculation_wins),
                 ("degraded_transfers", self.degraded_transfers),
                 ("reexecution_seconds", self.reexecution_seconds),
-                ("recovery_bytes", self.recovery_bytes)):
+                ("recovery_bytes", self.recovery_bytes),
+                ("timeouts", self.timeouts),
+                ("corrupted_tiles", self.corrupted_tiles),
+                ("injected_stalls", self.injected_stalls),
+                ("health_events", self.health_events)):
             if value:
                 registry.counter(f"{prefix}.{name}").inc(value)
 
@@ -345,12 +484,17 @@ def plan_from_spec(*, seed: int = 0,
                    max_attempts: int = 4,
                    straggler: Sequence[str] = (),
                    link_factor: float = 1.0,
-                   speculation: bool = True) -> FaultPlan:
+                   speculation: bool = True,
+                   stall_p: float = 0.0,
+                   stall_seconds: float = 0.25,
+                   corrupt_p: float = 0.0) -> FaultPlan:
     """Build a plan from CLI-style compact specs.
 
     ``crash`` entries are ``"RANK@TIME"``; ``straggler`` entries are
     ``"RANK@FACTOR"`` (whole-run window); ``link_factor`` > 1 degrades
-    every inter-rank path's bandwidth by that factor.
+    every inter-rank path's bandwidth by that factor.  ``stall_p`` and
+    ``corrupt_p`` add live-backend worker stalls and a single NaN tile
+    corruption (see :class:`WorkerStall` / :class:`TileCorruption`).
     """
     def split(spec: str, what: str) -> Tuple[int, float]:
         try:
@@ -369,6 +513,11 @@ def plan_from_spec(*, seed: int = 0,
     transient = (TransientFaults(probability=transient_p,
                                  max_attempts=max_attempts)
                  if transient_p > 0.0 else None)
+    stalls = ((WorkerStall(probability=stall_p, seconds=stall_seconds),)
+              if stall_p > 0.0 else ())
+    corruptions = ((TileCorruption(probability=corrupt_p),)
+                   if corrupt_p > 0.0 else ())
     return FaultPlan(seed=seed, crashes=crashes, transient=transient,
                      links=links, stragglers=stragglers,
+                     stalls=stalls, corruptions=corruptions,
                      speculation=speculation)

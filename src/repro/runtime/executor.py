@@ -25,6 +25,7 @@ phases; the task-based model uses them only for the lookahead window.
 from __future__ import annotations
 
 import itertools
+import weakref
 from typing import Callable, Iterable, Optional, Sequence
 
 from ..dist.grid import ProcessGrid
@@ -46,7 +47,9 @@ class Runtime:
                  workers: Optional[int] = None,
                  sink=None,
                  lookahead: Optional[int] = None,
-                 sanitize=_SANITIZE_FROM_ENV) -> None:
+                 sanitize=_SANITIZE_FROM_ENV,
+                 faults=None,
+                 recovery=None) -> None:
         if deferred and not numeric:
             raise ValueError(
                 "deferred execution requires numeric mode (symbolic "
@@ -89,6 +92,19 @@ class Runtime:
         self._exec_cursor = 0
         self._executor = None
         self._in_execution = False
+        #: Live fault tolerance for the threaded backend: an optional
+        #: :class:`repro.resilience.faults.FaultPlan` (its live faults
+        #: — transients, worker stalls, tile corruption — fire inside
+        #: real workers) and an optional
+        #: :class:`repro.resilience.live.RecoveryPolicy` (retries,
+        #: timeouts, straggler speculation).  Either alone activates
+        #: the executor's recovering dispatch loop.
+        self.fault_plan = faults
+        self.recovery_policy = recovery
+        #: mat_id -> DistMatrix, weakly held, for the executor's tile
+        #: accessor (snapshot/restore/corrupt on recovery).
+        self._matrices: "weakref.WeakValueDictionary" = \
+            weakref.WeakValueDictionary()
         #: TileSan footprint sanitizer (``sanitize="warn"|"raise"|None``;
         #: default comes from the REPRO_SANITIZE env var).  Only numeric
         #: runtimes instrument payloads — symbolic mode never runs any.
@@ -233,8 +249,13 @@ class Runtime:
     # Deferred (threaded) execution
     # ------------------------------------------------------------------
 
+    def register_matrix(self, mat) -> None:
+        """Track a DistMatrix for executor-side tile access (weakly)."""
+        self._matrices[mat.mat_id] = mat
+
     def enable_deferred(self, *, workers: Optional[int] = None,
-                        sink=None, lookahead: Optional[int] = None) -> None:
+                        sink=None, lookahead: Optional[int] = None,
+                        faults=None, recovery=None) -> None:
         """Switch this runtime to deferred execution.
 
         Tasks submitted so far (eagerly executed) stay as they are;
@@ -255,6 +276,15 @@ class Runtime:
             self._exec_sink = sink
         if lookahead is not None:
             self._exec_lookahead = lookahead
+        if faults is not None or recovery is not None:
+            if self._executor is not None:
+                self.sync()
+                self._executor.close()
+                self._executor = None
+            if faults is not None:
+                self.fault_plan = faults
+            if recovery is not None:
+                self.recovery_policy = recovery
         if not self.deferred:
             self.deferred = True
             # Everything before this point already ran eagerly.
@@ -265,10 +295,18 @@ class Runtime:
         """The lazily created :class:`ParallelExecutor` (deferred mode)."""
         if self._executor is None:
             from .parallel import ParallelExecutor
+            injector = tiles = None
+            if self.fault_plan is not None or self.recovery_policy is not None:
+                from ..resilience.live import LiveFaultInjector, TileAccessor
+                if self.fault_plan is not None:
+                    injector = LiveFaultInjector(self.fault_plan)
+                tiles = TileAccessor(self._matrices)
             self._executor = ParallelExecutor(
                 self.graph, self._pending_fns, workers=self._workers,
                 lookahead=self._exec_lookahead, sink=self._exec_sink,
-                sanitizer=self._sanitizer)
+                sanitizer=self._sanitizer,
+                recovery=self.recovery_policy, injector=injector,
+                tiles=tiles)
         return self._executor
 
     @property
@@ -302,6 +340,23 @@ class Runtime:
         finally:
             self._in_execution = False
             self._exec_cursor = end
+
+    def abandon_pending(self) -> None:
+        """Drop every recorded-but-unexecuted payload (deferred mode).
+
+        For algorithm-level recovery after a failed window: when a
+        :meth:`sync` raised (e.g. Cholesky breakdown inside a posv
+        window), the window's unexecuted tasks are folded into the
+        executor's epoch tables as no-ops and their payloads discarded,
+        so the caller can restore data from its own copies and submit
+        replacement work.  A no-op for eager runtimes.
+        """
+        if not self.deferred:
+            return
+        self._exec_cursor = len(self.graph.tasks)
+        if self._executor is not None:
+            self._executor.abandon_window()
+        self._pending_fns.clear()
 
     def close(self) -> None:
         """Release the threaded backend's worker pool, if any."""

@@ -38,6 +38,45 @@ calls :meth:`ParallelExecutor.run` at every synchronization point
 (scalar reduction reads, ``to_array`` gathers), so adaptive numeric
 algorithms keep their data-dependent control flow while every window
 executes with real concurrency.
+
+Live fault tolerance
+--------------------
+
+With a :class:`~repro.resilience.live.RecoveryPolicy` (and optionally
+a :class:`~repro.resilience.live.LiveFaultInjector` +
+:class:`~repro.resilience.live.TileAccessor`), the executor switches
+to a recovering dispatch loop that survives payload failures instead
+of failing fast:
+
+* **Retries** — a retryable payload exception (injected transients,
+  detected tile corruption, generic transient-looking errors) gets the
+  task re-executed up to ``max_retries`` times with seeded exponential
+  backoff + jitter.  Because payloads mutate tiles in place, the first
+  execution attempt snapshots the task's write tiles and each retry
+  restores them first.  Deterministic failures —
+  ``numpy.linalg.LinAlgError`` (numeric breakdown the *algorithm* must
+  handle, e.g. Cholesky on a non-SPD iterate), sanitizer findings, and
+  :class:`OrderingViolationError` — are never retried.
+* **Timeouts & stragglers** — the dispatch loop polls running
+  attempts; one exceeding the wall-clock ``task_timeout``, or running
+  ``straggler_factor`` x the rolling mean duration of its kind, is
+  flagged (FaultEvent + RecoveryStats) and, if its payload has not
+  started yet (it is still inside an injected stall), a speculative
+  backup attempt launches.
+* **Speculation, first-claimer-wins** — threads share tile memory, so
+  two attempts of one task must never run the payload concurrently.
+  Each attempt *claims* the payload under the executor lock before
+  touching any tile; the loser wakes from its (interruptible) stall,
+  sees the claim, and reports itself lost without making any writes —
+  the "losing attempt's writes" are discarded by never being made, and
+  tile epochs only ever advance through the winner's check-out.
+* **Drain guarantee** — the recovering loop exits only once every
+  launched attempt (winners, losers, failures) has reported back, so
+  :attr:`inflight_attempts` is zero after every window — the leak
+  invariant the fault-injection CI job gates on.
+
+The fault-free path is untouched: with no policy and no injector the
+original fail-fast dispatch loop runs, with zero per-task overhead.
 """
 
 from __future__ import annotations
@@ -46,10 +85,13 @@ import heapq
 import os
 import queue
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+import numpy as np
 
 from .graph import TaskGraph
 from .task import Task, TaskKind, TileRef
@@ -67,6 +109,11 @@ def default_workers() -> int:
     return max(1, os.cpu_count() or 1)
 
 
+def _new_recovery_stats():
+    from ..resilience.faults import RecoveryStats
+    return RecoveryStats()
+
+
 @dataclass
 class ExecutionStats:
     """Accumulated accounting of a :class:`ParallelExecutor`."""
@@ -79,14 +126,45 @@ class ExecutionStats:
     wall_seconds: float = 0.0
     #: Summed per-task execution seconds (over all worker threads);
     #: ``busy_seconds / (wall_seconds * workers)`` is the measured
-    #: parallel utilization.
+    #: parallel utilization.  Only winning successful attempts count;
+    #: failed/lost attempt time goes to ``recovery.reexecution_seconds``.
     busy_seconds: float = 0.0
     per_kind_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Live recovery accounting (retries, timeouts, speculation,
+    #: injected faults); all-zero on fault-free runs.
+    recovery: object = field(default_factory=_new_recovery_stats)
 
     @property
     def utilization(self) -> float:
         denom = self.wall_seconds * max(self.workers, 1)
         return self.busy_seconds / denom if denom > 0.0 else 0.0
+
+
+class _TaskState:
+    """Per-task attempt bookkeeping for the recovering dispatch loop."""
+
+    __slots__ = ("tid", "attempts", "live", "retries_used", "claimed",
+                 "finished", "payload_ran", "snapshot", "snapshot_taken",
+                 "origin", "cancel", "started", "done_attempts",
+                 "straggler_flagged", "timeout_flagged", "backup_out")
+
+    def __init__(self, tid: int) -> None:
+        self.tid = tid
+        self.attempts = 0          # launched so far
+        self.live = 0              # launched minus reported-back
+        self.retries_used = 0
+        self.claimed: Optional[int] = None
+        self.finished = False
+        self.payload_ran = False
+        self.snapshot: Optional[Dict[TileRef, object]] = None
+        self.snapshot_taken = False
+        self.origin: Dict[int, str] = {}
+        self.cancel: Dict[int, threading.Event] = {}
+        self.started: Dict[int, float] = {}
+        self.done_attempts: Set[int] = set()
+        self.straggler_flagged: Set[int] = set()
+        self.timeout_flagged: Set[int] = set()
+        self.backup_out = False
 
 
 class ParallelExecutor:
@@ -112,7 +190,8 @@ class ParallelExecutor:
         unbounded dataflow order, like SLATE's default).
     sink:
         Optional :class:`repro.obs.timeline.TraceSink` receiving
-        measured :class:`TaskEvent`s.
+        measured :class:`TaskEvent`s (and, under recovery,
+        :class:`FaultEvent`s for retries/timeouts/speculation).
     validate:
         Run :meth:`TaskGraph.validate` over each window before
         executing it (cycle/forward-edge/concurrent-writer checks).
@@ -121,6 +200,20 @@ class ParallelExecutor:
         payload runs inside a sanitizer frame on its worker thread, so
         actual tile accesses are diffed against the declared footprint
         exactly as in eager mode.
+    recovery:
+        Optional :class:`repro.resilience.live.RecoveryPolicy`
+        enabling the recovering dispatch loop (retries, timeouts,
+        straggler speculation).  ``None`` keeps the fail-fast path.
+    injector:
+        Optional :class:`repro.resilience.live.LiveFaultInjector`
+        evaluating a :class:`FaultPlan`'s live faults inside workers.
+        An active injector without an explicit ``recovery`` implies a
+        default :class:`RecoveryPolicy`.
+    tiles:
+        Optional :class:`repro.resilience.live.TileAccessor` used for
+        write-tile snapshots (restore-on-retry), corruption injection,
+        and non-finite scrubbing.  Without it, retries re-run payloads
+        without restoring — only safe for idempotent payloads.
     """
 
     def __init__(self, graph: TaskGraph,
@@ -129,7 +222,10 @@ class ParallelExecutor:
                  lookahead: Optional[int] = None,
                  sink=None,
                  validate: bool = True,
-                 sanitizer=None) -> None:
+                 sanitizer=None,
+                 recovery=None,
+                 injector=None,
+                 tiles=None) -> None:
         self.graph = graph
         self.fns = {} if fns is None else fns
         self.workers = max(1, int(workers) if workers else default_workers())
@@ -137,12 +233,26 @@ class ParallelExecutor:
         self.sink = sink
         self.validate = validate
         self.sanitizer = sanitizer
+        if injector is not None and not injector.active:
+            injector = None
+        if recovery is None and injector is not None:
+            from ..resilience.live import RecoveryPolicy
+            # A plan injecting corruption needs write scrubbing on, or
+            # the injected NaN could never be detected and retried.
+            recovery = RecoveryPolicy(
+                scrub_writes=bool(injector.plan.corruptions))
+        self.recovery_policy = recovery
+        self.injector = injector
+        self.tiles = tiles
+        self._recover = recovery is not None
         self.stats = ExecutionStats(workers=self.workers)
         if validate:
             graph.validate()
         self._pool: Optional[ThreadPoolExecutor] = None
         self._lock = threading.Lock()
-        self._resq: "queue.Queue[Tuple[int, float, float, int, Optional[BaseException]]]" = queue.Queue()
+        #: Messages: ``(disposition, tid, attempt, t0, t1, slot, exc)``
+        #: with disposition "done" | "fail" | "lost".
+        self._resq: "queue.Queue[Tuple[str, int, int, float, float, int, Optional[BaseException]]]" = queue.Queue()
         #: Tasks whose effects are visible (executed here or accounted
         #: as an eager/pre-window execution).
         self._done: Dict[int, bool] = {}
@@ -161,10 +271,21 @@ class ParallelExecutor:
         self._epoch: Optional[float] = None
         self._slot_of_thread: Dict[int, int] = {}
         self._counters: Dict[TaskKind, object] = {}
+        #: Recovery bookkeeping.
+        self._states: Dict[int, _TaskState] = {}
+        self._inflight = 0
+        self._kind_n: Dict[str, int] = {}
+        self._kind_t: Dict[str, float] = {}
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
+
+    @property
+    def inflight_attempts(self) -> int:
+        """Attempts launched but not yet reported back.  Zero after
+        every completed :meth:`run` — the no-leak invariant."""
+        return self._inflight
 
     def close(self) -> None:
         """Shut the worker pool down (idempotent)."""
@@ -180,8 +301,15 @@ class ParallelExecutor:
 
     def _ensure_pool(self) -> ThreadPoolExecutor:
         if self._pool is None:
+            size = self.workers
+            if self._recover:
+                # Headroom so speculative backups and retries are not
+                # queued behind stall-sleeping originals: primaries are
+                # still gated at `workers` by the dispatch loop, the
+                # extra threads only soak recovery attempts.
+                size += max(2, self.workers)
             self._pool = ThreadPoolExecutor(
-                max_workers=self.workers, thread_name_prefix="repro-exec")
+                max_workers=size, thread_name_prefix="repro-exec")
         return self._pool
 
     # ------------------------------------------------------------------
@@ -216,6 +344,37 @@ class ParallelExecutor:
             for ref in tasks[tid].writes:
                 self._completed_writer[ref] = tid
         self._floor = max(self._floor, upto)
+
+    def abandon_window(self) -> None:
+        """Fold every prepared-but-unexecuted task into the epoch
+        tables as if it had run (program order), discarding payloads.
+
+        Used by the runtime after a window failed mid-execution and
+        the *algorithm* recovers at a higher level (e.g. the Cholesky
+        iteration of QDWH falling back to the QR iteration after a
+        ``posv`` breakdown): the failed window's remaining tasks are
+        dropped wholesale, and the algorithm re-submits fresh work
+        whose epoch expectations then chain off these folded writes.
+        Only call once the failed :meth:`run` has drained — there must
+        be no attempt in flight.
+        """
+        if self._inflight:
+            raise RuntimeError(
+                f"abandon_window with {self._inflight} attempt(s) still "
+                "in flight; the failed run() must drain first")
+        tasks = self.graph.tasks
+        with self._lock:
+            for tid in sorted(self._expected):
+                self._done[tid] = True
+                for ref in tasks[tid].writes:
+                    self._completed_writer[ref] = tid
+                self.fns.pop(tid, None)
+            self._expected.clear()
+            # Nothing is in flight; clear any marks a failed attempt
+            # may have leaked (defensive — workers release on failure).
+            self._writer_active.clear()
+            self._readers_active.clear()
+            self._states.clear()
 
     # ------------------------------------------------------------------
     # Execution
@@ -272,57 +431,15 @@ class ParallelExecutor:
             else:
                 parked.setdefault(p, []).append(tid)
 
-        for tid in range(start, end):
-            if indeg[tid] == 0:
-                make_eligible(tid)
-
-        pool = self._ensure_pool()
-        t_wall0 = perf_counter()
-        if self._epoch is None:
-            self._epoch = t_wall0
-        inflight = 0
-        completed = 0
-        n_window = end - start
-        failure: Optional[BaseException] = None
-
-        while completed < n_window:
-            while ready and inflight < self.workers and failure is None:
-                tid = heapq.heappop(ready)
-                pool.submit(self._execute, tid)
-                inflight += 1
-            if inflight == 0:
-                if failure is not None:
-                    break
-                raise RuntimeError(
-                    f"executor stalled with {n_window - completed} task(s) "
-                    "unfinished and none ready — dependency bookkeeping "
-                    "bug or a graph the validator should have rejected")
-            tid, t0, t1, slot, exc = self._resq.get()
-            inflight -= 1
-            completed += 1
-            if exc is not None:
-                failure = failure or exc
-                continue
-            t = tasks[tid]
-            dur = t1 - t0
-            self.stats.tasks_run += 1
-            self.stats.busy_seconds += dur
-            kind = t.kind.value
-            self.stats.per_kind_seconds[kind] = (
-                self.stats.per_kind_seconds.get(kind, 0.0) + dur)
-            if self.sink is not None:
-                from ..obs.timeline import TaskEvent
-                self.sink.on_task(TaskEvent(
-                    tid=t.tid, kind=kind, rank=t.rank, slot=f"thr{slot}",
-                    phase=t.phase, flops=t.flops, start=t0, end=t1,
-                    duration=dur, label=t.label, measured=True))
-            if failure is not None:
-                continue
+        def on_complete(tid: int) -> None:
+            """Successor release + phase-gate advance for a finished
+            task (dispatch thread only)."""
+            nonlocal prefix_idx
             for s in succ.get(tid, ()):
                 indeg[s] -= 1
                 if indeg[s] == 0:
                     make_eligible(s)
-            p = t.phase
+            p = tasks[tid].phase
             phase_remaining[p] -= 1
             if phase_remaining[p] == 0:
                 while (prefix_idx < len(phases)
@@ -335,12 +452,257 @@ class ParallelExecutor:
                         for tid2 in parked.pop(pp):
                             heapq.heappush(ready, tid2)
 
+        for tid in range(start, end):
+            if indeg[tid] == 0:
+                make_eligible(tid)
+
+        self._ensure_pool()
+        t_wall0 = perf_counter()
+        if self._epoch is None:
+            self._epoch = t_wall0
+        n_window = end - start
+
+        if self._recover:
+            failure = self._drive_recover(tasks, n_window, ready,
+                                          on_complete)
+        else:
+            failure = self._drive(tasks, n_window, ready, on_complete)
+
         wall = perf_counter() - t_wall0
         self.stats.wall_seconds += wall
         self.stats.windows += 1
         if failure is not None:
             raise failure
         return wall
+
+    # -- fail-fast dispatch (no recovery configured) -------------------
+
+    def _drive(self, tasks, n_window: int, ready: List[int],
+               on_complete) -> Optional[BaseException]:
+        pool = self._pool
+        completed = 0
+        failure: Optional[BaseException] = None
+
+        while completed < n_window:
+            while ready and self._inflight < self.workers and failure is None:
+                tid = heapq.heappop(ready)
+                pool.submit(self._execute, tid)
+                self._inflight += 1
+            if self._inflight == 0:
+                if failure is not None:
+                    break
+                raise RuntimeError(
+                    f"executor stalled with {n_window - completed} task(s) "
+                    "unfinished and none ready — dependency bookkeeping "
+                    "bug or a graph the validator should have rejected")
+            _disp, tid, _attempt, t0, t1, slot, exc = self._resq.get()
+            self._inflight -= 1
+            completed += 1
+            if exc is not None:
+                failure = failure or exc
+                continue
+            self._account_done(tasks[tid], t0, t1, slot)
+            if failure is not None:
+                continue
+            on_complete(tid)
+        return failure
+
+    def _account_done(self, t: Task, t0: float, t1: float,
+                      slot: int) -> None:
+        dur = t1 - t0
+        self.stats.tasks_run += 1
+        self.stats.busy_seconds += dur
+        kind = t.kind.value
+        self.stats.per_kind_seconds[kind] = (
+            self.stats.per_kind_seconds.get(kind, 0.0) + dur)
+        self._kind_n[kind] = self._kind_n.get(kind, 0) + 1
+        self._kind_t[kind] = self._kind_t.get(kind, 0.0) + dur
+        if self.sink is not None:
+            from ..obs.timeline import TaskEvent
+            self.sink.on_task(TaskEvent(
+                tid=t.tid, kind=kind, rank=t.rank, slot=f"thr{slot}",
+                phase=t.phase, flops=t.flops, start=t0, end=t1,
+                duration=dur, label=t.label, measured=True))
+
+    # -- recovering dispatch (retries / timeouts / speculation) --------
+
+    def _fault_event(self, kind: str, tid: int, detail: str,
+                     rank: int = 0) -> None:
+        if self.sink is None:
+            return
+        from ..obs.timeline import FaultEvent
+        now = perf_counter() - (self._epoch if self._epoch is not None
+                                else perf_counter())
+        self.sink.on_fault(FaultEvent(kind=kind, time=now, rank=rank,
+                                      tid=tid, detail=detail))
+
+    def _launch(self, tid: int, origin: str) -> None:
+        st = self._states.get(tid)
+        if st is None:
+            st = _TaskState(tid)
+            self._states[tid] = st
+        with self._lock:  # st.cancel is iterated by finishing winners
+            a = st.attempts
+            st.attempts += 1
+            st.live += 1
+            st.origin[a] = origin
+            st.cancel[a] = threading.Event()
+        self._inflight += 1
+        self._pool.submit(self._execute_r, tid, a)
+
+    def _retryable(self, exc: BaseException) -> bool:
+        from ..resilience.live import (InjectedTransientError,
+                                       TileCorruptionDetected)
+        if isinstance(exc, (InjectedTransientError, TileCorruptionDetected)):
+            return True
+        if not isinstance(exc, Exception):
+            return False
+        if isinstance(exc, (OrderingViolationError, np.linalg.LinAlgError)):
+            return False  # deterministic: algorithm-level concern
+        if type(exc).__module__.startswith("repro.analysis"):
+            return False  # sanitizer findings reproduce identically
+        return True
+
+    def _monitor(self, pol, rec) -> None:
+        """Timeout + straggler scan over running attempts; launches
+        speculative backups for unclaimed attempts (dispatch thread)."""
+        from ..obs.timeline import FAULT_SPECULATE, FAULT_TIMEOUT
+        now = perf_counter()
+        for tid, st in list(self._states.items()):
+            if st.finished or st.live == 0:
+                continue
+            t = self.graph.tasks[tid]
+            kind = t.kind.value
+            threshold = None
+            n = self._kind_n.get(kind, 0)
+            if pol.speculation and n >= pol.min_samples:
+                threshold = max(
+                    pol.straggler_factor * self._kind_t[kind] / n,
+                    pol.min_straggler_seconds)
+            for a in range(st.attempts):
+                if a in st.done_attempts:
+                    continue
+                started = st.started.get(a)
+                if started is None:
+                    continue
+                age = now - started
+                if (pol.task_timeout is not None
+                        and age > pol.task_timeout
+                        and a not in st.timeout_flagged):
+                    st.timeout_flagged.add(a)
+                    rec.timeouts += 1
+                    self._fault_event(
+                        FAULT_TIMEOUT, tid,
+                        f"attempt {a} over {pol.task_timeout:.3f}s "
+                        f"(age {age:.3f}s)", rank=t.rank)
+                    self._maybe_backup(st, rec, t, FAULT_SPECULATE,
+                                       f"timeout backup for attempt {a}")
+                if (threshold is not None and age > threshold
+                        and a not in st.straggler_flagged):
+                    st.straggler_flagged.add(a)
+                    self._fault_event(
+                        FAULT_SPECULATE, tid,
+                        f"straggler: attempt {a} at {age:.3f}s vs "
+                        f"{threshold:.3f}s threshold", rank=t.rank)
+                    self._maybe_backup(st, rec, t, FAULT_SPECULATE,
+                                       f"straggler backup for attempt {a}")
+
+    def _maybe_backup(self, st: _TaskState, rec, t: Task,
+                      ev_kind: str, detail: str) -> None:
+        # Only one backup per task, and only while no attempt has
+        # claimed the payload: a claimed payload is already mutating
+        # tiles and cannot be duplicated safely.  The racy read of
+        # ``claimed`` is benign — a backup that loses the claim just
+        # reports itself lost.
+        if st.backup_out or st.claimed is not None or st.finished:
+            return
+        st.backup_out = True
+        rec.speculative_duplicates += 1
+        self._fault_event(ev_kind, t.tid, detail, rank=t.rank)
+        self._launch(st.tid, "backup")
+
+    def _drive_recover(self, tasks, n_window: int, ready: List[int],
+                       on_complete) -> Optional[BaseException]:
+        from ..obs.timeline import FAULT_RETRY, FAULT_TRANSIENT
+        pol = self.recovery_policy
+        rec = self.stats.recovery
+        plan_seed = self.injector.plan.seed if self.injector is not None else 0
+        completed = 0
+        failure: Optional[BaseException] = None
+        retry_heap: List[Tuple[float, int]] = []  # (due wall time, tid)
+
+        while True:
+            now = perf_counter()
+            if failure is None:
+                while retry_heap and retry_heap[0][0] <= now:
+                    _, tid = heapq.heappop(retry_heap)
+                    self._launch(tid, "retry")
+                while ready and self._inflight < self.workers:
+                    self._launch(heapq.heappop(ready), "primary")
+            if completed >= n_window and self._inflight == 0:
+                break
+            if failure is not None and self._inflight == 0:
+                break
+            if self._inflight == 0 and not ready:
+                if failure is None and retry_heap:
+                    time.sleep(max(0.0, min(retry_heap[0][0] - now,
+                                            pol.poll_interval)))
+                    continue
+                raise RuntimeError(
+                    f"executor stalled with {n_window - completed} task(s) "
+                    "unfinished and none ready — dependency bookkeeping "
+                    "bug or a graph the validator should have rejected")
+            try:
+                msg = self._resq.get(timeout=pol.poll_interval)
+            except queue.Empty:
+                if failure is None:
+                    self._monitor(pol, rec)
+                continue
+            disp, tid, attempt, t0, t1, slot, exc = msg
+            self._inflight -= 1
+            st = self._states[tid]
+            st.live -= 1
+            st.done_attempts.add(attempt)
+
+            if disp == "lost":
+                # A losing speculative attempt: it never claimed the
+                # payload and made no writes; its slept time is pure
+                # recovery overhead.
+                rec.reexecution_seconds += max(0.0, t1 - t0)
+                continue
+
+            if disp == "done":
+                completed += 1
+                st.finished = True
+                self.fns.pop(tid, None)
+                if st.origin.get(attempt) == "backup":
+                    rec.speculation_wins += 1
+                self._account_done(tasks[tid], t0, t1, slot)
+                if failure is None:
+                    on_complete(tid)
+                continue
+
+            # disp == "fail"
+            rec.reexecution_seconds += max(0.0, t1 - t0)
+            from ..resilience.live import InjectedTransientError
+            if isinstance(exc, InjectedTransientError):
+                rec.transient_failures += 1
+                self._fault_event(FAULT_TRANSIENT, tid, str(exc),
+                                  rank=tasks[tid].rank)
+            if (failure is None and self._retryable(exc)
+                    and st.retries_used < pol.max_retries):
+                st.retries_used += 1
+                rec.retried_tasks += 1
+                delay = pol.backoff_seconds(plan_seed, tid, st.retries_used)
+                self._fault_event(
+                    FAULT_RETRY, tid,
+                    f"retry {st.retries_used}/{pol.max_retries} in "
+                    f"{delay * 1e3:.2f}ms after {type(exc).__name__}: {exc}",
+                    rank=tasks[tid].rank)
+                heapq.heappush(retry_heap, (perf_counter() + delay, tid))
+            else:
+                failure = failure or exc
+        return failure
 
     # ------------------------------------------------------------------
     # Worker side
@@ -356,7 +718,9 @@ class ParallelExecutor:
 
     def _check_in(self, t: Task) -> None:
         """Epoch + concurrent-access assertions; atomic (all checks
-        pass before any marking).  Caller holds the lock."""
+        pass before any marking).  Caller holds the lock.  On a retry
+        the epoch expectation was already consumed by the first
+        attempt, so only the concurrency assertions re-run."""
         writes = set(t.writes)
         for ref, expected in self._expected.pop(t.tid, ()):
             got = self._completed_writer.get(ref)
@@ -404,6 +768,22 @@ class ParallelExecutor:
             self._completed_writer[ref] = t.tid
         self._done[t.tid] = True
 
+    def _release(self, t: Task) -> None:
+        """Drop a failed attempt's in-flight marks without advancing
+        any epoch (the retry re-acquires them).  Caller holds the
+        lock."""
+        writes = set(t.writes)
+        for ref in t.reads:
+            if ref not in writes:
+                left = self._readers_active.get(ref, 1) - 1
+                if left:
+                    self._readers_active[ref] = left
+                else:
+                    self._readers_active.pop(ref, None)
+        for ref in writes:
+            if self._writer_active.get(ref) == t.tid:
+                self._writer_active.pop(ref)
+
     def _count(self, kind: TaskKind) -> None:
         counter = self._counters.get(kind)
         if counter is None:
@@ -414,6 +794,7 @@ class ParallelExecutor:
         counter.inc()
 
     def _execute(self, tid: int) -> None:
+        """Fail-fast worker (no recovery configured)."""
         t = self.graph.tasks[tid]
         slot = t0 = t1 = 0
         try:
@@ -434,6 +815,128 @@ class ParallelExecutor:
             with self._lock:
                 self._check_out(t)
         except BaseException as exc:  # propagated by the dispatch loop
-            self._resq.put((tid, float(t0), float(t1), slot, exc))
+            self._resq.put(("fail", tid, 0, float(t0), float(t1), slot, exc))
             return
-        self._resq.put((tid, t0, t1, slot, None))
+        self._resq.put(("done", tid, 0, t0, t1, slot, None))
+
+    def _run_payload(self, t: Task, fn) -> None:
+        san = self.sanitizer
+        if san is not None and t.sanitize:
+            with san.task_scope(t):
+                fn()
+        else:
+            fn()
+
+    def _execute_r(self, tid: int, attempt: int) -> None:
+        """Recovering worker: stall injection, payload claim,
+        snapshot/restore, transient/corruption injection, scrubbing."""
+        from ..obs.timeline import FAULT_CORRUPTION, FAULT_STALL
+        from ..resilience.live import (InjectedTransientError,
+                                       TileCorruptionDetected)
+        t = self.graph.tasks[tid]
+        st = self._states[tid]
+        pol = self.recovery_policy
+        slot = 0
+        t0 = t1 = 0.0
+        marked = False
+        t_entry = perf_counter()
+        try:
+            with self._lock:
+                slot = self._slot()
+                st.started[attempt] = t_entry
+            # Injected stall: interruptible pre-claim sleep.  If the
+            # payload gets claimed meanwhile, the winner wakes us and
+            # we report lost without touching any tile.
+            if self.injector is not None:
+                stall = self.injector.stall_seconds(tid, t.kind.value,
+                                                    attempt)
+                if stall > 0.0:
+                    with self._lock:
+                        self.stats.recovery.injected_stalls += 1
+                    self._fault_event(
+                        FAULT_STALL, tid,
+                        f"injected stall {stall * 1e3:.0f}ms "
+                        f"(attempt {attempt})", rank=t.rank)
+                    st.cancel[attempt].wait(timeout=stall)
+            # Claim the payload (first claimer wins).
+            with self._lock:
+                if st.finished or st.claimed is not None:
+                    lost = True
+                else:
+                    st.claimed = attempt
+                    lost = False
+            if lost:
+                self._resq.put(("lost", tid, attempt, t_entry,
+                                perf_counter(), slot, None))
+                return
+            with self._lock:
+                self._check_in(t)
+            marked = True
+            fn = self.fns.get(tid)
+            # Write-tile snapshot before the first payload execution;
+            # restore before a re-execution (payloads mutate in place).
+            if fn is not None and self.tiles is not None \
+                    and pol.max_retries > 0:
+                if not st.snapshot_taken:
+                    st.snapshot_taken = True
+                    st.snapshot = self.tiles.snapshot(t.writes)
+                elif st.payload_ran and st.snapshot is not None:
+                    self.tiles.restore(st.snapshot)
+            if (self.injector is not None
+                    and fn is not None
+                    and self.injector.transient_fires(tid, attempt)):
+                raise InjectedTransientError(
+                    f"injected transient on task {tid} attempt {attempt}")
+            t0 = perf_counter() - self._epoch
+            if fn is not None:
+                st.payload_ran = True
+                self._run_payload(t, fn)
+                injected_corruption = False
+                if self.injector is not None and self.tiles is not None:
+                    corr = self.injector.corruption_for(
+                        tid, t.kind.value, attempt, len(t.writes))
+                    if corr is not None:
+                        ref = t.writes[corr[0]]
+                        if self.tiles.corrupt(ref, corr[1]):
+                            injected_corruption = True
+                            with self._lock:
+                                self.stats.recovery.corrupted_tiles += 1
+                            self._fault_event(
+                                FAULT_CORRUPTION, tid,
+                                f"injected {corr[1]} into tile {ref}",
+                                rank=t.rank)
+                if pol.scrub_writes and self.tiles is not None:
+                    bad = self.tiles.nonfinite(t.writes)
+                    if bad:
+                        if not injected_corruption:
+                            with self._lock:
+                                self.stats.recovery.corrupted_tiles += 1
+                            self._fault_event(
+                                FAULT_CORRUPTION, tid,
+                                f"non-finite output tiles {bad}",
+                                rank=t.rank)
+                        raise TileCorruptionDetected(
+                            f"task {tid} produced non-finite tiles {bad}")
+                self._count(t.kind)
+            t1 = perf_counter() - self._epoch
+            with self._lock:
+                self._check_out(t)
+                st.finished = True
+        except BaseException as exc:
+            with self._lock:
+                if marked:
+                    self._release(t)
+                if st.claimed == attempt:
+                    st.claimed = None
+            end = perf_counter() - self._epoch
+            start = t0 if t0 > 0.0 else t_entry - self._epoch
+            self._resq.put(("fail", tid, attempt, float(start),
+                            float(end), slot, exc))
+            return
+        # Wake any attempt still sleeping in an injected stall so the
+        # window drains promptly (they lose the claim and report lost).
+        with self._lock:
+            evs = list(st.cancel.values())
+        for ev in evs:
+            ev.set()
+        self._resq.put(("done", tid, attempt, t0, t1, slot, None))

@@ -166,3 +166,77 @@ class TestFaultsCommand:
         assert main(["faults", *self.ARGS, "--mttf", "30",
                      "--fault-seed", "11"]) == 0
         assert "fault-free makespan" in capsys.readouterr().out
+
+
+class TestLiveFaultsCommand:
+    def test_live_smoke_passes(self, capsys):
+        assert main(["faults", "--live", "--live-n", "64",
+                     "--live-nb", "16", "--workers", "2",
+                     "--cond", "1e8", "--fault-seed", "11"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+        assert "recovery" in out
+        assert "leaked" not in out.lower() or "0" in out
+
+    def test_live_explicit_plan(self, tmp_path, capsys):
+        from repro.resilience import plan_from_spec
+
+        plan = str(tmp_path / "plan.json")
+        plan_from_spec(seed=7, transient_p=0.2, stall_p=0.05,
+                       stall_seconds=0.02).to_json(plan)
+        assert main(["faults", "--live", "--fault-plan", plan,
+                     "--live-n", "64", "--live-nb", "16",
+                     "--workers", "2", "--cond", "1e4"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+        assert "transient_failures" in out
+
+    def test_live_rejects_crash_plans(self, tmp_path):
+        from repro.resilience import plan_from_spec
+
+        plan = str(tmp_path / "plan.json")
+        plan_from_spec(seed=7, crash=("1@2.0",)).to_json(plan)
+        with pytest.raises(SystemExit):
+            main(["faults", "--live", "--fault-plan", plan])
+
+
+class TestPolarLiveFaults:
+    def test_threads_with_fault_plan(self, matrix_file, tmp_path,
+                                     capsys):
+        from repro.resilience import plan_from_spec
+
+        plan = str(tmp_path / "plan.json")
+        plan_from_spec(seed=7, transient_p=0.3).to_json(plan)
+        assert main(["polar", matrix_file, "--backend", "threads",
+                     "--nb", "16", "--workers", "2",
+                     "--fault-plan", plan, "--retries", "3",
+                     "--no-baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "recovery" in out
+        assert "transient_failures" in out
+
+    def test_dense_backend_rejects_live_flags(self, matrix_file):
+        with pytest.raises(SystemExit):
+            main(["polar", matrix_file, "--retries", "3"])
+        with pytest.raises(SystemExit):
+            main(["polar", matrix_file, "--backend", "dense",
+                  "--task-timeout", "1.0"])
+
+    def test_threads_checkpoint_resume(self, matrix_file, tmp_path,
+                                       capsys):
+        ref = str(tmp_path / "ref.npz")
+        res = str(tmp_path / "res.npz")
+        ck = str(tmp_path / "ck")
+        assert main(["polar", matrix_file, "--backend", "threads",
+                     "--nb", "16", "--workers", "1", "--no-baseline",
+                     "--output", ref]) == 0
+        assert main(["polar", matrix_file, "--backend", "threads",
+                     "--nb", "16", "--workers", "1", "--no-baseline",
+                     "--checkpoint-dir", ck, "--max-iter", "2"]) == 0
+        assert "iterations=2" in capsys.readouterr().out
+        assert main(["polar", matrix_file, "--backend", "threads",
+                     "--nb", "16", "--workers", "1", "--no-baseline",
+                     "--checkpoint-dir", ck, "--output", res]) == 0
+        a, b = np.load(ref), np.load(res)
+        assert np.array_equal(a["u"], b["u"])
+        assert np.array_equal(a["h"], b["h"])

@@ -122,6 +122,46 @@ class TestDifferential:
             assert np.allclose(u, u_ref, atol=1e-10)
             assert np.allclose(h, h_ref, atol=1e-10)
 
+    @given(st.integers(24, 48), st.sampled_from([1e0, 1e8, 1e16]),
+           st.integers(0, 2 ** 16))
+    @settings(max_examples=5, deadline=None)
+    def test_fault_injected_threads_matches_fault_free(self, n, cond,
+                                                       seed):
+        # Live faults (transients, a stall, one corruption) on
+        # threads x 4 with recovery enabled must land within the same
+        # kappa-scaled budget as the fault-free run: recovery is
+        # required to be numerically invisible.
+        from repro.resilience import (FaultPlan, TileCorruption,
+                                      TransientFaults, WorkerStall)
+        from repro.resilience.live import RecoveryPolicy
+
+        a = generate_matrix(n, cond=cond, dtype=np.float64, seed=seed)
+        u0, h0 = _run_tiled(a, 16, "threads", 4)
+        rep0 = polar_report(a, u0, h0)
+
+        plan = FaultPlan(
+            seed=seed,
+            transient=TransientFaults(probability=0.2, max_attempts=4),
+            stalls=(WorkerStall(probability=0.05, seconds=0.02),),
+            corruptions=(TileCorruption(probability=0.5, max_events=1),))
+        rt = make_runtime(2, 2)
+        rt.fault_plan = plan  # make_runtime has no faults parameter
+        rt.recovery_policy = RecoveryPolicy(max_retries=3, backoff=1e-4,
+                                            scrub_writes=True)
+        da = DistMatrix.from_array(rt, a.copy(), 16)
+        res = tiled_qdwh(rt, da, backend="threads", workers=4)
+        u, h = res.u.to_array(), res.h.to_array()
+        rec = rt.exec_stats.recovery
+        rt.close()
+
+        assert res.converged and not res.degraded
+        assert rec.transient_failures > 0
+        rep = polar_report(a, u, h)
+        berr_tol = _berr_tol(np.float64, cond)
+        assert rep.orthogonality < ORTH_TOL[np.float64]
+        assert rep.backward < berr_tol
+        assert rep0.backward < berr_tol
+
     @pytest.mark.parametrize("dtype", ALL_DTYPES)
     def test_worst_case_kappa_all_dtypes_threads(self, dtype):
         # The paper's headline workload (kappa at the dtype's limit)
