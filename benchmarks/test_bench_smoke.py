@@ -1,0 +1,48 @@
+"""Smoke test of the perf-trajectory harness (``repro bench``).
+
+Runs the smoke suite with a single timed repeat, writes the versioned
+``BENCH_*.json`` pair into the pytest tmpdir, self-compares the fresh
+run against itself (must pass the regression gate), and archives the
+headline cells under ``results/``.  This is the same path the CI
+``bench-smoke`` job drives, so a harness regression shows up here
+before it breaks the gate in CI.
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_table, write_result
+from repro.obs.bench import (
+    compare_bench,
+    load_bench,
+    run_suite,
+    smoke_suite,
+    write_bench,
+)
+
+
+def test_bench_smoke_suite_round_trip(once, tmp_path):
+    suite = smoke_suite(repeats=1)
+
+    def body():
+        return run_suite(suite)
+
+    run = once(body)
+    qdwh_path, scaling_path = write_bench(run, out_dir=str(tmp_path))
+    qdwh = load_bench(qdwh_path)
+    scaling = load_bench(scaling_path)
+
+    rep = compare_bench(qdwh, qdwh)
+    assert rep.ok, rep.format()
+
+    rows = [(rec["backend"], rec["workers"],
+             "fault-plan" if rec["fault_cell"] else "clean",
+             f"{rec['makespan_s'] * 1e3:8.2f}",
+             rec["iterations"])
+            for rec in qdwh["cells"].values()]
+    text = format_table(
+        f"bench smoke suite (n=96, nb=32, float64, kappa=1e4); "
+        f"{len(scaling['series'])} scaling series",
+        ["backend", "workers", "cell", "makespan_ms", "iters"],
+        sorted(rows))
+    write_result("bench_smoke", text)
+    assert all(rec["converged"] for rec in qdwh["cells"].values())

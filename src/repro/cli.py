@@ -12,6 +12,9 @@ Subcommands, mirroring how a downstream user would drive the library:
   ``--live`` runs the plan inside a real threaded QDWH instead of the
   simulator and gates on convergence + zero leaked attempts.
 * ``repro memory``              — feasibility limits from the footprint model.
+* ``repro bench``               — run the fixed perf-trajectory suite, write
+  versioned ``BENCH_*.json``, or compare two of them (``--compare``) with
+  improvement/noise/regression classification.
 * ``repro validate``            — run the acceptance matrix (paper claims).
 
 Run ``python -m repro.cli --help`` (or the ``repro`` console script).
@@ -44,7 +47,7 @@ def _dump_metrics(path: str) -> None:
     from .obs import get_registry
 
     with open(path, "w") as fh:
-        json.dump(get_registry().snapshot(), fh, indent=2)
+        json.dump(get_registry().snapshot(), fh, indent=2, sort_keys=True)
     print(f"metrics snapshot written to {path}")
 
 
@@ -179,11 +182,13 @@ def _polar_tiled(args: argparse.Namespace, a: np.ndarray) -> int:
         stats = rt.exec_stats
         leaked = (rt._executor.inflight_attempts
                   if rt._executor is not None else 0)
+        graph = rt.graph
         rt.close()
-        return res, wall, log, stats, leaked
+        return res, wall, log, stats, leaked, graph
 
     sink = TimelineSink() if threads else None
-    res, wall, log, stats, leaked = run_once(workers, sink, live=True)
+    res, wall, log, stats, leaked, rt_graph = run_once(workers, sink,
+                                                       live=True)
     u = res.u.to_array()
     h = res.h.to_array()
     rep = polar_report(a, u, h)
@@ -198,10 +203,17 @@ def _polar_tiled(args: argparse.Namespace, a: np.ndarray) -> int:
     print(f"wall={wall:.3f} s")
     for msg in res.health_log:
         print(f"health: {msg}")
-    if stats is not None and (fault_plan is not None
-                              or recovery is not None):
+    if stats is not None:
         from .perf.report import recovery_report
 
+        line = (f"executor: {stats.tasks_run} tasks | "
+                f"busy {stats.busy_seconds:.3f} s | "
+                f"cpu {stats.cpu_seconds:.3f} s | "
+                f"utilization {stats.utilization:.2f}")
+        if stats.peak_rss_bytes:
+            line += f" | peak rss {stats.peak_rss_bytes / 2**20:.0f} MiB"
+        line += f" | in-flight after close {leaked}"
+        print(line)
         print(recovery_report(stats.recovery), end="")
         if leaked:
             print(f"WARNING: {leaked} attempt(s) still in flight "
@@ -209,10 +221,24 @@ def _polar_tiled(args: argparse.Namespace, a: np.ndarray) -> int:
     if log is not None:
         print(log.table(), end="")
 
+    if getattr(args, "critical_path", False):
+        if not (threads and sink is not None and len(sink)):
+            raise SystemExit("--critical-path requires --backend threads "
+                             "(it analyzes the measured task timeline)")
+        from .obs.critical_path import critical_path, occupancy
+
+        cp = critical_path(rt_graph, sink.tasks)
+        print(cp.format(), end="")
+        for lane in occupancy(sink.tasks):
+            print(f"  lane {lane.slot}: {lane.tasks} tasks | "
+                  f"busy {lane.busy_seconds:.3f} s | "
+                  f"idle {lane.idle_seconds:.3f} s | "
+                  f"utilization {lane.utilization:.2f}")
+
     if threads and workers > 1 and not args.no_baseline:
         from .perf.report import parallel_efficiency
 
-        _, wall1, _, _, _ = run_once(1)
+        _, wall1, _, _, _, _ = run_once(1)
         eff = parallel_efficiency({1: wall1, workers: wall})
         print(f"baseline workers=1: {wall1:.3f} s | speedup "
               f"{wall1 / wall if wall else float('inf'):.2f}x | "
@@ -546,6 +572,60 @@ def cmd_memory(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """``repro bench``: the perf-trajectory harness.
+
+    Without ``--compare``, runs the fixed measurement suite (default or
+    ``--smoke``) and writes schema-versioned ``BENCH_qdwh.json`` +
+    ``BENCH_scaling.json`` to ``--out-dir``.  With ``--compare OLD
+    NEW``, classifies every overlapping cell as improvement / noise /
+    regression using repeat-run variance and exits non-zero on any
+    regression (the CI gate).
+    """
+    from .obs.bench import (
+        compare_bench,
+        default_suite,
+        load_bench,
+        run_suite,
+        smoke_suite,
+        write_bench,
+    )
+
+    if args.compare:
+        old_path, new_path = args.compare
+        rep = compare_bench(load_bench(old_path), load_bench(new_path),
+                            threshold=args.threshold)
+        print(rep.format(), end="")
+        return 0 if rep.ok else 1
+
+    suite = (smoke_suite(repeats=args.repeats, seed=args.seed)
+             if args.smoke
+             else default_suite(repeats=args.repeats, seed=args.seed))
+    print(f"bench: {suite.name} suite, {len(suite.cells)} cell(s), "
+          f"{suite.warmup} warmup + {suite.repeats} timed repeat(s) each")
+    run = run_suite(suite, progress=print)
+    for path in write_bench(run, out_dir=args.out_dir):
+        print(f"wrote {path}")
+
+    key = run.flagship_key()
+    if key is not None:
+        cp = run.qdwh["cells"][key].get("critical_path")
+        if cp:
+            print(f"critical path [{key}]: {cp['chain_tasks']} tasks | "
+                  f"{cp['task_s']:.4f} s on task + {cp['wait_s']:.4f} s "
+                  f"waiting vs {cp['makespan_s']:.4f} s makespan "
+                  f"({cp['reconciliation'] * 100:.2f}% off)")
+        if args.chrome_trace:
+            from .obs.export import write_chrome_trace
+
+            write_chrome_trace(run.sinks[key], args.chrome_trace)
+            print(f"measured chrome trace [{key}] written to "
+                  f"{args.chrome_trace}")
+    if args.metrics_json:
+        _dump_metrics(args.metrics_json)
+    return 0
+
+
 def cmd_validate(args: argparse.Namespace) -> int:
     from .validation import validate_all
 
@@ -664,6 +744,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip the workers=1 baseline run (threads "
                         "backend normally reports speedup and parallel "
                         "efficiency against it)")
+    p.add_argument("--critical-path", action="store_true",
+                   help="threads backend: print the executed critical "
+                        "chain (per-kind contribution, wait causes) and "
+                        "per-worker-lane occupancy")
     p.add_argument("--output", help="save factors to this .npz path")
     p.add_argument("--iter-log", action="store_true",
                    help="print the per-iteration QDWH telemetry table")
@@ -840,6 +924,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=4,
                    help="threads-backend worker count (default 4)")
     p.set_defaults(fn=cmd_lint)
+
+    p = sub.add_parser(
+        "bench",
+        help="measure the fixed perf suite into BENCH_*.json, or "
+             "compare two of them with regression gating")
+    p.add_argument("--smoke", action="store_true",
+                   help="run the small CI suite (a strict subset of the "
+                        "default suite, so comparisons overlap)")
+    p.add_argument("--repeats", type=int, default=3,
+                   help="timed repeats per cell; the median is the "
+                        "recorded makespan and the spread feeds the "
+                        "compare noise model (default 3)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="matrix-generator / fault-plan seed (default 0)")
+    p.add_argument("--out-dir", default=".",
+                   help="directory receiving BENCH_qdwh.json and "
+                        "BENCH_scaling.json (default: current dir)")
+    p.add_argument("--compare", nargs=2, metavar=("OLD", "NEW"),
+                   default=None,
+                   help="compare two BENCH_qdwh.json files instead of "
+                        "measuring; exits 1 on any regression beyond "
+                        "the threshold/noise gate")
+    p.add_argument("--threshold", type=float, default=0.25,
+                   help="relative median slowdown that fails --compare "
+                        "(default 0.25; widened by repeat noise and 2x "
+                        "on environment mismatch)")
+    p.add_argument("--chrome-trace", default=None, metavar="PATH",
+                   help="also export the flagship threads cell's "
+                        "measured timeline as a Perfetto trace")
+    p.add_argument("--metrics-json",
+                   help="dump the metrics registry snapshot to this path")
+    p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser("validate",
                        help="run the paper-claim acceptance matrix")

@@ -12,8 +12,33 @@ The subsystem every performance claim in this repo reports through:
   Histogram) the scheduler, eager runtime, and comm layer publish to.
 * :mod:`.qdwh_log` — per-iteration QDWH telemetry (variant, weights,
   convergence, condition estimate, flops).
+* :mod:`.critical_path` — profiler views over *measured* runs:
+  executed critical chain, CPM slack, worker-lane occupancy.
+* :mod:`.bench` — the ``repro bench`` perf-trajectory harness:
+  fixed suite, versioned ``BENCH_*.json``, regression compare.
 """
 
+from .bench import (
+    BENCH_SCHEMA,
+    BenchCell,
+    BenchSuite,
+    compare_bench,
+    default_suite,
+    env_fingerprint,
+    load_bench,
+    machine_calibration,
+    run_suite,
+    smoke_suite,
+    write_bench,
+)
+from .critical_path import (
+    CriticalPathReport,
+    LaneStats,
+    PathSegment,
+    critical_path,
+    occupancy,
+    slack,
+)
 from .export import (
     ascii_gantt,
     chrome_trace,
@@ -50,6 +75,23 @@ from .timeline import (
 )
 
 __all__ = [
+    "BENCH_SCHEMA",
+    "BenchCell",
+    "BenchSuite",
+    "compare_bench",
+    "default_suite",
+    "env_fingerprint",
+    "load_bench",
+    "machine_calibration",
+    "run_suite",
+    "smoke_suite",
+    "write_bench",
+    "CriticalPathReport",
+    "LaneStats",
+    "PathSegment",
+    "critical_path",
+    "occupancy",
+    "slack",
     "ascii_gantt",
     "chrome_trace",
     "kernel_breakdown",

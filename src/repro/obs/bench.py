@@ -1,0 +1,584 @@
+"""The perf-trajectory harness behind ``repro bench``.
+
+The paper's claims are performance *trajectories* — makespan, strong
+scaling, parallel efficiency across sizes/dtypes/condition numbers —
+so this repo records its own: a fixed suite of measured QDWH runs
+(sizes x dtypes x kappa x backends {eager, threads} x workers, plus a
+canonical-fault-plan recovery-overhead cell) whose results land in
+schema-versioned ``BENCH_qdwh.json`` / ``BENCH_scaling.json`` at the
+repo root.  Every future speed claim (Zolo-PD, mixed precision, the
+process backend) lands with its delta against these files, and CI
+gates on :func:`compare_bench` so regressions cannot merge silently.
+
+Design notes:
+
+* The *smoke* suite is a strict subset of the *default* suite, so a CI
+  smoke run always overlaps the committed full baseline.
+* Measurements run with the TileSan sanitizer off (``sanitize=None``)
+  — the harness measures the product, not the debug tooling.
+* Repeats: each cell runs ``warmup`` throwaway iterations and then
+  ``repeats`` timed ones; the JSON stores every repeat plus the
+  median, and :func:`compare_bench` uses the repeat spread as its
+  noise estimate.
+* JSON is written with sorted keys so bench diffs are stable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import statistics
+import subprocess
+import time
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["BENCH_SCHEMA", "QDWH_FILE", "SCALING_FILE",
+           "BenchCell", "BenchSuite", "BenchRun",
+           "default_suite", "smoke_suite", "canonical_fault_plan",
+           "env_fingerprint", "run_suite", "write_bench", "load_bench",
+           "CellDelta", "CompareReport", "compare_bench"]
+
+#: Schema identifier every BENCH_*.json carries; bump on breaking
+#: layout changes so old trajectories stay parseable.
+BENCH_SCHEMA = "repro-bench/1"
+QDWH_FILE = "BENCH_qdwh.json"
+SCALING_FILE = "BENCH_scaling.json"
+
+#: Default regression gate: >25% median slowdown fails.
+DEFAULT_THRESHOLD = 0.25
+#: Noise classification: a delta within ``max(floor, factor * repeat
+#: spread)`` is noise, not a verdict.
+NOISE_FLOOR = 0.02
+NOISE_FACTOR = 3.0
+
+
+# ---------------------------------------------------------------------------
+# Suite definition
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class BenchCell:
+    """One measured configuration of the fixed suite."""
+
+    n: int
+    nb: int
+    dtype: str
+    cond: float
+    backend: str            # "eager" | "threads"
+    workers: int
+    #: Recovery-overhead cell: run under the canonical fault plan and
+    #: report the overhead vs the matching fault-free cell.
+    fault_cell: bool = False
+
+    @property
+    def key(self) -> str:
+        base = (f"qdwh-n{self.n}-nb{self.nb}-{self.dtype}-"
+                f"k{self.cond:g}-{self.backend}-w{self.workers}")
+        return base + ("-faultplan" if self.fault_cell else "")
+
+    @property
+    def clean_key(self) -> str:
+        """Key of the fault-free counterpart (== key when clean)."""
+        if not self.fault_cell:
+            return self.key
+        return BenchCell(self.n, self.nb, self.dtype, self.cond,
+                         self.backend, self.workers).key
+
+
+@dataclass
+class BenchSuite:
+    name: str
+    cells: List[BenchCell]
+    repeats: int = 3
+    warmup: int = 1
+    seed: int = 0
+
+
+def _smoke_cells() -> List[BenchCell]:
+    """The CI-sized subset: one small problem across the backends."""
+    cells = [BenchCell(96, 32, "float64", 1e4, "eager", 1)]
+    for w in (1, 2, 4):
+        cells.append(BenchCell(96, 32, "float64", 1e4, "threads", w))
+    cells.append(BenchCell(96, 32, "float64", 1e4, "threads", 4,
+                           fault_cell=True))
+    return cells
+
+
+def smoke_suite(repeats: int = 3, seed: int = 0) -> BenchSuite:
+    """Small fixed suite for CI (a strict subset of the default suite)."""
+    return BenchSuite("smoke", _smoke_cells(), repeats=repeats, seed=seed)
+
+
+def default_suite(repeats: int = 3, seed: int = 0) -> BenchSuite:
+    """The full fixed suite the committed BENCH_*.json files record.
+
+    Sizes x {dtype, kappa} x backends x workers, the smoke subset
+    included verbatim, plus the canonical recovery-overhead cell on
+    the largest threaded configuration.
+    """
+    cells = _smoke_cells()
+    for n, nb in ((192, 64), (256, 64)):
+        for dtype, cond in (("float64", 1e4), ("float64", 1e16),
+                            ("float32", 1e4)):
+            cells.append(BenchCell(n, nb, dtype, cond, "eager", 1))
+            for w in (1, 2, 4):
+                cells.append(BenchCell(n, nb, dtype, cond, "threads", w))
+    cells.append(BenchCell(256, 64, "float64", 1e4, "threads", 4,
+                           fault_cell=True))
+    return BenchSuite("default", cells, repeats=repeats, seed=seed)
+
+
+def canonical_fault_plan(seed: int = 0):
+    """The fixed fault plan of the recovery-overhead cell.
+
+    Seeded and versioned with the suite: transients + short worker
+    stalls + one corruption budget, the live-fault classes PR 5's
+    recovery loop handles, at rates that perturb without dominating.
+    """
+    from ..resilience import plan_from_spec
+    return plan_from_spec(seed=seed, transient_p=0.03, max_attempts=4,
+                          stall_p=0.02, stall_seconds=0.01,
+                          corrupt_p=0.02)
+
+
+# ---------------------------------------------------------------------------
+# Environment fingerprint
+# ---------------------------------------------------------------------------
+
+def machine_calibration(repeats: int = 5) -> float:
+    """Best-of-``repeats`` seconds for a fixed serial kernel workload.
+
+    The workload mirrors the QDWH kernel mix (gemm, QR, Cholesky) at a
+    fixed size, so its wall clock moves with the effective speed of
+    this host *right now* — BLAS pinning, CPU-budget throttling, noisy
+    neighbours — but never with changes to this repository's code.
+    ``compare_bench`` uses the ratio of two calibrations to excuse a
+    uniform machine slowdown between a baseline and a rerun.
+    """
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((192, 192))
+    eye = np.eye(192)
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        for _ in range(6):
+            c = a @ a
+            np.linalg.qr(c)
+            np.linalg.cholesky(c @ c.T / 192.0 + 192.0 * eye)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def env_fingerprint() -> Dict[str, object]:
+    """Where a trajectory point was measured (stored in every file)."""
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"], capture_output=True, text=True,
+            timeout=10).stdout.strip() or "unknown"
+    except (OSError, subprocess.SubprocessError):
+        sha = "unknown"
+    return {
+        "git_sha": sha,
+        "cpu_count": os.cpu_count() or 1,
+        "omp_num_threads": os.environ.get("OMP_NUM_THREADS", ""),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "calib_s": round(machine_calibration(), 6),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Suite execution
+# ---------------------------------------------------------------------------
+
+@dataclass
+class BenchRun:
+    """One executed suite: the two JSON documents plus per-cell sinks."""
+
+    qdwh: Dict[str, object]
+    scaling: Dict[str, object]
+    #: cell key -> TimelineSink of the last repeat (threads cells only);
+    #: feeds the chrome-trace export and critical-path reporting.
+    sinks: Dict[str, object] = field(default_factory=dict)
+
+    def flagship_key(self) -> Optional[str]:
+        """The largest fault-free threads cell that captured a sink."""
+        best = None
+        for key, rec in self.qdwh["cells"].items():
+            if (rec["backend"] != "threads" or rec["fault_cell"]
+                    or key not in self.sinks):
+                continue
+            rank = (rec["n"], rec["workers"])
+            if best is None or rank > best[0]:
+                best = (rank, key)
+        return best[1] if best else None
+
+
+def _run_once(cell: BenchCell, seed: int, sink=None):
+    """One measured execution of a cell.
+
+    Returns ``(wall, result, stats, inflight, graph)`` — the graph is
+    the Runtime's recorded TaskGraph, kept for critical-path analysis
+    of the sink-carrying repeat.
+    """
+    from ..core.tiled_qdwh import tiled_qdwh
+    from ..dist.grid import ProcessGrid
+    from ..dist.matrix import DistMatrix
+    from ..matrices.generator import generate_matrix
+    from ..runtime.executor import Runtime
+
+    a = generate_matrix(cell.n, cond=cell.cond,
+                        dtype=np.dtype(cell.dtype), seed=seed)
+    faults = recovery = None
+    if cell.fault_cell:
+        from ..resilience.live import RecoveryPolicy
+        faults = canonical_fault_plan(seed)
+        recovery = RecoveryPolicy(max_retries=3, scrub_writes=True)
+    threads = cell.backend == "threads"
+    rt = Runtime(ProcessGrid(1, 1), deferred=threads,
+                 workers=cell.workers, sink=sink, sanitize=None,
+                 faults=faults, recovery=recovery)
+    d = DistMatrix.from_array(rt, a, cell.nb, name="A")
+    t0 = perf_counter()
+    res = tiled_qdwh(rt, d, backend=cell.backend, workers=cell.workers)
+    wall = perf_counter() - t0
+    stats = rt.exec_stats
+    leaked = (rt._executor.inflight_attempts
+              if rt._executor is not None else 0)
+    graph = rt.graph
+    rt.close()
+    return wall, res, stats, leaked, graph
+
+
+def _rel_spread(walls: List[float]) -> float:
+    med = statistics.median(walls)
+    if med <= 0.0:
+        return 0.0
+    return (max(walls) - min(walls)) / med
+
+
+def _measure_cell(cell: BenchCell, suite: BenchSuite,
+                  progress: Optional[Callable[[str], None]]):
+    """Warmup + timed repeats of one cell; sink attached on the last
+    repeat only, so the captured timeline covers exactly one run."""
+    from .timeline import TimelineSink
+
+    for _ in range(suite.warmup):
+        _run_once(cell, suite.seed)
+    walls: List[float] = []
+    res = stats = sink = graph = None
+    leaked = 0
+    for rep in range(suite.repeats):
+        last = rep == suite.repeats - 1
+        sink = TimelineSink() if (last and cell.backend == "threads") \
+            else None
+        wall, res, stats, leaked, graph = _run_once(
+            cell, suite.seed, sink=sink)
+        walls.append(wall)
+    med = statistics.median(walls)
+    rec: Dict[str, object] = {
+        "n": cell.n, "nb": cell.nb, "dtype": cell.dtype,
+        "cond": cell.cond, "backend": cell.backend,
+        "workers": cell.workers, "fault_cell": cell.fault_cell,
+        "repeats_s": [round(w, 6) for w in walls],
+        "makespan_s": round(med, 6),
+        "min_s": round(min(walls), 6),
+        "max_s": round(max(walls), 6),
+        "rel_spread": round(_rel_spread(walls), 6),
+        "iterations": res.iterations,
+        "converged": bool(res.converged),
+    }
+    if stats is not None:
+        rec.update({
+            "tasks": stats.tasks_run,
+            "busy_s": round(stats.busy_seconds, 6),
+            "cpu_s": round(stats.cpu_seconds, 6),
+            "utilization": round(stats.utilization, 6),
+            "peak_rss_bytes": int(stats.peak_rss_bytes),
+            "per_kind_s": {k: round(v, 6) for k, v in
+                           sorted(stats.per_kind_seconds.items())},
+            "inflight_attempts": leaked,
+        })
+        r = stats.recovery
+        if cell.fault_cell:
+            rec["recovery"] = {
+                "transient_failures": r.transient_failures,
+                "retried_tasks": r.retried_tasks,
+                "injected_stalls": r.injected_stalls,
+                "corrupted_tiles": r.corrupted_tiles,
+                "speculative_duplicates": r.speculative_duplicates,
+                "reexecution_seconds": round(r.reexecution_seconds, 6),
+            }
+    if sink is not None and len(sink) and graph is not None:
+        from .critical_path import critical_path
+        cp = critical_path(graph, sink.tasks)
+        rec["critical_path"] = {
+            "task_s": round(cp.task_seconds, 6),
+            "wait_s": round(cp.wait_seconds, 6),
+            "makespan_s": round(cp.makespan, 6),
+            "chain_tasks": len(cp.segments),
+            "reconciliation": round(cp.reconciliation, 6),
+            "per_kind_s": {k: round(v, 6)
+                           for k, v in sorted(cp.per_kind.items())},
+        }
+    if progress is not None:
+        progress(f"  {cell.key}: {med:.4f} s median over "
+                 f"{suite.repeats} repeat(s)")
+    return rec, sink
+
+
+def run_suite(suite: BenchSuite,
+              progress: Optional[Callable[[str], None]] = None
+              ) -> BenchRun:
+    """Execute every cell of ``suite`` and assemble the two documents."""
+    cells: Dict[str, Dict[str, object]] = {}
+    sinks: Dict[str, object] = {}
+    for cell in suite.cells:
+        rec, sink = _measure_cell(cell, suite, progress)
+        cells[cell.key] = rec
+        if sink is not None and len(sink):
+            sinks[cell.key] = sink
+    # Recovery overhead: fault cells vs their fault-free counterpart.
+    for cell in suite.cells:
+        if not cell.fault_cell:
+            continue
+        clean = cells.get(cell.clean_key)
+        if clean and clean["makespan_s"] > 0.0:
+            cells[cell.key]["overhead_vs_clean"] = round(
+                cells[cell.key]["makespan_s"] / clean["makespan_s"], 6)
+
+    env = env_fingerprint()
+    created = int(time.time())
+    qdwh = {
+        "schema": BENCH_SCHEMA,
+        "topic": "qdwh",
+        "suite": suite.name,
+        "repeats": suite.repeats,
+        "warmup": suite.warmup,
+        "seed": suite.seed,
+        "created_unix": created,
+        "env": env,
+        "cells": cells,
+    }
+    scaling = {
+        "schema": BENCH_SCHEMA,
+        "topic": "scaling",
+        "suite": suite.name,
+        "created_unix": created,
+        "env": env,
+        "series": _scaling_series(cells),
+    }
+    return BenchRun(qdwh=qdwh, scaling=scaling, sinks=sinks)
+
+
+def _scaling_series(cells: Dict[str, Dict[str, object]]
+                    ) -> List[Dict[str, object]]:
+    """Speedup/efficiency per (n, nb, dtype, cond) from threads cells."""
+    from ..perf.report import parallel_efficiency
+
+    groups: Dict[Tuple, Dict[int, float]] = {}
+    eager: Dict[Tuple, float] = {}
+    for rec in cells.values():
+        if rec["fault_cell"]:
+            continue
+        g = (rec["n"], rec["nb"], rec["dtype"], rec["cond"])
+        if rec["backend"] == "threads":
+            groups.setdefault(g, {})[rec["workers"]] = rec["makespan_s"]
+        elif rec["backend"] == "eager":
+            eager[g] = rec["makespan_s"]
+    series: List[Dict[str, object]] = []
+    for g in sorted(groups):
+        walls = groups[g]
+        eff = parallel_efficiency(walls)
+        base = walls.get(1, walls[min(walls)])
+        row: Dict[str, object] = {
+            "n": g[0], "nb": g[1], "dtype": g[2], "cond": g[3],
+            "walls_s": {str(w): round(t, 6)
+                        for w, t in sorted(walls.items())},
+            "speedup": {str(w): round(base / t, 6) if t > 0.0 else 0.0
+                        for w, t in sorted(walls.items())},
+            "efficiency": {str(w): round(e, 6)
+                           for w, e in sorted(eff.items())},
+        }
+        if g in eager:
+            row["eager_s"] = eager[g]
+        series.append(row)
+    return series
+
+
+# ---------------------------------------------------------------------------
+# Persistence
+# ---------------------------------------------------------------------------
+
+def write_bench(run: BenchRun, out_dir: str = ".") -> List[str]:
+    """Write ``BENCH_qdwh.json`` + ``BENCH_scaling.json`` under
+    ``out_dir`` (sorted keys — diffs stay stable); returns the paths."""
+    os.makedirs(out_dir, exist_ok=True)
+    paths = []
+    for name, doc in ((QDWH_FILE, run.qdwh), (SCALING_FILE, run.scaling)):
+        path = os.path.join(out_dir, name)
+        with open(path, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        paths.append(path)
+    return paths
+
+
+def load_bench(path: str) -> Dict[str, object]:
+    """Load and schema-check one BENCH_*.json."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    schema = doc.get("schema", "")
+    if not str(schema).startswith("repro-bench/"):
+        raise ValueError(
+            f"{path}: not a repro bench file (schema={schema!r})")
+    return doc
+
+
+# ---------------------------------------------------------------------------
+# Comparison / regression gating
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CellDelta:
+    """Old-vs-new classification of one suite cell."""
+
+    key: str
+    old_s: float
+    new_s: float
+    #: Relative change: ``new/old - 1`` (positive = slower).
+    delta: float
+    #: The gate this cell was judged against (threshold vs noise).
+    gate: float
+    verdict: str            # "improvement" | "noise" | "regression"
+
+
+@dataclass
+class CompareReport:
+    deltas: List[CellDelta]
+    missing: List[str]      # in OLD only
+    added: List[str]        # in NEW only
+    threshold: float
+    env_changed: bool
+    #: Calibration ratio new/old (clamped to >= 1): how much slower the
+    #: new host measured on the fixed kernel workload.  Deltas are
+    #: normalized by it, so a uniform machine slowdown is not a
+    #: regression.  1.0 when either file lacks a calibration.
+    drift: float = 1.0
+
+    @property
+    def regressions(self) -> List[CellDelta]:
+        return [d for d in self.deltas if d.verdict == "regression"]
+
+    @property
+    def improvements(self) -> List[CellDelta]:
+        return [d for d in self.deltas if d.verdict == "improvement"]
+
+    @property
+    def ok(self) -> bool:
+        """Gate: no regression, and the files actually overlapped."""
+        return bool(self.deltas) and not self.regressions
+
+    def format(self) -> str:
+        from ..bench.tables import format_table
+        if not self.deltas:
+            return ("bench compare: no overlapping cells between the two "
+                    "files (different suites?) — nothing to gate\n")
+        rows = [[d.key, f"{d.old_s:.4f}", f"{d.new_s:.4f}",
+                 f"{d.delta * 100:+.1f}%", f"{d.gate * 100:.0f}%",
+                 d.verdict]
+                for d in sorted(self.deltas, key=lambda d: -d.delta)]
+        out = [format_table(
+            "bench compare (makespan medians)",
+            ["cell", "old s", "new s", "delta", "gate", "verdict"], rows)]
+        if self.env_changed:
+            out.append("note: environment fingerprints differ "
+                       "(different host/BLAS pinning); the gate was "
+                       "widened 2x\n")
+        if self.drift > 1.05:
+            out.append(f"note: host calibration ran {self.drift:.2f}x "
+                       "slower than the baseline's; deltas are "
+                       "normalized by it\n")
+        if self.missing:
+            out.append(f"cells only in OLD: {', '.join(self.missing)}\n")
+        if self.added:
+            out.append(f"cells only in NEW: {', '.join(self.added)}\n")
+        n_reg = len(self.regressions)
+        n_imp = len(self.improvements)
+        out.append(f"{len(self.deltas)} cell(s) compared: "
+                   f"{n_imp} improvement(s), "
+                   f"{len(self.deltas) - n_imp - n_reg} within noise, "
+                   f"{n_reg} regression(s) -> "
+                   f"{'OK' if self.ok else 'FAIL'}\n")
+        return "".join(out)
+
+
+def _env_changed(old: Dict, new: Dict) -> bool:
+    eo, en = old.get("env", {}), new.get("env", {})
+    return any(eo.get(k) != en.get(k)
+               for k in ("cpu_count", "platform", "machine",
+                         "omp_num_threads"))
+
+
+def compare_bench(old: Dict[str, object], new: Dict[str, object], *,
+                  threshold: float = DEFAULT_THRESHOLD,
+                  noise_floor: float = NOISE_FLOOR,
+                  noise_factor: float = NOISE_FACTOR) -> CompareReport:
+    """Classify NEW against OLD cell by cell.
+
+    A cell's delta is judged against ``gate = max(threshold, noise)``
+    where ``noise = max(noise_floor, noise_factor * repeat spread)`` —
+    a delta beyond the gate is a regression (slower) or improvement
+    (faster); within it, noise.  When the environment fingerprints
+    disagree on host-shape keys the gate doubles: absolute wall clocks
+    from different machines only support coarse conclusions.
+
+    When both files carry a ``calib_s`` fingerprint (the fixed kernel
+    workload of :func:`machine_calibration`), deltas are divided by the
+    calibration ratio — one-sided, clamped to ``[1, 4]`` — so a host
+    that got uniformly slower between runs (CPU throttling, noisy
+    neighbours) does not read as a code regression, while a faster
+    host never inflates deltas.
+    """
+    oc: Dict[str, Dict] = old.get("cells", {})
+    nc: Dict[str, Dict] = new.get("cells", {})
+    env_changed = _env_changed(old, new)
+    scale = 2.0 if env_changed else 1.0
+    ocal = float((old.get("env") or {}).get("calib_s") or 0.0)
+    ncal = float((new.get("env") or {}).get("calib_s") or 0.0)
+    drift = 1.0
+    if ocal > 0.0 and ncal > 0.0:
+        drift = min(4.0, max(1.0, ncal / ocal))
+    deltas: List[CellDelta] = []
+    for key in sorted(set(oc) & set(nc)):
+        o, n = oc[key], nc[key]
+        old_s, new_s = float(o["makespan_s"]), float(n["makespan_s"])
+        if old_s <= 0.0:
+            continue
+        delta = new_s / (old_s * drift) - 1.0
+        noise = max(noise_floor,
+                    noise_factor * max(float(o.get("rel_spread", 0.0)),
+                                       float(n.get("rel_spread", 0.0))))
+        gate = max(threshold, noise) * scale
+        if delta > gate:
+            verdict = "regression"
+        elif delta < -gate:
+            verdict = "improvement"
+        else:
+            verdict = "noise"
+        deltas.append(CellDelta(key=key, old_s=old_s, new_s=new_s,
+                                delta=delta, gate=gate, verdict=verdict))
+    return CompareReport(
+        deltas=deltas,
+        missing=sorted(set(oc) - set(nc)),
+        added=sorted(set(nc) - set(oc)),
+        threshold=threshold,
+        env_changed=env_changed,
+        drift=drift)

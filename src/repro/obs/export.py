@@ -24,7 +24,7 @@ from typing import Dict, List, Optional, Tuple
 
 from .timeline import TimelineSink
 
-#: Chrome-trace thread ids: cpu slot i -> i, gpu slot i -> base + i.
+#: Chrome-trace thread ids: cpu/thr slot i -> i, gpu slot i -> base + i.
 GPU_TID_BASE = 1000
 
 
@@ -79,12 +79,14 @@ def rank_utilization(result, normalize: bool = True) -> Dict[str, float]:
 # ---------------------------------------------------------------------------
 
 def _slot_tid(slot: str) -> int:
-    """Stable thread id for a slot label ("cpu3" -> 3, "gpu1" -> 1001)."""
+    """Stable thread id for a slot label ("cpu3" -> 3, "gpu1" -> 1001,
+    "thr2" -> 2 for the threaded backend's worker lanes)."""
     if slot.startswith("gpu"):
         return GPU_TID_BASE + int(slot[3:] or 0)
-    if slot.startswith("cpu"):
+    if slot.startswith(("cpu", "thr")):
         return int(slot[3:] or 0)
-    return abs(hash(slot)) % GPU_TID_BASE  # custom sinks' labels
+    # Custom sinks' labels: stable across processes (hash() is not).
+    return sum(ord(c) * 31 ** i for i, c in enumerate(slot)) % GPU_TID_BASE
 
 def chrome_trace(timeline: TimelineSink) -> Dict[str, object]:
     """Render a timeline as a Chrome ``trace_event`` JSON object.
@@ -108,6 +110,18 @@ def chrome_trace(timeline: TimelineSink) -> Dict[str, object]:
     for rank, slot in timeline.slots():
         events.append({"name": "thread_name", "ph": "M", "pid": rank,
                        "tid": _slot_tid(slot), "args": {"name": slot}})
+    # Label the scheduler-process rows Perfetto would otherwise show as
+    # bare tids; only rows that actually carry events get a name, so
+    # traces without faults/stalls are unchanged.
+    for tid, name, stream in (
+            (0, "barriers", timeline.barriers),
+            (1, "stalls", timeline.stalls),
+            (2, "faults / health", getattr(timeline, "faults", ())),
+            (3, "sanitizer", getattr(timeline, "sanitizer", ()))):
+        if stream:
+            events.append({"name": "thread_name", "ph": "M",
+                           "pid": sched_pid, "tid": tid,
+                           "args": {"name": name}})
 
     for t in timeline.tasks:
         args: Dict[str, object] = {"tid": t.tid, "phase": t.phase,
@@ -116,6 +130,8 @@ def chrome_trace(timeline: TimelineSink) -> Dict[str, object]:
             # Only measured runs carry the flag, so simulated traces
             # stay byte-identical to their pre-measured-backend form.
             args["measured"] = True
+            if getattr(t, "cpu", 0.0) > 0.0:
+                args["cpu_ms"] = t.cpu * 1e3
         events.append({
             "name": t.label or t.kind,
             "cat": t.kind,

@@ -88,10 +88,54 @@ class Histogram:
         self.sum = 0.0
         self.count = 0
 
+    def quantile(self, q: Number) -> float:
+        """Estimate the q-quantile (q in [0, 1]) from the buckets.
+
+        Piecewise-linear interpolation within the covering bucket —
+        the standard Prometheus ``histogram_quantile`` estimate, so
+        the error is bounded by the bucket width.  The overflow bucket
+        has no upper bound; observations landing there clamp to the
+        largest finite bound.  Returns 0.0 for an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile q must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cum = 0
+        for i, c in enumerate(self.counts):
+            if c == 0:
+                continue
+            if cum + c >= target:
+                if i == len(self.bounds):      # +Inf overflow bucket
+                    return self.bounds[-1]
+                lo = self.bounds[i - 1] if i > 0 else min(
+                    0.0, self.bounds[0])
+                hi = self.bounds[i]
+                return lo + (hi - lo) * max(0.0, target - cum) / c
+            cum += c
+        return self.bounds[-1]
+
+    def summary(self) -> Dict[str, float]:
+        """count/sum/mean plus the p50/p95/p99 bucket estimates."""
+        mean = self.sum / self.count if self.count else 0.0
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": mean,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
     def as_dict(self) -> Dict[str, object]:
         buckets = {f"le_{b:g}": c for b, c in zip(self.bounds, self.counts)}
         buckets["le_inf"] = self.counts[-1]
-        return {"buckets": buckets, "sum": self.sum, "count": self.count}
+        d: Dict[str, object] = {"buckets": buckets, "sum": self.sum,
+                                "count": self.count}
+        d.update((k, v) for k, v in self.summary().items()
+                 if k in ("p50", "p95", "p99"))
+        return d
 
 
 class Registry:

@@ -47,6 +47,10 @@ class TaskEvent:
     #: the threaded backend (:mod:`repro.runtime.parallel`).  Same
     #: schema either way, so every exporter works on both.
     measured: bool = False
+    #: Thread CPU seconds the payload burned (measured runs only;
+    #: 0.0 for simulated events and payload-less tasks).  The gap
+    #: ``duration - cpu`` is blocked time inside the task.
+    cpu: float = 0.0
 
 
 @dataclass(frozen=True)

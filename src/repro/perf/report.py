@@ -20,23 +20,28 @@ from ..obs.timeline import TimelineSink
 from .model import PerfPoint
 
 
-def parallel_efficiency(walls: Dict[int, float]) -> Dict[int, float]:
-    """Parallel efficiency T(1) / (w * T(w)) per worker count.
+def parallel_efficiency(walls: Dict[int, float],
+                        baseline: int = 1) -> Dict[int, float]:
+    """Parallel efficiency T(b)*b / (w * T(w)) per worker count.
 
-    ``walls`` maps worker count -> measured wall-clock seconds and must
-    include the single-worker baseline (key 1).  Efficiency 1.0 is
-    perfect linear scaling; values slightly above 1.0 can occur from
-    cache effects and are reported as-is.
+    ``walls`` maps worker count -> measured wall-clock seconds.  The
+    reference is the ``baseline`` worker count (default 1); when that
+    run is missing the smallest measured worker count stands in, so a
+    sweep that skipped the serial run still reports relative
+    efficiency instead of raising.  An empty ``walls`` returns ``{}``.
+    Efficiency 1.0 is perfect linear scaling; values slightly above
+    1.0 can occur from cache effects and are reported as-is.
     """
-    if 1 not in walls:
-        raise ValueError("parallel_efficiency needs the workers=1 "
-                         "baseline (key 1)")
-    t1 = walls[1]
-    out: Dict[int, float] = {}
-    for w, tw in sorted(walls.items()):
+    if not walls:
+        return {}
+    for w in walls:
         if w < 1:
             raise ValueError(f"worker count must be >= 1, got {w}")
-        out[w] = 0.0 if tw == 0.0 else t1 / (w * tw)
+    b = baseline if baseline in walls else min(walls)
+    ref = walls[b] * b
+    out: Dict[int, float] = {}
+    for w, tw in sorted(walls.items()):
+        out[w] = 0.0 if tw == 0.0 else ref / (w * tw)
     return out
 
 

@@ -114,6 +114,20 @@ def _new_recovery_stats():
     return RecoveryStats()
 
 
+def _peak_rss_bytes() -> int:
+    """Peak resident set of this process, in bytes (0 if unavailable).
+
+    ``ru_maxrss`` is kilobytes on Linux but bytes on macOS.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    import sys
+    return int(peak if sys.platform == "darwin" else peak * 1024)
+
+
 @dataclass
 class ExecutionStats:
     """Accumulated accounting of a :class:`ParallelExecutor`."""
@@ -130,6 +144,16 @@ class ExecutionStats:
     #: failed/lost attempt time goes to ``recovery.reexecution_seconds``.
     busy_seconds: float = 0.0
     per_kind_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Summed per-task *CPU* seconds (``time.thread_time`` around each
+    #: payload).  BLAS kernels release the GIL but still burn CPU, so
+    #: ``cpu_seconds`` close to ``busy_seconds`` means compute-bound
+    #: lanes; a large gap means blocking (lock waits, injected stalls,
+    #: page faults).
+    cpu_seconds: float = 0.0
+    per_kind_cpu_seconds: Dict[str, float] = field(default_factory=dict)
+    #: High-water resident set of the whole process, sampled after
+    #: every execution window (bytes; 0 when unavailable).
+    peak_rss_bytes: int = 0
     #: Live recovery accounting (retries, timeouts, speculation,
     #: injected faults); all-zero on fault-free runs.
     recovery: object = field(default_factory=_new_recovery_stats)
@@ -250,9 +274,10 @@ class ParallelExecutor:
             graph.validate()
         self._pool: Optional[ThreadPoolExecutor] = None
         self._lock = threading.Lock()
-        #: Messages: ``(disposition, tid, attempt, t0, t1, slot, exc)``
-        #: with disposition "done" | "fail" | "lost".
-        self._resq: "queue.Queue[Tuple[str, int, int, float, float, int, Optional[BaseException]]]" = queue.Queue()
+        #: Messages: ``(disposition, tid, attempt, t0, t1, slot, cpu,
+        #: exc)`` with disposition "done" | "fail" | "lost"; ``cpu`` is
+        #: the attempt's thread CPU seconds.
+        self._resq: "queue.Queue[Tuple[str, int, int, float, float, int, float, Optional[BaseException]]]" = queue.Queue()
         #: Tasks whose effects are visible (executed here or accounted
         #: as an eager/pre-window execution).
         self._done: Dict[int, bool] = {}
@@ -471,6 +496,8 @@ class ParallelExecutor:
         wall = perf_counter() - t_wall0
         self.stats.wall_seconds += wall
         self.stats.windows += 1
+        self.stats.peak_rss_bytes = max(self.stats.peak_rss_bytes,
+                                        _peak_rss_bytes())
         if failure is not None:
             raise failure
         return wall
@@ -495,26 +522,30 @@ class ParallelExecutor:
                     f"executor stalled with {n_window - completed} task(s) "
                     "unfinished and none ready — dependency bookkeeping "
                     "bug or a graph the validator should have rejected")
-            _disp, tid, _attempt, t0, t1, slot, exc = self._resq.get()
+            _disp, tid, _attempt, t0, t1, slot, cpu, exc = self._resq.get()
             self._inflight -= 1
             completed += 1
             if exc is not None:
                 failure = failure or exc
                 continue
-            self._account_done(tasks[tid], t0, t1, slot)
+            self._account_done(tasks[tid], t0, t1, slot, cpu)
             if failure is not None:
                 continue
             on_complete(tid)
         return failure
 
     def _account_done(self, t: Task, t0: float, t1: float,
-                      slot: int) -> None:
+                      slot: int, cpu: float = 0.0) -> None:
         dur = t1 - t0
         self.stats.tasks_run += 1
         self.stats.busy_seconds += dur
         kind = t.kind.value
         self.stats.per_kind_seconds[kind] = (
             self.stats.per_kind_seconds.get(kind, 0.0) + dur)
+        if cpu > 0.0:
+            self.stats.cpu_seconds += cpu
+            self.stats.per_kind_cpu_seconds[kind] = (
+                self.stats.per_kind_cpu_seconds.get(kind, 0.0) + cpu)
         self._kind_n[kind] = self._kind_n.get(kind, 0) + 1
         self._kind_t[kind] = self._kind_t.get(kind, 0.0) + dur
         if self.sink is not None:
@@ -522,7 +553,7 @@ class ParallelExecutor:
             self.sink.on_task(TaskEvent(
                 tid=t.tid, kind=kind, rank=t.rank, slot=f"thr{slot}",
                 phase=t.phase, flops=t.flops, start=t0, end=t1,
-                duration=dur, label=t.label, measured=True))
+                duration=dur, label=t.label, measured=True, cpu=cpu))
 
     # -- recovering dispatch (retries / timeouts / speculation) --------
 
@@ -658,7 +689,7 @@ class ParallelExecutor:
                 if failure is None:
                     self._monitor(pol, rec)
                 continue
-            disp, tid, attempt, t0, t1, slot, exc = msg
+            disp, tid, attempt, t0, t1, slot, cpu, exc = msg
             self._inflight -= 1
             st = self._states[tid]
             st.live -= 1
@@ -677,7 +708,7 @@ class ParallelExecutor:
                 self.fns.pop(tid, None)
                 if st.origin.get(attempt) == "backup":
                     rec.speculation_wins += 1
-                self._account_done(tasks[tid], t0, t1, slot)
+                self._account_done(tasks[tid], t0, t1, slot, cpu)
                 if failure is None:
                     on_complete(tid)
                 continue
@@ -797,6 +828,7 @@ class ParallelExecutor:
         """Fail-fast worker (no recovery configured)."""
         t = self.graph.tasks[tid]
         slot = t0 = t1 = 0
+        cpu = 0.0
         try:
             with self._lock:
                 slot = self._slot()
@@ -804,20 +836,23 @@ class ParallelExecutor:
             fn = self.fns.pop(tid, None)
             t0 = perf_counter() - self._epoch
             if fn is not None:
+                c0 = time.thread_time()
                 san = self.sanitizer
                 if san is not None and t.sanitize:
                     with san.task_scope(t):
                         fn()
                 else:
                     fn()
+                cpu = time.thread_time() - c0
                 self._count(t.kind)
             t1 = perf_counter() - self._epoch
             with self._lock:
                 self._check_out(t)
         except BaseException as exc:  # propagated by the dispatch loop
-            self._resq.put(("fail", tid, 0, float(t0), float(t1), slot, exc))
+            self._resq.put(("fail", tid, 0, float(t0), float(t1), slot,
+                            cpu, exc))
             return
-        self._resq.put(("done", tid, 0, t0, t1, slot, None))
+        self._resq.put(("done", tid, 0, t0, t1, slot, cpu, None))
 
     def _run_payload(self, t: Task, fn) -> None:
         san = self.sanitizer
@@ -837,7 +872,7 @@ class ParallelExecutor:
         st = self._states[tid]
         pol = self.recovery_policy
         slot = 0
-        t0 = t1 = 0.0
+        t0 = t1 = cpu = 0.0
         marked = False
         t_entry = perf_counter()
         try:
@@ -867,7 +902,7 @@ class ParallelExecutor:
                     lost = False
             if lost:
                 self._resq.put(("lost", tid, attempt, t_entry,
-                                perf_counter(), slot, None))
+                                perf_counter(), slot, 0.0, None))
                 return
             with self._lock:
                 self._check_in(t)
@@ -890,7 +925,9 @@ class ParallelExecutor:
             t0 = perf_counter() - self._epoch
             if fn is not None:
                 st.payload_ran = True
+                c0 = time.thread_time()
                 self._run_payload(t, fn)
+                cpu = time.thread_time() - c0
                 injected_corruption = False
                 if self.injector is not None and self.tiles is not None:
                     corr = self.injector.corruption_for(
@@ -931,7 +968,7 @@ class ParallelExecutor:
             end = perf_counter() - self._epoch
             start = t0 if t0 > 0.0 else t_entry - self._epoch
             self._resq.put(("fail", tid, attempt, float(start),
-                            float(end), slot, exc))
+                            float(end), slot, cpu, exc))
             return
         # Wake any attempt still sleeping in an injected stall so the
         # window drains promptly (they lose the claim and report lost).
@@ -939,4 +976,4 @@ class ParallelExecutor:
             evs = list(st.cancel.values())
         for ev in evs:
             ev.set()
-        self._resq.put(("done", tid, attempt, t0, t1, slot, None))
+        self._resq.put(("done", tid, attempt, t0, t1, slot, cpu, None))

@@ -1,0 +1,242 @@
+"""Tests for the perf-trajectory harness (repro.obs.bench)."""
+
+import copy
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.bench import (
+    BENCH_SCHEMA,
+    BenchCell,
+    BenchRun,
+    compare_bench,
+    default_suite,
+    env_fingerprint,
+    load_bench,
+    smoke_suite,
+    write_bench,
+)
+
+
+def _doc(cells, env=None):
+    return {
+        "schema": BENCH_SCHEMA,
+        "topic": "qdwh",
+        "suite": "test",
+        "repeats": 3,
+        "warmup": 1,
+        "seed": 0,
+        "created_unix": 0,
+        "env": env or {"cpu_count": 8, "platform": "test", "machine": "x",
+                       "omp_num_threads": "1"},
+        "cells": cells,
+    }
+
+
+def _cell(makespan, spread=0.0, **over):
+    rec = {"n": 96, "nb": 32, "dtype": "float64", "cond": 1e4,
+           "backend": "threads", "workers": 4, "fault_cell": False,
+           "repeats_s": [makespan] * 3, "makespan_s": makespan,
+           "min_s": makespan, "max_s": makespan, "rel_spread": spread,
+           "iterations": 5, "converged": True}
+    rec.update(over)
+    return rec
+
+
+class TestSuites:
+    def test_smoke_is_strict_subset_of_default(self):
+        smoke = {c.key for c in smoke_suite().cells}
+        full = {c.key for c in default_suite().cells}
+        assert smoke < full
+
+    def test_cells_are_unique(self):
+        for suite in (smoke_suite(), default_suite()):
+            keys = [c.key for c in suite.cells]
+            assert len(keys) == len(set(keys))
+
+    def test_fault_cell_has_clean_counterpart(self):
+        for suite in (smoke_suite(), default_suite()):
+            keys = {c.key for c in suite.cells}
+            faults = [c for c in suite.cells if c.fault_cell]
+            assert faults
+            for c in faults:
+                assert c.clean_key in keys
+
+    def test_cell_key_format(self):
+        c = BenchCell(96, 32, "float64", 1e4, "threads", 4)
+        assert c.key == "qdwh-n96-nb32-float64-k10000-threads-w4"
+        f = BenchCell(96, 32, "float64", 1e4, "threads", 4,
+                      fault_cell=True)
+        assert f.key.endswith("-faultplan")
+        assert f.clean_key == c.key
+
+
+class TestPersistence:
+    def test_round_trip_and_schema(self, tmp_path):
+        run = BenchRun(qdwh=_doc({"k": _cell(0.1)}),
+                       scaling=dict(_doc({}), topic="scaling", series=[]))
+        paths = write_bench(run, out_dir=str(tmp_path))
+        assert [p.split("/")[-1] for p in paths] == [
+            "BENCH_qdwh.json", "BENCH_scaling.json"]
+        doc = load_bench(paths[0])
+        assert doc == run.qdwh
+        assert doc["schema"] == BENCH_SCHEMA
+
+    def test_deterministic_serialization(self, tmp_path):
+        run = BenchRun(qdwh=_doc({"b": _cell(0.2), "a": _cell(0.1)}),
+                       scaling=dict(_doc({}), topic="scaling", series=[]))
+        p1 = write_bench(run, out_dir=str(tmp_path / "one"))[0]
+        run2 = BenchRun(qdwh=_doc({"a": _cell(0.1), "b": _cell(0.2)}),
+                        scaling=dict(_doc({}), topic="scaling", series=[]))
+        p2 = write_bench(run2, out_dir=str(tmp_path / "two"))[0]
+        assert open(p1).read() == open(p2).read()
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        p = tmp_path / "other.json"
+        p.write_text(json.dumps({"schema": "something-else/9"}))
+        with pytest.raises(ValueError, match="not a repro bench"):
+            load_bench(str(p))
+
+    def test_env_fingerprint_fields(self):
+        env = env_fingerprint()
+        assert set(env) >= {"git_sha", "cpu_count", "omp_num_threads",
+                            "python", "numpy", "platform", "machine",
+                            "calib_s"}
+        assert env["cpu_count"] >= 1
+        assert env["calib_s"] > 0.0
+
+
+class TestCompare:
+    def test_identical_docs_ok(self):
+        doc = _doc({"k": _cell(0.1)})
+        rep = compare_bench(doc, doc)
+        assert rep.ok
+        assert [d.verdict for d in rep.deltas] == ["noise"]
+
+    def test_injected_slowdown_is_regression(self):
+        old = _doc({"k": _cell(0.1)})
+        new = _doc({"k": _cell(0.15)})  # +50% > 25% threshold
+        rep = compare_bench(old, new)
+        assert not rep.ok
+        assert rep.deltas[0].verdict == "regression"
+        assert rep.deltas[0].delta == pytest.approx(0.5)
+
+    def test_speedup_is_improvement(self):
+        rep = compare_bench(_doc({"k": _cell(0.2)}),
+                            _doc({"k": _cell(0.1)}))
+        assert rep.ok
+        assert rep.deltas[0].verdict == "improvement"
+
+    def test_noise_boundary_around_threshold(self):
+        # Zero spread: the gate is exactly the 25% threshold.
+        just_under = compare_bench(_doc({"k": _cell(1.0)}),
+                                   _doc({"k": _cell(1.24)}))
+        just_over = compare_bench(_doc({"k": _cell(1.0)}),
+                                  _doc({"k": _cell(1.26)}))
+        assert just_under.deltas[0].verdict == "noise"
+        assert just_under.ok
+        assert just_over.deltas[0].verdict == "regression"
+        assert not just_over.ok
+
+    def test_repeat_spread_widens_gate(self):
+        # 15% spread -> noise = 3 x 0.15 = 45% > threshold: a 40%
+        # slowdown classifies as noise instead of regression.
+        old = _doc({"k": _cell(1.0, spread=0.15)})
+        new = _doc({"k": _cell(1.4, spread=0.0)})
+        rep = compare_bench(old, new)
+        assert rep.deltas[0].verdict == "noise"
+        assert rep.deltas[0].gate == pytest.approx(0.45)
+        # The same delta with tight repeats is a regression.
+        assert not compare_bench(_doc({"k": _cell(1.0)}),
+                                 _doc({"k": _cell(1.4)})).ok
+
+    def test_env_mismatch_doubles_gate(self):
+        old = _doc({"k": _cell(1.0)})
+        new_env = {"cpu_count": 4, "platform": "other", "machine": "y",
+                   "omp_num_threads": "1"}
+        new = _doc({"k": _cell(1.4)}, env=new_env)
+        rep = compare_bench(old, new)
+        assert rep.env_changed
+        assert rep.deltas[0].verdict == "noise"  # gate 2 x 25% = 50%
+        big = _doc({"k": _cell(1.6)}, env=new_env)
+        assert not compare_bench(old, big).ok
+
+    def test_calibration_drift_excuses_uniform_slowdown(self):
+        # The host got 1.6x slower (calibration says so): a +50% cell
+        # normalizes to well within the gate.
+        env_old = {"cpu_count": 8, "platform": "test", "machine": "x",
+                   "omp_num_threads": "1", "calib_s": 0.010}
+        env_new = dict(env_old, calib_s=0.016)
+        rep = compare_bench(_doc({"k": _cell(1.0)}, env=env_old),
+                            _doc({"k": _cell(1.5)}, env=env_new))
+        assert not rep.env_changed
+        assert rep.drift == pytest.approx(1.6)
+        assert rep.deltas[0].verdict == "noise"
+        assert rep.ok
+        assert "normalized" in rep.format()
+
+    def test_calibration_is_one_sided(self):
+        # A *faster* host never inflates deltas into regressions.
+        env_old = {"cpu_count": 8, "platform": "test", "machine": "x",
+                   "omp_num_threads": "1", "calib_s": 0.016}
+        env_new = dict(env_old, calib_s=0.008)
+        rep = compare_bench(_doc({"k": _cell(1.0)}, env=env_old),
+                            _doc({"k": _cell(1.0)}, env=env_new))
+        assert rep.drift == 1.0
+        assert rep.deltas[0].verdict == "noise"
+        # A genuine slowdown on the slower host still gates: the
+        # drift divisor is clamped at 4x.
+        env_far = dict(env_old, calib_s=0.16)
+        rep = compare_bench(_doc({"k": _cell(1.0)}, env=env_old),
+                            _doc({"k": _cell(8.0)}, env=env_far))
+        assert rep.drift == 4.0
+        assert rep.deltas[0].verdict == "regression"
+
+    def test_no_overlap_fails(self):
+        rep = compare_bench(_doc({"a": _cell(0.1)}),
+                            _doc({"b": _cell(0.1)}))
+        assert not rep.ok
+        assert rep.deltas == []
+        assert rep.missing == ["a"] and rep.added == ["b"]
+        assert "no overlapping cells" in rep.format()
+
+    def test_missing_and_added_cells_reported(self):
+        old = _doc({"a": _cell(0.1), "b": _cell(0.1)})
+        new = _doc({"a": _cell(0.1), "c": _cell(0.1)})
+        rep = compare_bench(old, new)
+        assert rep.ok  # overlap ("a") is clean; coverage drift is noted
+        assert rep.missing == ["b"] and rep.added == ["c"]
+
+    def test_format_mentions_verdicts(self):
+        rep = compare_bench(_doc({"k": _cell(0.1)}),
+                            _doc({"k": _cell(0.2)}))
+        out = rep.format()
+        assert "regression" in out and "FAIL" in out
+
+
+class TestCompareCli:
+    def _write(self, tmp_path, name, doc):
+        p = tmp_path / name
+        p.write_text(json.dumps(doc))
+        return str(p)
+
+    def test_repeat_run_exits_zero(self, tmp_path, capsys):
+        doc = _doc({"k": _cell(0.1)})
+        old = self._write(tmp_path, "old.json", doc)
+        new = self._write(tmp_path, "new.json", copy.deepcopy(doc))
+        assert main(["bench", "--compare", old, new]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_injected_slowdown_exits_nonzero(self, tmp_path, capsys):
+        old = self._write(tmp_path, "old.json", _doc({"k": _cell(0.1)}))
+        new = self._write(tmp_path, "new.json", _doc({"k": _cell(0.2)}))
+        assert main(["bench", "--compare", old, new]) == 1
+        assert "regression" in capsys.readouterr().out
+
+    def test_threshold_flag(self, tmp_path, capsys):
+        old = self._write(tmp_path, "old.json", _doc({"k": _cell(1.0)}))
+        new = self._write(tmp_path, "new.json", _doc({"k": _cell(1.3)}))
+        assert main(["bench", "--compare", old, new]) == 1
+        assert main(["bench", "--compare", old, new,
+                     "--threshold", "0.5"]) == 0

@@ -240,3 +240,52 @@ class TestPolarLiveFaults:
         a, b = np.load(ref), np.load(res)
         assert np.array_equal(a["u"], b["u"])
         assert np.array_equal(a["h"], b["h"])
+
+
+class TestPolarObservability:
+    def test_threads_prints_executor_stats(self, matrix_file, capsys):
+        assert main(["polar", matrix_file, "--backend", "threads",
+                     "--nb", "16", "--workers", "2",
+                     "--no-baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "executor:" in out
+        assert "cpu" in out
+        assert "in-flight after close 0" in out
+
+    def test_critical_path_flag(self, matrix_file, tmp_path, capsys):
+        trace = str(tmp_path / "t.json")
+        assert main(["polar", matrix_file, "--backend", "threads",
+                     "--nb", "16", "--workers", "2", "--no-baseline",
+                     "--critical-path", "--chrome-trace", trace]) == 0
+        out = capsys.readouterr().out
+        assert "critical path:" in out
+        assert "lane thr" in out
+
+    def test_critical_path_requires_threads(self, matrix_file):
+        with pytest.raises(SystemExit):
+            main(["polar", matrix_file, "--backend", "eager",
+                  "--critical-path"])
+
+
+class TestBenchCommand:
+    def test_smoke_suite_writes_versioned_json(self, tmp_path, capsys):
+        out = str(tmp_path / "bench")
+        assert main(["bench", "--smoke", "--repeats", "1",
+                     "--out-dir", out]) == 0
+        text = capsys.readouterr().out
+        assert "critical path [" in text
+        qdwh = json.load(open(f"{out}/BENCH_qdwh.json"))
+        scaling = json.load(open(f"{out}/BENCH_scaling.json"))
+        assert qdwh["schema"].startswith("repro-bench/")
+        assert qdwh["topic"] == "qdwh"
+        assert scaling["topic"] == "scaling"
+        assert scaling["series"]
+        for rec in qdwh["cells"].values():
+            assert rec["makespan_s"] > 0.0
+            assert rec["converged"]
+        fault = [r for r in qdwh["cells"].values() if r["fault_cell"]]
+        assert len(fault) == 1
+        assert "overhead_vs_clean" in fault[0]
+        # Self-compare of a fresh run must pass the regression gate.
+        assert main(["bench", "--compare", f"{out}/BENCH_qdwh.json",
+                     f"{out}/BENCH_qdwh.json"]) == 0

@@ -76,9 +76,58 @@ class TestChromeTrace:
         meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
         procs = {e["pid"] for e in meta if e["name"] == "process_name"}
         assert {t.rank for t in sink.tasks} <= procs
+        sched_pid = max(procs)
         threads = {(e["pid"], e["tid"]) for e in meta
-                   if e["name"] == "thread_name"}
+                   if e["name"] == "thread_name"
+                   and e["pid"] != sched_pid}
         assert len(threads) == len(sink.slots())
+
+    def test_scheduler_rows_named_when_populated(self):
+        """Perfetto labels for the barrier/stall/fault tracks appear
+        exactly when those streams carry events."""
+        sink, _ = captured_run(use_gpu=False, forkjoin=True)
+        assert sink.barriers
+        doc = chrome_trace(sink)
+        procs = {e["pid"] for e in doc["traceEvents"]
+                 if e["ph"] == "M" and e["name"] == "process_name"}
+        sched_pid = max(procs)
+        names = {e["tid"]: e["args"]["name"]
+                 for e in doc["traceEvents"]
+                 if e["ph"] == "M" and e["name"] == "thread_name"
+                 and e["pid"] == sched_pid}
+        assert names[0] == "barriers"
+        if sink.stalls:
+            assert names.get(1) == "stalls"
+        assert 2 not in names  # no faults in this run
+        assert 3 not in names
+
+    def test_fault_track_named(self):
+        from repro.obs.timeline import FaultEvent
+
+        sink = TimelineSink()
+        sink.on_task(TaskEvent(tid=0, kind="gemm", rank=0, slot="cpu0",
+                               phase=0, flops=1.0, start=0.0, end=1.0,
+                               duration=1.0))
+        sink.on_fault(FaultEvent(kind="retry", time=0.5, rank=0, tid=0))
+        doc = chrome_trace(sink)
+        rows = [e for e in doc["traceEvents"]
+                if e["ph"] == "M" and e["name"] == "thread_name"
+                and e["pid"] == 1]
+        assert {"name": "faults / health"} in [e["args"] for e in rows]
+
+    def test_measured_cpu_exported(self):
+        sink = TimelineSink()
+        sink.on_task(TaskEvent(tid=0, kind="gemm", rank=0, slot="thr0",
+                               phase=0, flops=1.0, start=0.0, end=1.0,
+                               duration=1.0, measured=True, cpu=0.25))
+        sink.on_task(TaskEvent(tid=1, kind="gemm", rank=0, slot="thr0",
+                               phase=0, flops=1.0, start=1.0, end=2.0,
+                               duration=1.0, measured=True))
+        doc = chrome_trace(sink)
+        tasks = {e["args"]["tid"]: e for e in doc["traceEvents"]
+                 if e["ph"] == "X"}
+        assert tasks[0]["args"]["cpu_ms"] == pytest.approx(250.0)
+        assert "cpu_ms" not in tasks[1]["args"]  # payload-less: no cpu
 
     def test_counter_events_balance(self):
         """In-flight counters rise and fall back to zero."""
@@ -109,6 +158,12 @@ class TestChromeTrace:
         assert _slot_tid("cpu17") == 17
         assert _slot_tid("gpu0") == GPU_TID_BASE
         assert _slot_tid("gpu5") == GPU_TID_BASE + 5
+        # Threaded-backend worker lanes map like cpu slots.
+        assert _slot_tid("thr0") == 0
+        assert _slot_tid("thr3") == 3
+        # Custom labels get a deterministic (non-hash) fallback tid.
+        assert _slot_tid("weird") == _slot_tid("weird")
+        assert 0 <= _slot_tid("weird") < GPU_TID_BASE
 
     def test_empty_timeline(self):
         doc = chrome_trace(TimelineSink())

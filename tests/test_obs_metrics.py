@@ -50,6 +50,46 @@ class TestInstruments:
         assert d["sum"] == pytest.approx(106.5)
         assert d["count"] == 4
 
+    def test_histogram_quantile_interpolates(self):
+        h = Histogram("x", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 1.5, 3.0):
+            h.observe(v)
+        # One observation <= 1, two in (1, 2], one in (2, 4].
+        assert h.quantile(0.0) == pytest.approx(0.0)
+        assert h.quantile(0.25) == pytest.approx(1.0)
+        assert h.quantile(0.5) == pytest.approx(1.5)
+        assert h.quantile(0.75) == pytest.approx(2.0)
+        assert h.quantile(1.0) == pytest.approx(4.0)
+
+    def test_histogram_quantile_overflow_clamps(self):
+        h = Histogram("x", buckets=(1.0, 10.0))
+        h.observe(1000.0)
+        assert h.quantile(0.99) == pytest.approx(10.0)
+
+    def test_histogram_quantile_empty_and_bounds(self):
+        h = Histogram("x", buckets=(1.0,))
+        assert h.quantile(0.5) == 0.0
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_histogram_summary(self):
+        h = Histogram("x", buckets=(1.0, 10.0, 100.0))
+        for v in (0.5, 5.0, 50.0, 50.0):
+            h.observe(v)
+        s = h.summary()
+        assert s["count"] == 4
+        assert s["sum"] == pytest.approx(105.5)
+        assert s["mean"] == pytest.approx(105.5 / 4)
+        assert set(s) == {"count", "sum", "mean", "p50", "p95", "p99"}
+        assert s["p50"] <= s["p95"] <= s["p99"]
+
+    def test_histogram_as_dict_has_quantiles(self):
+        h = Histogram("x", buckets=(1.0, 10.0))
+        h.observe(5.0)
+        d = h.as_dict()
+        assert {"p50", "p95", "p99"} <= set(d)
+        assert json.loads(json.dumps(d)) == d
+
     def test_histogram_rejects_unsorted_buckets(self):
         with pytest.raises(ValueError):
             Histogram("x", buckets=(10.0, 1.0))
