@@ -129,7 +129,7 @@ def _live_recovery_from_args(args: argparse.Namespace, fault_plan):
 
 
 def _polar_tiled(args: argparse.Namespace, a: np.ndarray) -> int:
-    """``repro polar --backend eager|threads``: the tiled QDWH path."""
+    """``repro polar --backend eager|threads|processes``: tiled QDWH."""
     import time
 
     from . import polar_report
@@ -143,8 +143,8 @@ def _polar_tiled(args: argparse.Namespace, a: np.ndarray) -> int:
     from .runtime.parallel import default_workers
 
     backend = args.backend
-    threads = backend == "threads"
-    workers = args.workers or (default_workers() if threads else 1)
+    parallel = backend in ("threads", "processes")
+    workers = args.workers or (default_workers() if parallel else 1)
 
     fault_plan = None
     if args.fault_plan:
@@ -152,10 +152,14 @@ def _polar_tiled(args: argparse.Namespace, a: np.ndarray) -> int:
 
         fault_plan = FaultPlan.from_json(args.fault_plan)
     recovery = _live_recovery_from_args(args, fault_plan)
-    if (fault_plan is not None or recovery is not None) and not threads:
+    if (fault_plan is not None or recovery is not None) and not parallel:
         raise SystemExit("--fault-plan/--retries/--task-timeout require "
-                         "--backend threads (live fault tolerance runs "
-                         "inside the thread pool)")
+                         "--backend threads or processes (live fault "
+                         "tolerance runs inside the worker pool)")
+    if fault_plan is not None and fault_plan.crashes \
+            and backend != "processes":
+        raise SystemExit("rank crashes in a live plan require --backend "
+                         "processes (threads cannot lose a worker)")
     checkpoint = None
     if args.checkpoint_dir:
         from .resilience import CheckpointPolicy, QdwhCheckpointer
@@ -166,7 +170,7 @@ def _polar_tiled(args: argparse.Namespace, a: np.ndarray) -> int:
 
     def run_once(nworkers: int, sink=None, live=False):
         rt = Runtime(ProcessGrid(1, 1), numeric=True,
-                     deferred=threads, workers=nworkers, sink=sink,
+                     deferred=parallel, workers=nworkers, sink=sink,
                      faults=fault_plan if live else None,
                      recovery=recovery if live else None)
         d = DistMatrix.from_array(rt, a, args.nb, name="A")
@@ -180,20 +184,27 @@ def _polar_tiled(args: argparse.Namespace, a: np.ndarray) -> int:
                          checkpoint=checkpoint if live else None, **kw)
         wall = time.perf_counter() - t0
         stats = rt.exec_stats
-        leaked = (rt._executor.inflight_attempts
-                  if rt._executor is not None else 0)
+        ex = rt._executor
+        leaked = ex.inflight_attempts if ex is not None else 0
+        shm_prefix = (ex.store.prefix
+                      if ex is not None and hasattr(ex, "store") else None)
         graph = rt.graph
         rt.close()
-        return res, wall, log, stats, leaked, graph
+        leaked_shm = 0
+        if shm_prefix is not None:
+            from .runtime.distributed import scan_segments
 
-    sink = TimelineSink() if threads else None
-    res, wall, log, stats, leaked, rt_graph = run_once(workers, sink,
-                                                       live=True)
+            leaked_shm = len(scan_segments(shm_prefix))
+        return res, wall, log, stats, leaked, leaked_shm, graph
+
+    sink = TimelineSink() if parallel else None
+    res, wall, log, stats, leaked, leaked_shm, rt_graph = \
+        run_once(workers, sink, live=True)
     u = res.u.to_array()
     h = res.h.to_array()
     rep = polar_report(a, u, h)
 
-    print(f"backend={backend} workers={workers if threads else 1} "
+    print(f"backend={backend} workers={workers if parallel else 1} "
           f"nb={args.nb} n={a.shape[1]} "
           f"iterations={res.iterations} "
           f"({res.it_qr} QR + {res.it_chol} Cholesky)"
@@ -214,17 +225,25 @@ def _polar_tiled(args: argparse.Namespace, a: np.ndarray) -> int:
             line += f" | peak rss {stats.peak_rss_bytes / 2**20:.0f} MiB"
         line += f" | in-flight after close {leaked}"
         print(line)
+        if stats.comm_messages:
+            print(f"comm: {stats.comm_messages} messages | "
+                  f"{stats.comm_bytes / 2**20:.1f} MiB on the wire | "
+                  f"leaked shm segments {leaked_shm}")
         print(recovery_report(stats.recovery), end="")
         if leaked:
             print(f"WARNING: {leaked} attempt(s) still in flight "
                   f"after close")
+        if leaked_shm:
+            print(f"WARNING: {leaked_shm} shared-memory segment(s) "
+                  f"leaked after close")
     if log is not None:
         print(log.table(), end="")
 
     if getattr(args, "critical_path", False):
-        if not (threads and sink is not None and len(sink)):
+        if not (parallel and sink is not None and len(sink)):
             raise SystemExit("--critical-path requires --backend threads "
-                             "(it analyzes the measured task timeline)")
+                             "or processes (it analyzes the measured "
+                             "task timeline)")
         from .obs.critical_path import critical_path, occupancy
 
         cp = critical_path(rt_graph, sink.tasks)
@@ -235,17 +254,17 @@ def _polar_tiled(args: argparse.Namespace, a: np.ndarray) -> int:
                   f"idle {lane.idle_seconds:.3f} s | "
                   f"utilization {lane.utilization:.2f}")
 
-    if threads and workers > 1 and not args.no_baseline:
+    if parallel and workers > 1 and not args.no_baseline:
         from .perf.report import parallel_efficiency
 
-        _, wall1, _, _, _, _ = run_once(1)
+        _, wall1, _, _, _, _, _ = run_once(1)
         eff = parallel_efficiency({1: wall1, workers: wall})
         print(f"baseline workers=1: {wall1:.3f} s | speedup "
               f"{wall1 / wall if wall else float('inf'):.2f}x | "
               f"parallel efficiency {eff[workers]:.2f}")
 
     trace_path = args.chrome_trace
-    if threads and trace_path is None:
+    if parallel and trace_path is None:
         trace_path = "polar_measured_trace.json"
     if trace_path and sink is not None and len(sink):
         from .obs.export import write_chrome_trace
@@ -261,7 +280,7 @@ def _polar_tiled(args: argparse.Namespace, a: np.ndarray) -> int:
         reg.counter("polar.iterations").inc(res.iterations)
         reg.gauge("polar.orthogonality").set(rep.orthogonality)
         reg.gauge("polar.backward_error").set(rep.backward)
-        if threads:
+        if parallel:
             reg.gauge("polar.wall_seconds").set(wall)
         _dump_metrics(args.metrics_json)
     if args.output:
@@ -282,11 +301,11 @@ def cmd_polar(args: argparse.Namespace) -> int:
         return _polar_tiled(args, a)
     if args.workers is not None:
         raise SystemExit("--workers is only meaningful with "
-                         "--backend threads")
+                         "--backend threads or processes")
     if args.fault_plan or args.retries is not None \
             or args.task_timeout is not None:
         raise SystemExit("--fault-plan/--retries/--task-timeout require "
-                         "--backend threads")
+                         "--backend threads or processes")
     if args.iter_log and args.method != "qdwh":
         raise SystemExit("--iter-log requires --method qdwh")
     log = IterationLog() if args.iter_log else None
@@ -399,13 +418,16 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _faults_live(args: argparse.Namespace) -> int:
-    """``repro faults --live``: seeded live-fault smoke on real threads.
+    """``repro faults --live``: seeded live-fault smoke on real workers.
 
-    Runs a fault-injected tiled QDWH on the threaded backend next to a
-    fault-free baseline and gates the exit code on three invariants:
-    the faulty run converges, its backward error stays within the
-    condition-scaled tolerance, and the executor leaks no in-flight
-    attempts after close.
+    Runs a fault-injected tiled QDWH on the threads or processes
+    backend next to a fault-free baseline and gates the exit code on
+    the same invariants CI uses: the faulty run converges, its backward
+    error stays within the condition-scaled tolerance, the executor
+    leaks no in-flight attempts after close, and (processes) no
+    shared-memory segments survive teardown.  On the processes backend
+    rank crashes are real: the target worker is SIGKILLed and its
+    in-flight work replayed onto the survivors.
     """
     import math
 
@@ -419,16 +441,26 @@ def _faults_live(args: argparse.Namespace) -> int:
     from .resilience.live import RecoveryPolicy
     from .runtime import Runtime
 
-    plan = _fault_plan_from_args(args, 1, 0.0)
+    backend = args.backend
+    processes = backend == "processes"
+    plan = _fault_plan_from_args(args, max(1, args.workers), 0.0)
     if plan is None:
-        # Default smoke plan: transients + stalls + one corruption.
-        plan = plan_from_spec(seed=args.fault_seed, transient_p=0.1,
-                              max_attempts=4, stall_p=0.05,
-                              stall_seconds=0.05, corrupt_p=0.02)
-    if plan.crashes:
-        raise SystemExit("--live injects faults into real worker "
-                         "threads; rank crashes are simulator-only "
-                         "(drop --crash/--mttf)")
+        if processes:
+            # Default smoke plan: one real worker SIGKILL mid-run plus
+            # a light transient/stall background.
+            plan = plan_from_spec(seed=args.fault_seed,
+                                  crash=("1@0.05",), transient_p=0.05,
+                                  max_attempts=4, stall_p=0.02,
+                                  stall_seconds=0.02)
+        else:
+            # Default smoke plan: transients + stalls + one corruption.
+            plan = plan_from_spec(seed=args.fault_seed, transient_p=0.1,
+                                  max_attempts=4, stall_p=0.05,
+                                  stall_seconds=0.05, corrupt_p=0.02)
+    if plan.crashes and not processes:
+        raise SystemExit("rank crashes need --backend processes, where "
+                         "a crash SIGKILLs a real worker; threads "
+                         "cannot lose a worker (drop --crash/--mttf)")
     pol = RecoveryPolicy(
         max_retries=args.retries if args.retries is not None else 3,
         task_timeout=args.task_timeout,
@@ -438,12 +470,19 @@ def _faults_live(args: argparse.Namespace) -> int:
     sink = TimelineSink()
     rt = Runtime(ProcessGrid(1, 1), faults=plan, recovery=pol, sink=sink)
     d = DistMatrix.from_array(rt, a, args.live_nb, name="A")
-    res = tiled_qdwh(rt, d, backend="threads", workers=args.workers)
+    res = tiled_qdwh(rt, d, backend=backend, workers=args.workers)
     rep = polar_report(a, d.to_array(), res.h.to_array())
     stats = rt.exec_stats
-    leaked = (rt._executor.inflight_attempts
-              if rt._executor is not None else 0)
+    ex = rt._executor
+    leaked = ex.inflight_attempts if ex is not None else 0
+    shm_prefix = (ex.store.prefix
+                  if ex is not None and hasattr(ex, "store") else None)
     rt.close()
+    leaked_shm = 0
+    if shm_prefix is not None:
+        from .runtime.distributed import scan_segments
+
+        leaked_shm = len(scan_segments(shm_prefix))
 
     rt0 = Runtime(ProcessGrid(1, 1))
     d0 = DistMatrix.from_array(rt0, a, args.live_nb, name="A")
@@ -454,16 +493,19 @@ def _faults_live(args: argparse.Namespace) -> int:
     eps = float(np.finfo(a.dtype).eps)
     tol = max(1e3 * eps, 100.0 * eps * math.sqrt(args.cond),
               10.0 * rep0.backward)
-    ok = res.converged and leaked == 0 and rep.backward <= tol
-    print(f"live fault smoke: n={args.live_n} nb={args.live_nb} "
-          f"cond={args.cond:g} workers={args.workers} "
-          f"seed={args.fault_seed}")
+    ok = (res.converged and leaked == 0 and leaked_shm == 0
+          and rep.backward <= tol)
+    print(f"live fault smoke: backend={backend} n={args.live_n} "
+          f"nb={args.live_nb} cond={args.cond:g} "
+          f"workers={args.workers} seed={args.fault_seed}")
     print(f"  faulty:     converged={res.converged} "
           f"iterations={res.iterations} backward={rep.backward:.3e}"
           + (" [degraded to dense]" if res.degraded else ""))
     print(f"  fault-free: converged={res0.converged} "
           f"iterations={res0.iterations} backward={rep0.backward:.3e}")
-    print(f"  gate: backward <= {tol:.3e}, leaked attempts = {leaked}")
+    print(f"  gate: backward <= {tol:.3e}, leaked attempts = {leaked}"
+          + (f", leaked shm segments = {leaked_shm}" if processes
+             else ""))
     for msg in res.health_log:
         print(f"  health: {msg}")
     if stats is not None:
@@ -715,13 +757,15 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["qdwh", "svd", "newton", "newton_scaled",
                             "dwh", "zolo"])
     p.add_argument("--backend", default="dense",
-                   choices=["dense", "eager", "threads"],
+                   choices=["dense", "eager", "threads", "processes"],
                    help="dense: the reference dense driver (default); "
                         "eager: tiled QDWH with eager task execution; "
                         "threads: tiled QDWH replayed on a thread pool "
-                        "with measured timestamps")
+                        "with measured timestamps; processes: replayed "
+                        "on forked worker processes with shared-memory "
+                        "tiles")
     p.add_argument("--workers", type=int, default=None,
-                   help="thread count for --backend threads "
+                   help="worker count for --backend threads/processes "
                         "(default: one per core)")
     p.add_argument("--nb", type=int, default=128,
                    help="tile size for the tiled backends (default 128)")
@@ -738,16 +782,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="RNG seed for --generate (default 0)")
     p.add_argument("--chrome-trace", default=None, metavar="PATH",
                    help="write the measured chrome://tracing JSON here "
-                        "(threads backend; default "
+                        "(threads/processes backends; default "
                         "polar_measured_trace.json)")
     p.add_argument("--no-baseline", action="store_true",
-                   help="skip the workers=1 baseline run (threads "
-                        "backend normally reports speedup and parallel "
+                   help="skip the workers=1 baseline run (the parallel "
+                        "backends normally report speedup and parallel "
                         "efficiency against it)")
     p.add_argument("--critical-path", action="store_true",
-                   help="threads backend: print the executed critical "
-                        "chain (per-kind contribution, wait causes) and "
-                        "per-worker-lane occupancy")
+                   help="threads/processes backends: print the executed "
+                        "critical chain (per-kind contribution, wait "
+                        "causes) and per-worker-lane occupancy")
     p.add_argument("--output", help="save factors to this .npz path")
     p.add_argument("--iter-log", action="store_true",
                    help="print the per-iteration QDWH telemetry table")
@@ -758,19 +802,21 @@ def build_parser() -> argparse.ArgumentParser:
                         "directory resumes mid-iteration and returns "
                         "identical factors")
     p.add_argument("--fault-plan", default=None, metavar="PLAN.json",
-                   help="threads backend: inject this FaultPlan's live "
-                        "faults (transients, worker stalls, tile "
-                        "corruption) into the worker pool "
+                   help="threads/processes backends: inject this "
+                        "FaultPlan's live faults (transients, worker "
+                        "stalls, tile corruption; rank crashes on the "
+                        "processes backend) into the worker pool "
                         "(see repro faults --emit-plan)")
     p.add_argument("--retries", type=int, default=None, metavar="N",
-                   help="threads backend: per-task retry budget for "
-                        "transient failures (default 2 when recovery "
-                        "is active)")
+                   help="threads/processes backends: per-task retry "
+                        "budget for transient failures (default 2 when "
+                        "recovery is active)")
     p.add_argument("--task-timeout", type=float, default=None,
                    metavar="SECONDS",
-                   help="threads backend: wall-clock seconds before a "
-                        "running attempt is flagged timed out and a "
-                        "backup may be launched")
+                   help="threads/processes backends: wall-clock seconds "
+                        "before a running attempt is flagged timed out "
+                        "and a backup may be launched (processes: the "
+                        "worker is killed and its tasks replayed)")
     p.add_argument("--checkpoint-every", type=int, default=1,
                    help="checkpoint every k-th iteration (default 1)")
     p.add_argument("--max-iter", type=int, default=None,
@@ -859,16 +905,22 @@ def build_parser() -> argparse.ArgumentParser:
                    help="live tile-corruption probability per task "
                         "(one NaN event budget)")
     p.add_argument("--live", action="store_true",
-                   help="run the fault plan inside a real threaded QDWH "
+                   help="run the fault plan inside a real parallel QDWH "
                         "(n=--live-n) instead of the simulator, and "
                         "gate the exit code on convergence, backward "
-                        "error, and zero leaked attempts")
+                        "error, zero leaked attempts, and (processes) "
+                        "zero leaked shared-memory segments")
+    p.add_argument("--backend", default="threads",
+                   choices=["threads", "processes"],
+                   help="worker pool for --live (default threads; "
+                        "processes SIGKILLs real workers for rank "
+                        "crashes)")
     p.add_argument("--live-n", type=int, default=256,
                    help="matrix size for --live (default 256)")
     p.add_argument("--live-nb", type=int, default=64,
                    help="tile size for --live (default 64)")
     p.add_argument("--workers", type=int, default=4,
-                   help="thread count for --live (default 4)")
+                   help="worker count for --live (default 4)")
     p.add_argument("--retries", type=int, default=None,
                    help="per-task retry budget for --live (default 3)")
     p.add_argument("--task-timeout", type=float, default=None,

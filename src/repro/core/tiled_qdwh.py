@@ -243,7 +243,7 @@ def _chol_iteration(rt: Runtime, a: DistMatrix, wa: float, wb: float,
 
 
 #: Execution backends for numeric tiled runs.
-BACKENDS = ("eager", "threads")
+BACKENDS = ("eager", "threads", "processes")
 
 
 def tiled_qdwh(rt: Runtime, a: DistMatrix, *,
@@ -270,11 +270,17 @@ def tiled_qdwh(rt: Runtime, a: DistMatrix, *,
         earlier releases.  ``"threads"`` switches the runtime to
         deferred recording and executes the DAG on a
         :class:`repro.runtime.parallel.ParallelExecutor` thread pool
-        (real concurrency; numeric mode only).  A runtime constructed
-        with ``deferred=True`` already uses the threaded backend.
+        (real concurrency; numeric mode only).  ``"processes"``
+        executes the DAG on a
+        :class:`repro.runtime.distributed.ProcessExecutor` — forked
+        worker processes scheduled centrally, with tiles in shared
+        memory (GIL-free parallelism).  A runtime constructed with
+        ``deferred=True`` already uses its configured deferred
+        backend.
     workers:
-        Thread count for ``backend="threads"`` (default: one per
-        core).  ``workers=1`` is bit-identical to eager execution.
+        Worker count for ``backend="threads"`` / ``"processes"``
+        (default: one per core).  ``workers=1`` is bit-identical to
+        eager execution on either backend.
     cond_est:
         Known condition estimate.  Optional in numeric mode (the tiled
         QR + trcondest stage runs otherwise); **required** in symbolic
@@ -327,10 +333,11 @@ def tiled_qdwh(rt: Runtime, a: DistMatrix, *,
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; expected one of "
                          f"{BACKENDS}")
-    if backend == "threads":
+    if backend in ("threads", "processes"):
         if not rt.numeric:
-            raise ValueError("backend='threads' requires a numeric runtime")
-        rt.enable_deferred(workers=workers)
+            raise ValueError(
+                f"backend={backend!r} requires a numeric runtime")
+        rt.enable_deferred(workers=workers, backend=backend)
     dt = a.dtype
     if n == 0:
         # Empty problem: no tasks, no iterations — the trace/simulate

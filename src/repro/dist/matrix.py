@@ -151,6 +151,14 @@ class DistMatrix:
         key = (i, j)
         t = self._tiles.get(key)
         if t is None:
+            if getattr(rt, "_worker_mode", False):
+                # Worker processes see only the shared-memory tiles the
+                # parent materialised for the window's declared
+                # footprints; allocating here would write child-local
+                # memory and silently diverge from the parent.
+                raise RuntimeError(
+                    f"tile ({i},{j}) of matrix {self.mat_id} is not "
+                    "materialised in this worker — undeclared access?")
             t = np.zeros((self.tile_rows(i), self.tile_cols(j)),
                          dtype=self.dtype)
             self._tiles[key] = t
@@ -170,6 +178,12 @@ class DistMatrix:
         # Always copy: a contiguous slice of a caller's array would
         # otherwise be stored as a view, and in-place tile updates
         # would silently mutate the caller's data.
+        cur = self._tiles.get((i, j))
+        if cur is not None and getattr(self.rt, "_worker_mode", False):
+            # In a worker process the existing array is a shared-memory
+            # mapping; replacing it would make the write child-local.
+            cur[...] = data
+            return
         self._tiles[(i, j)] = np.array(data, dtype=self.dtype, copy=True,
                                        order="C")
 

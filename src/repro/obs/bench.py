@@ -3,12 +3,13 @@
 The paper's claims are performance *trajectories* — makespan, strong
 scaling, parallel efficiency across sizes/dtypes/condition numbers —
 so this repo records its own: a fixed suite of measured QDWH runs
-(sizes x dtypes x kappa x backends {eager, threads} x workers, plus a
-canonical-fault-plan recovery-overhead cell) whose results land in
-schema-versioned ``BENCH_qdwh.json`` / ``BENCH_scaling.json`` at the
-repo root.  Every future speed claim (Zolo-PD, mixed precision, the
-process backend) lands with its delta against these files, and CI
-gates on :func:`compare_bench` so regressions cannot merge silently.
+(sizes x dtypes x kappa x backends {eager, threads, processes} x
+workers, plus canonical-fault-plan recovery-overhead cells) whose
+results land in schema-versioned ``BENCH_qdwh.json`` /
+``BENCH_scaling.json`` at the repo root.  Every future speed claim
+(Zolo-PD, mixed precision, GPU offload) lands with its delta against
+these files, and CI gates on :func:`compare_bench` so regressions
+cannot merge silently.
 
 Design notes:
 
@@ -69,7 +70,7 @@ class BenchCell:
     nb: int
     dtype: str
     cond: float
-    backend: str            # "eager" | "threads"
+    backend: str            # "eager" | "threads" | "processes"
     workers: int
     #: Recovery-overhead cell: run under the canonical fault plan and
     #: report the overhead vs the matching fault-free cell.
@@ -102,10 +103,11 @@ class BenchSuite:
 def _smoke_cells() -> List[BenchCell]:
     """The CI-sized subset: one small problem across the backends."""
     cells = [BenchCell(96, 32, "float64", 1e4, "eager", 1)]
-    for w in (1, 2, 4):
-        cells.append(BenchCell(96, 32, "float64", 1e4, "threads", w))
-    cells.append(BenchCell(96, 32, "float64", 1e4, "threads", 4,
-                           fault_cell=True))
+    for backend in ("threads", "processes"):
+        for w in (1, 2, 4):
+            cells.append(BenchCell(96, 32, "float64", 1e4, backend, w))
+        cells.append(BenchCell(96, 32, "float64", 1e4, backend, 4,
+                               fault_cell=True))
     return cells
 
 
@@ -126,10 +128,13 @@ def default_suite(repeats: int = 3, seed: int = 0) -> BenchSuite:
         for dtype, cond in (("float64", 1e4), ("float64", 1e16),
                             ("float32", 1e4)):
             cells.append(BenchCell(n, nb, dtype, cond, "eager", 1))
-            for w in (1, 2, 4):
-                cells.append(BenchCell(n, nb, dtype, cond, "threads", w))
-    cells.append(BenchCell(256, 64, "float64", 1e4, "threads", 4,
-                           fault_cell=True))
+            for backend in ("threads", "processes"):
+                for w in (1, 2, 4):
+                    cells.append(BenchCell(n, nb, dtype, cond,
+                                           backend, w))
+    for backend in ("threads", "processes"):
+        cells.append(BenchCell(256, 64, "float64", 1e4, backend, 4,
+                               fault_cell=True))
     return BenchSuite("default", cells, repeats=repeats, seed=seed)
 
 
@@ -241,8 +246,8 @@ def _run_once(cell: BenchCell, seed: int, sink=None):
         from ..resilience.live import RecoveryPolicy
         faults = canonical_fault_plan(seed)
         recovery = RecoveryPolicy(max_retries=3, scrub_writes=True)
-    threads = cell.backend == "threads"
-    rt = Runtime(ProcessGrid(1, 1), deferred=threads,
+    parallel = cell.backend in ("threads", "processes")
+    rt = Runtime(ProcessGrid(1, 1), deferred=parallel,
                  workers=cell.workers, sink=sink, sanitize=None,
                  faults=faults, recovery=recovery)
     d = DistMatrix.from_array(rt, a, cell.nb, name="A")
@@ -277,7 +282,8 @@ def _measure_cell(cell: BenchCell, suite: BenchSuite,
     leaked = 0
     for rep in range(suite.repeats):
         last = rep == suite.repeats - 1
-        sink = TimelineSink() if (last and cell.backend == "threads") \
+        sink = TimelineSink() \
+            if (last and cell.backend in ("threads", "processes")) \
             else None
         wall, res, stats, leaked, graph = _run_once(
             cell, suite.seed, sink=sink)
@@ -306,6 +312,9 @@ def _measure_cell(cell: BenchCell, suite: BenchSuite,
                            sorted(stats.per_kind_seconds.items())},
             "inflight_attempts": leaked,
         })
+        if stats.comm_messages:
+            rec["comm_messages"] = stats.comm_messages
+            rec["comm_bytes"] = stats.comm_bytes
         r = stats.recovery
         if cell.fault_cell:
             rec["recovery"] = {
@@ -380,7 +389,12 @@ def run_suite(suite: BenchSuite,
 
 def _scaling_series(cells: Dict[str, Dict[str, object]]
                     ) -> List[Dict[str, object]]:
-    """Speedup/efficiency per (n, nb, dtype, cond) from threads cells."""
+    """Speedup/efficiency per (n, nb, dtype, cond, backend).
+
+    One row per parallel backend, so threads and processes efficiency
+    for the same problem sit side by side (adjacent rows in the sorted
+    series) against the shared eager baseline.
+    """
     from ..perf.report import parallel_efficiency
 
     groups: Dict[Tuple, Dict[int, float]] = {}
@@ -389,8 +403,9 @@ def _scaling_series(cells: Dict[str, Dict[str, object]]
         if rec["fault_cell"]:
             continue
         g = (rec["n"], rec["nb"], rec["dtype"], rec["cond"])
-        if rec["backend"] == "threads":
-            groups.setdefault(g, {})[rec["workers"]] = rec["makespan_s"]
+        if rec["backend"] in ("threads", "processes"):
+            groups.setdefault(g + (rec["backend"],), {})[
+                rec["workers"]] = rec["makespan_s"]
         elif rec["backend"] == "eager":
             eager[g] = rec["makespan_s"]
     series: List[Dict[str, object]] = []
@@ -400,6 +415,7 @@ def _scaling_series(cells: Dict[str, Dict[str, object]]
         base = walls.get(1, walls[min(walls)])
         row: Dict[str, object] = {
             "n": g[0], "nb": g[1], "dtype": g[2], "cond": g[3],
+            "backend": g[4],
             "walls_s": {str(w): round(t, 6)
                         for w, t in sorted(walls.items())},
             "speedup": {str(w): round(base / t, 6) if t > 0.0 else 0.0
@@ -407,8 +423,8 @@ def _scaling_series(cells: Dict[str, Dict[str, object]]
             "efficiency": {str(w): round(e, 6)
                            for w, e in sorted(eff.items())},
         }
-        if g in eager:
-            row["eager_s"] = eager[g]
+        if g[:4] in eager:
+            row["eager_s"] = eager[g[:4]]
         series.append(row)
     return series
 

@@ -16,6 +16,9 @@ The pieces map onto what SLATE gets from OpenMP + MPI:
 * :mod:`.parallel` — *real* threaded replay of a recorded DAG on a
   thread pool (NumPy/BLAS kernels release the GIL), with measured
   timestamps and execution-time ordering assertions.
+* :mod:`.distributed` — multi-process replay: a central dynamic
+  scheduler dispatching to forked workers over a pluggable comm layer,
+  with tiles in shared memory (zero-copy) and crash recovery.
 * :mod:`.trace` — per-kernel/per-rank breakdowns of a simulated run.
 """
 
@@ -23,6 +26,8 @@ from .task import Task, TaskKind, DEVICE_ELIGIBLE
 from .graph import GraphValidationError, TaskGraph
 from .executor import Runtime
 from .parallel import ExecutionStats, OrderingViolationError, ParallelExecutor
+from .distributed import (ProcessExecutor, SharedTileStore,
+                          WorkerCrashError)
 from .scheduler import ScheduleResult, simulate
 from .trace import kernel_breakdown, rank_utilization, critical_path_kinds
 
@@ -34,6 +39,9 @@ __all__ = [
     "GraphValidationError",
     "Runtime",
     "ParallelExecutor",
+    "ProcessExecutor",
+    "SharedTileStore",
+    "WorkerCrashError",
     "ExecutionStats",
     "OrderingViolationError",
     "ScheduleResult",

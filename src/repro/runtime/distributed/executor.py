@@ -1,0 +1,799 @@
+"""Multi-process executor: central scheduler + forked worker pool.
+
+``ProcessExecutor`` replays recorded task windows on real OS
+processes, sidestepping the GIL that bounds the threaded backend on
+dispatch-heavy, small-tile graphs.  The execution model:
+
+* **Fork per window.**  Payload closures capture driver objects and
+  cannot be pickled, so nothing is shipped: workers are forked at the
+  start of each execution window and inherit the graph, the payload
+  table and every shared-memory tile mapping copy-on-write.  Dispatch
+  messages carry a tid, an attempt number and (rarely) a few side-store
+  entries — a few hundred bytes per task.
+* **Shared-memory tiles.**  Before forking, the parent pins every tile
+  in the window's declared footprints into a :class:`SharedTileStore`
+  segment; worker writes land directly in the parent's mapping
+  (zero-copy), so there is no gather step and no result payload.
+* **Central dynamic scheduling.**  A :class:`DynamicScheduler` tracks
+  dependency counts and hands ready tasks to workers event-driven,
+  with locality-aware placement and steal-on-idle
+  (see :mod:`.scheduling`).
+* **Driver tasks.**  Tasks whose footprint touches driver-local state
+  (scalar reduction boxes, gather buffers) run inline in the parent —
+  the same split SLATE uses to keep latency-bound scalar work off the
+  accelerator path.  Everything tile-to-tile goes to workers.
+* **Crash recovery.**  A worker death (SIGKILL, injected
+  ``RankCrash``, or a task-timeout kill) is detected as comm EOF; the
+  parent restores pre-dispatch snapshots of the victim's in-flight
+  write tiles and replays them onto survivors — the PR 5 lineage
+  recovery loop, driven by the same :class:`RecoveryPolicy` /
+  :class:`RecoveryStats` machinery as the threaded backend.  The
+  shared-memory registry lives only in the parent, so no worker death
+  can leak or tear down a segment.
+
+The public surface mirrors :class:`ParallelExecutor` exactly
+(``run``/``close``/``abandon_window``/``stats``/``inflight_attempts``)
+so ``Runtime.sync`` drives either backend unchanged.
+"""
+
+from __future__ import annotations
+
+import heapq
+import multiprocessing
+import os
+import queue
+import signal
+import threading
+import time
+from time import perf_counter
+from typing import Callable, Dict, List, NamedTuple, Optional, Set, Tuple
+
+from ..graph import TaskGraph
+from ..parallel import (ExecutionStats, _peak_rss_bytes, default_workers)
+from ..task import Task, TaskKind, TileRef
+from .comm import CommError, Listener, listen
+from .scheduling import DynamicScheduler
+from .shm import SharedTileStore
+from .worker import (SideEntry, retryable_exception, worker_main, _run_one)
+from ...comm.counters import CommCounters
+
+__all__ = ["ProcessExecutor", "SideStore", "WorkerCrashError"]
+
+
+class SideStore(NamedTuple):
+    """Driver-held dict state addressed through pseudo-tile refs."""
+
+    mapping: dict
+    key_of: Callable[[TileRef], object]
+
+
+class WorkerCrashError(RuntimeError):
+    """A worker process died and recovery was off (or exhausted)."""
+
+
+class _Worker:
+    """Parent-side handle of one forked worker process."""
+
+    __slots__ = ("wid", "lane", "proc", "comm", "pid", "clock_offset",
+                 "reader", "shipped", "kill_reason")
+
+    def __init__(self, wid: int, proc, comm, pid: int,
+                 clock_offset: float, lane: int = 0):
+        self.wid = wid
+        #: Stable timeline slot (0..workers-1).  wids grow monotonically
+        #: across windows/respawns; lanes are what occupancy reports
+        #: and Chrome traces group by.
+        self.lane = lane
+        self.proc = proc
+        self.comm = comm
+        self.pid = pid
+        self.clock_offset = clock_offset
+        self.reader: Optional[threading.Thread] = None
+        #: Side-entry refs already shipped to this worker (dedup).
+        self.shipped: Set[TileRef] = set()
+        #: Set when the parent killed it on purpose (timeout/injected).
+        self.kill_reason: Optional[str] = None
+
+
+class ProcessExecutor:
+    """Replay a recorded task graph on forked worker processes."""
+
+    def __init__(self, rt, *, workers: Optional[int] = None,
+                 sink=None, validate: bool = True,
+                 recovery=None, injector=None, tiles=None,
+                 pipeline_depth: int = 2) -> None:
+        self.rt = rt
+        self.graph: TaskGraph = rt.graph
+        self.fns: Dict[int, Callable[[], None]] = rt._pending_fns
+        self.workers = max(1, int(workers) if workers
+                           else default_workers())
+        self.sink = sink
+        self.validate = validate
+        self.sanitizer = rt.sanitizer
+        if injector is not None and not injector.active:
+            injector = None
+        if recovery is None and injector is not None:
+            from ...resilience.live import RecoveryPolicy
+            recovery = RecoveryPolicy(
+                scrub_writes=bool(injector.plan.corruptions))
+        self.recovery_policy = recovery
+        self.injector = injector
+        self.tiles = tiles
+        self._recover = recovery is not None
+        if self._recover and tiles is None:
+            from ...resilience.live import TileAccessor
+            self.tiles = tiles = TileAccessor(rt._matrices)
+        self.stats = ExecutionStats(workers=self.workers)
+        self.comm_counters = CommCounters()
+        self.store = SharedTileStore()
+        if validate:
+            self.graph.validate()
+        #: Injected crashes (live): fired once each, by time since the
+        #: executor epoch, against ``rank % nworkers``.  Read from the
+        #: runtime's plan directly — a crash-only plan has no live
+        #: in-payload faults, so its injector reports inactive.
+        plan = rt.fault_plan
+        self._crashes = sorted(plan.crashes, key=lambda c: c.time) \
+            if plan is not None else []
+        if self._crashes and not self._recover:
+            from ...resilience.live import RecoveryPolicy
+            self.recovery_policy = RecoveryPolicy()
+            self._recover = True
+            if self.tiles is None:
+                from ...resilience.live import TileAccessor
+                self.tiles = TileAccessor(rt._matrices)
+        self._crash_idx = 0
+        #: Global side-entry registry: ref -> produced value.  Lives in
+        #: the parent, so it survives any worker death (replay re-ships
+        #: whatever a successor needs).
+        self._entries: Dict[TileRef, object] = {}
+        self._done: Dict[int, bool] = {}
+        self._floor = 0
+        self._prep_cursor = 0
+        self._window_tids: Set[int] = set()
+        self._epoch: Optional[float] = None
+        self._inflight = 0
+        self._pipeline = pipeline_depth
+        self._counters: Dict[TaskKind, object] = {}
+        self._listener: Optional[Listener] = None
+        self._pool: Dict[int, _Worker] = {}
+        self._next_wid = 0
+        self._events: "queue.Queue[Tuple[str, int, object]]" = queue.Queue()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def inflight_attempts(self) -> int:
+        """Dispatched-but-unreported attempts; zero after every
+        completed :meth:`run` — the no-leak invariant."""
+        return self._inflight
+
+    def close(self) -> None:
+        """Tear everything down: workers, comms, listener, and every
+        shared-memory segment.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self._shutdown_pool(force=True)
+        if self._listener is not None:
+            self._listener.close()
+            self._listener = None
+        self.store.close()
+        from ...obs.metrics import get_registry
+        self.comm_counters.publish(get_registry(), prefix="dist.comm")
+
+    def __enter__(self) -> "ProcessExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Window preparation
+    # ------------------------------------------------------------------
+
+    def _worker_ok(self, t: Task) -> bool:
+        """True when every ref the task touches is process-shared:
+        a registered DistMatrix tile (shared memory) or a registered
+        side store (shipped by value).  Anything else — scalar boxes,
+        gather buffers — pins the task to the driver."""
+        if self.fns.get(t.tid) is None:
+            return False
+        for ref in tuple(t.reads) + tuple(t.writes):
+            if ref[0] in self.rt._side_stores:
+                continue
+            if self.rt._matrices.get(ref[0]) is not None:
+                continue
+            return False
+        return True
+
+    def _materialize(self, start: int, end: int) -> None:
+        """Pin every matrix tile in the window's declared footprints
+        into shared memory (idempotent; migrates driver-replaced
+        tiles)."""
+        tasks = self.graph.tasks
+        for tid in range(start, end):
+            t = tasks[tid]
+            for ref in tuple(t.reads) + tuple(t.writes):
+                mat = self.rt._matrices.get(ref[0])
+                if mat is None:
+                    continue
+                _, i, j = ref
+                self.store.pin_tile(
+                    mat, i, j, (mat.tile_rows(i), mat.tile_cols(j)),
+                    mat.dtype)
+
+    def _account_external(self, upto: int) -> None:
+        for tid in range(self._floor, upto):
+            self._done[tid] = True
+        self._floor = max(self._floor, upto)
+
+    def abandon_window(self) -> None:
+        """Fold the failed window's unexecuted tasks into the done
+        table (payloads discarded) so algorithm-level recovery can
+        resubmit fresh work — mirrors
+        :meth:`ParallelExecutor.abandon_window`."""
+        if self._inflight:
+            raise RuntimeError(
+                f"abandon_window with {self._inflight} attempt(s) still "
+                "in flight; the failed run() must drain first")
+        for tid in self._window_tids:
+            self._done[tid] = True
+            self.fns.pop(tid, None)
+        self._window_tids = set()
+
+    # ------------------------------------------------------------------
+    # Worker pool
+    # ------------------------------------------------------------------
+
+    def _spawn_worker(self, start: int, end: int) -> _Worker:
+        assert self._listener is not None
+        wid = self._next_wid
+        self._next_wid += 1
+        scrub = bool(self.recovery_policy is not None
+                     and self.recovery_policy.scrub_writes)
+        # fds of live worker comms: a child forked now would inherit
+        # them and keep a dead sibling's socket half-open, masking its
+        # EOF — the worker closes them before connecting.
+        close_fds = [w.comm.fileno() for w in self._pool.values()
+                     if not w.comm.closed]
+        ctx = multiprocessing.get_context("fork")
+        proc = ctx.Process(
+            target=_worker_entry,
+            args=(wid, self._listener.address, self.rt, start, end,
+                  self.injector, scrub, close_fds),
+            daemon=True, name=f"repro-dist-w{wid}")
+        proc.start()
+        comm = self._listener.accept(timeout=15.0)
+        hello = comm.recv(timeout=15.0)
+        if not (isinstance(hello, dict) and hello.get("op") == "hello"):
+            comm.close()
+            raise CommError(f"bad hello from worker {wid}: {hello!r}")
+        offset = perf_counter() - float(hello["clock"])
+        used = {w.lane for w in self._pool.values()
+                if w.proc.is_alive() and w.kill_reason is None}
+        lane = next(i for i in range(len(self._pool) + 1)
+                    if i not in used)
+        w = _Worker(hello["wid"], proc, comm, int(hello["pid"]), offset,
+                    lane=lane)
+        self._pool[w.wid] = w
+        w.reader = threading.Thread(
+            target=self._reader, args=(w,), daemon=True,
+            name=f"repro-dist-r{w.wid}")
+        w.reader.start()
+        return w
+
+    def _spawn_pool(self, n: int, start: int, end: int) -> None:
+        lst = self._listener
+        if lst is None or getattr(lst, "_closed", False):
+            self._listener = lst = listen("tcp://127.0.0.1:0",
+                                          counters=self.comm_counters)
+        # Fork all children before accepting any connection: an
+        # accepted comm fd must never leak into a later fork (an
+        # inheriting sibling would mask the owner's death-EOF).
+        wids, procs = [], []
+        scrub = bool(self.recovery_policy is not None
+                     and self.recovery_policy.scrub_writes)
+        ctx = multiprocessing.get_context("fork")
+        for _ in range(n):
+            wid = self._next_wid
+            self._next_wid += 1
+            proc = ctx.Process(
+                target=_worker_entry,
+                args=(wid, lst.address, self.rt, start, end,
+                      self.injector, scrub, []),
+                daemon=True, name=f"repro-dist-w{wid}")
+            proc.start()
+            wids.append(wid)
+            procs.append(proc)
+        by_wid = dict(zip(wids, procs))
+        for _ in range(n):
+            comm = lst.accept(timeout=15.0)
+            hello = comm.recv(timeout=15.0)
+            if not (isinstance(hello, dict) and hello.get("op") == "hello"):
+                comm.close()
+                raise CommError(f"bad worker hello: {hello!r}")
+            wid = hello["wid"]
+            offset = perf_counter() - float(hello["clock"])
+            w = _Worker(wid, by_wid[wid], comm, int(hello["pid"]),
+                        offset, lane=wids.index(wid))
+            self._pool[wid] = w
+        for w in self._pool.values():
+            if w.reader is None:
+                w.reader = threading.Thread(
+                    target=self._reader, args=(w,), daemon=True,
+                    name=f"repro-dist-r{w.wid}")
+                w.reader.start()
+
+    def _reader(self, w: _Worker) -> None:
+        """Per-worker reader thread: streams replies into the event
+        queue; EOF (any cause) becomes a death event."""
+        while True:
+            try:
+                msg = w.comm.recv(timeout=None)
+            except CommError:
+                self._events.put(("eof", w.wid, None))
+                return
+            self._events.put(("msg", w.wid, msg))
+
+    def _shutdown_pool(self, force: bool = False) -> None:
+        for w in list(self._pool.values()):
+            if not w.comm.closed:
+                try:
+                    w.comm.send({"op": "shutdown"})
+                except CommError:
+                    pass
+        deadline = time.monotonic() + (0.1 if force else 5.0)
+        for w in list(self._pool.values()):
+            w.proc.join(timeout=max(0.0, deadline - time.monotonic()))
+            if w.proc.is_alive():
+                w.proc.kill()
+                w.proc.join(timeout=5.0)
+            w.comm.close()
+            if w.reader is not None:
+                w.reader.join(timeout=5.0)
+        self._pool.clear()
+        # Drain stale events from dead readers.
+        while True:
+            try:
+                self._events.get_nowait()
+            except queue.Empty:
+                break
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(self, start: int = 0, end: Optional[int] = None) -> float:
+        """Execute tasks ``[start, end)``; returns the window's wall
+        seconds.  Dependencies before ``start`` are satisfied."""
+        tasks = self.graph.tasks
+        if end is None:
+            end = len(tasks)
+        if self.validate:
+            self.graph.validate(end)
+        if start > self._floor:
+            self._account_external(start)
+        if end <= start:
+            return 0.0
+        self._floor = end
+        self._window_tids = set(range(start, end))
+
+        worker_ok = {t.tid: self._worker_ok(t)
+                     for t in tasks[start:end]}
+        self._materialize(start, end)
+
+        n_workers = min(self.workers,
+                        max(1, sum(1 for v in worker_ok.values() if v)))
+        need_pool = any(worker_ok.values())
+
+        t_wall0 = perf_counter()
+        if self._epoch is None:
+            self._epoch = t_wall0
+
+        sched = DynamicScheduler(tasks, start, end, worker_ok,
+                                 pipeline_depth=self._pipeline)
+        if need_pool:
+            self._spawn_pool(n_workers, start, end)
+            for wid in self._pool:
+                sched.add_worker(wid)
+
+        failure: Optional[BaseException] = None
+        try:
+            failure = self._drive(sched, start, end)
+        finally:
+            self._shutdown_pool(force=failure is not None)
+            self._window_tids = set() if failure is None \
+                else self._window_tids
+            for tid in list(self._done):
+                self._window_tids.discard(tid)
+
+        wall = perf_counter() - t_wall0
+        self.stats.wall_seconds += wall
+        self.stats.windows += 1
+        self.stats.peak_rss_bytes = max(self.stats.peak_rss_bytes,
+                                        _peak_rss_bytes())
+        self.stats.comm_messages = self.comm_counters.total_messages
+        self.stats.comm_bytes = self.comm_counters.total_bytes
+        if failure is not None:
+            raise failure
+        return wall
+
+    # -- dispatch loop -------------------------------------------------
+
+    def _drive(self, sched: DynamicScheduler, start: int,
+               end: int) -> Optional[BaseException]:
+        tasks = self.graph.tasks
+        pol = self.recovery_policy
+        rec = self.stats.recovery
+        poll = pol.poll_interval if pol is not None else 0.05
+        snapshots: Dict[int, object] = {}
+        retries: Dict[int, int] = {}
+        attempts: Dict[int, int] = {}
+        dispatch_t: Dict[int, float] = {}
+        #: (due, tid) retry backoff heap.
+        retry_at: List[Tuple[float, int]] = []
+        failure: Optional[BaseException] = None
+        crash_budget = 2 * self.workers + 2
+
+        def fault_event(kind: str, tid: int, detail: str,
+                        rank: int = 0) -> None:
+            if self.sink is None:
+                return
+            from ...obs.timeline import FaultEvent
+            self.sink.on_fault(FaultEvent(
+                kind=kind, time=perf_counter() - self._epoch, rank=rank,
+                tid=tid, detail=detail))
+
+        def snapshot_for(tid: int) -> None:
+            if (self._recover and self.tiles is not None
+                    and pol.max_retries > 0 and tid not in snapshots):
+                snapshots[tid] = self.tiles.snapshot(
+                    tasks[tid].writes)
+
+        def ship_side(w: _Worker, t: Task) -> List[SideEntry]:
+            out: List[SideEntry] = []
+            for ref in tuple(t.reads) + tuple(t.writes):
+                store = self.rt._side_stores.get(ref[0])
+                if store is None or ref in w.shipped:
+                    continue
+                if ref in self._entries:
+                    out.append((ref[0], store.key_of(ref),
+                                self._entries[ref]))
+                    w.shipped.add(ref)
+            return out
+
+        def dispatch(wid: int, tid: int) -> bool:
+            w = self._pool.get(wid)
+            if w is None or w.comm.closed:
+                return False
+            t = tasks[tid]
+            snapshot_for(tid)
+            a = attempts.get(tid, 0)
+            attempts[tid] = a + 1
+            try:
+                w.comm.send({"op": "task", "tid": tid, "attempt": a,
+                             "side": ship_side(w, t)})
+            except CommError:
+                # Death will surface as EOF; the scheduler keeps the
+                # tid in the dead worker's inflight set until then.
+                return False
+            self._inflight += 1
+            dispatch_t[tid] = perf_counter()
+            return True
+
+        completed = [0]
+
+        def complete(tid: int, wid: Optional[int], t0: float, t1: float,
+                     cpu: float, slot: str, counted: bool,
+                     side: List[SideEntry]) -> None:
+            t = tasks[tid]
+            self._done[tid] = True
+            completed[0] += 1
+            sched.on_done(tid, wid)
+            snapshots.pop(tid, None)
+            self.fns.pop(tid, None)
+            for mat_id, key, value in side or ():
+                store = self.rt._side_stores.get(mat_id)
+                if store is not None and key not in store.mapping:
+                    store.mapping[key] = value
+            for ref in t.writes:
+                if ref[0] in self.rt._side_stores \
+                        and ref not in self._entries:
+                    store = self.rt._side_stores[ref[0]]
+                    key = store.key_of(ref)
+                    if key in store.mapping:
+                        self._entries[ref] = store.mapping[key]
+            dur = t1 - t0
+            self.stats.tasks_run += 1
+            self.stats.busy_seconds += dur
+            kind = t.kind.value
+            self.stats.per_kind_seconds[kind] = (
+                self.stats.per_kind_seconds.get(kind, 0.0) + dur)
+            if cpu > 0.0:
+                self.stats.cpu_seconds += cpu
+                self.stats.per_kind_cpu_seconds[kind] = (
+                    self.stats.per_kind_cpu_seconds.get(kind, 0.0) + cpu)
+            if counted:
+                self._count(t.kind)
+            if self.sink is not None:
+                from ...obs.timeline import TaskEvent
+                self.sink.on_task(TaskEvent(
+                    tid=t.tid, kind=kind, rank=t.rank, slot=slot,
+                    phase=t.phase, flops=t.flops, start=t0, end=t1,
+                    duration=dur, label=t.label, measured=True,
+                    cpu=cpu))
+
+        def apply_events(tid: int, events, rank: int) -> None:
+            from ...obs.timeline import FAULT_CORRUPTION, FAULT_STALL
+            for kind, detail in events or ():
+                if kind == "stall":
+                    rec.injected_stalls += 1
+                    fault_event(FAULT_STALL, tid, detail, rank)
+                elif kind == "corruption":
+                    rec.corrupted_tiles += 1
+                    fault_event(FAULT_CORRUPTION, tid, detail, rank)
+
+        def fail(tid: int, exc: BaseException, retryable: bool,
+                 lost_s: float) -> Optional[BaseException]:
+            """Common failure path; returns the fatal exception, or
+            None when the task was scheduled for retry."""
+            from ...obs.timeline import FAULT_RETRY, FAULT_TRANSIENT
+            from ...resilience.live import InjectedTransientError
+            rec.reexecution_seconds += max(0.0, lost_s)
+            if isinstance(exc, InjectedTransientError):
+                rec.transient_failures += 1
+                fault_event(FAULT_TRANSIENT, tid, str(exc),
+                            tasks[tid].rank)
+            if (self._recover and retryable
+                    and retries.get(tid, 0) < pol.max_retries):
+                retries[tid] = retries.get(tid, 0) + 1
+                rec.retried_tasks += 1
+                snap = snapshots.get(tid)
+                if snap is not None:
+                    self.tiles.restore(snap)
+                due = perf_counter() + pol.backoff_seconds(
+                    self._plan_seed(), tid, retries[tid])
+                heapq.heappush(retry_at, (due, tid))
+                fault_event(FAULT_RETRY, tid,
+                            f"retry {retries[tid]}/{pol.max_retries} "
+                            f"after {type(exc).__name__}",
+                            tasks[tid].rank)
+                return None
+            return exc
+
+        def on_worker_death(wid: int) -> Optional[BaseException]:
+            from ...obs.timeline import FAULT_CRASH, FAULT_REPLAY
+            w = self._pool.get(wid)
+            queued, inflight = sched.remove_worker(wid)
+            # Only attempts that actually went over the wire count as
+            # revoked (a dispatch that failed at send never raised
+            # the in-flight counter).
+            for tid in inflight:
+                if dispatch_t.pop(tid, None) is not None:
+                    self._inflight -= 1
+            reason = w.kill_reason if w is not None else None
+            if w is not None:
+                w.comm.close()
+                w.proc.join(timeout=5.0)
+            if not queued and not inflight and reason is None \
+                    and sched.pending == 0:
+                return None  # clean exit race at window end
+            rec.crashes += 1
+            rec.dead_ranks = tuple(rec.dead_ranks) + (wid,)
+            rec.revoked_inflight += len(inflight)
+            fault_event(FAULT_CRASH, -1,
+                        f"worker {wid} died "
+                        f"({reason or 'unexpectedly'}); "
+                        f"{len(inflight)} in-flight, "
+                        f"{len(queued)} queued", rank=wid)
+            if not self._recover:
+                return WorkerCrashError(
+                    f"worker process {wid} died "
+                    f"({reason or 'unexpectedly'}) with "
+                    f"{len(inflight)} task(s) in flight and no "
+                    "recovery policy configured")
+            if rec.crashes > crash_budget:
+                return WorkerCrashError(
+                    f"giving up after {rec.crashes} worker crashes "
+                    f"(budget {crash_budget})")
+            for tid in inflight:
+                snap = snapshots.get(tid)
+                if snap is not None:
+                    self.tiles.restore(snap)
+                rec.replayed_tasks += 1
+                fault_event(FAULT_REPLAY, tid,
+                            f"replaying task {tid} lost to worker "
+                            f"{wid}", rank=wid)
+            sched.requeue(queued + inflight)
+            if not sched.alive_workers() and sched.pending > 0:
+                nw = self._spawn_worker(start, end)
+                sched.add_worker(nw.wid)
+            return None
+
+        def fire_crashes_and_timeouts() -> None:
+            now = perf_counter()
+            while (self._crash_idx < len(self._crashes)
+                   and now - self._epoch
+                   >= self._crashes[self._crash_idx].time):
+                c = self._crashes[self._crash_idx]
+                self._crash_idx += 1
+                alive = [w for w in self._pool.values()
+                         if w.proc.is_alive()
+                         and w.kill_reason is None]
+                if not alive:
+                    continue
+                victim = alive[c.rank % len(alive)]
+                victim.kill_reason = f"injected crash (rank {c.rank})"
+                os.kill(victim.pid, signal.SIGKILL)
+            if pol is not None and pol.task_timeout is not None:
+                for wid, w in list(self._pool.items()):
+                    if w.kill_reason is not None:
+                        continue
+                    ws = sched.workers.get(wid)
+                    if ws is None or not ws.alive:
+                        continue
+                    for tid in list(ws.inflight):
+                        t0 = dispatch_t.get(tid)
+                        if t0 is not None \
+                                and now - t0 > pol.task_timeout:
+                            from ...obs.timeline import FAULT_TIMEOUT
+                            rec.timeouts += 1
+                            w.kill_reason = (
+                                f"task {tid} exceeded "
+                                f"{pol.task_timeout}s timeout")
+                            fault_event(FAULT_TIMEOUT, tid,
+                                        w.kill_reason, rank=wid)
+                            os.kill(w.pid, signal.SIGKILL)
+                            break
+
+        n_window = end - start
+        stall_guard = 0
+
+        while True:
+            if failure is None and completed[0] >= n_window:
+                break
+            if failure is not None and self._inflight == 0:
+                break
+
+            progressed = False
+            if failure is None:
+                now = perf_counter()
+                while retry_at and retry_at[0][0] <= now:
+                    _, tid = heapq.heappop(retry_at)
+                    sched.requeue([tid])
+                    progressed = True
+                fire_crashes_and_timeouts()
+                for wid in list(self._pool):
+                    while True:
+                        tid = sched.next_for(wid)
+                        if tid is None:
+                            break
+                        if dispatch(wid, tid):
+                            progressed = True
+                dtid = sched.next_driver()
+                if dtid is not None:
+                    self._inflight += 1
+                    scrub = bool(pol is not None and pol.scrub_writes)
+                    a = attempts.get(dtid, 0)
+                    attempts[dtid] = a + 1
+                    snapshot_for(dtid)
+                    t_epoch = self._epoch
+                    w0 = perf_counter()
+                    reply = _run_one(
+                        self.rt, self.graph, self.fns, self.injector,
+                        self.tiles, self.sanitizer, scrub, dtid, a, [])
+                    self._inflight -= 1
+                    apply_events(dtid, reply.get("events"),
+                                 tasks[dtid].rank)
+                    if reply["op"] == "done":
+                        complete(dtid, None, reply["t0"] - t_epoch,
+                                 reply["t1"] - t_epoch, reply["cpu"],
+                                 "drv", reply["counted"],
+                                 reply.get("side") or [])
+                    else:
+                        failure = fail(dtid, reply["exc"],
+                                       reply["retryable"],
+                                       perf_counter() - w0)
+                    progressed = True
+
+            drained = False
+            while True:
+                try:
+                    kind_, wid, payload = self._events.get(
+                        block=not (progressed or drained),
+                        timeout=None if progressed or drained
+                        else self._wait_budget(retry_at, poll))
+                except queue.Empty:
+                    if (failure is None and not progressed
+                            and self._inflight == 0 and not retry_at):
+                        # Nothing out, nothing due, nothing dispatched
+                        # this pass: the bookkeeping wedged — fail
+                        # loudly instead of spinning forever.
+                        stall_guard += 1
+                        if stall_guard > 200:
+                            return RuntimeError(
+                                "process executor stalled with "
+                                f"{n_window - completed[0]} task(s) "
+                                "unfinished and none ready — "
+                                "dependency bookkeeping bug")
+                    else:
+                        stall_guard = 0
+                    break
+                drained = True
+                stall_guard = 0
+                if kind_ == "eof":
+                    err = on_worker_death(wid)
+                    if err is not None and failure is None:
+                        failure = err
+                    continue
+                msg = payload
+                op = msg.get("op")
+                tid = msg.get("tid")
+                if op not in ("done", "fail") or tid is None:
+                    continue
+                if self._done.get(tid) or tid not in dispatch_t:
+                    continue  # stale reply (revoked or duplicated)
+                w = self._pool.get(wid)
+                if w is None:
+                    continue
+                self._inflight -= 1
+                del dispatch_t[tid]
+                apply_events(tid, msg.get("events"), tasks[tid].rank)
+                if op == "done":
+                    off = w.clock_offset - self._epoch
+                    complete(tid, wid, msg["t0"] + off,
+                             msg["t1"] + off, msg["cpu"], f"w{w.lane}",
+                             msg.get("counted", True),
+                             msg.get("side") or [])
+                else:
+                    sched.workers[wid].inflight.discard(tid)
+                    err = fail(tid, msg["exc"],
+                               bool(msg.get("retryable")),
+                               msg["t1"] - msg["t0"])
+                    if err is not None and failure is None:
+                        failure = err
+                if not self._events.qsize():
+                    break
+        return failure
+
+    # -- helpers -------------------------------------------------------
+
+    def _wait_budget(self, retry_at, poll: float) -> float:
+        budget = poll
+        now = perf_counter()
+        if retry_at:
+            budget = min(budget, max(0.001, retry_at[0][0] - now))
+        if self._crash_idx < len(self._crashes) and self._epoch:
+            due = self._crashes[self._crash_idx].time \
+                - (now - self._epoch)
+            budget = min(budget, max(0.001, due))
+        return max(0.001, budget)
+
+    def _plan_seed(self) -> int:
+        return self.injector.plan.seed if self.injector is not None else 0
+
+    def _count(self, kind: TaskKind) -> None:
+        counter = self._counters.get(kind)
+        if counter is None:
+            from ...obs.metrics import get_registry
+            counter = get_registry().counter(
+                f"kernel.invocations.{kind.value}")
+            self._counters[kind] = counter
+        counter.inc()
+
+
+def _worker_entry(wid: int, address: str, rt, start: int, end: int,
+                  injector, scrub: bool, close_fds: List[int]) -> None:
+    """Child-process bootstrap: drop inherited sibling fds, then run
+    the worker loop (never returns)."""
+    for fd in close_fds:
+        try:
+            os.close(fd)
+        except OSError:
+            pass
+    worker_main(wid, address, rt, start, end, injector=injector,
+                scrub_writes=scrub)

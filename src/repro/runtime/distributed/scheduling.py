@@ -1,0 +1,206 @@
+"""Dynamic, event-driven task scheduling for the processes backend.
+
+The model is dask-style central scheduling: the parent holds the
+recorded :class:`~repro.runtime.graph.TaskGraph` for one execution
+window and hands *ready* tasks (dependency count reached zero) to
+workers as completions stream back.  Three policies live here:
+
+* **Dependency counting** — each task carries the number of
+  unfinished in-window predecessors; a completion decrements its
+  successors and readiness is O(out-degree), never a graph rescan.
+* **Locality-aware placement** — each worker tracks the set of tile
+  refs it has touched this window ("resident": warm in its cache).
+  A newly-ready task goes to the alive worker whose resident set
+  overlaps its reads most, with queue length as a penalty and the
+  lowest tid as the final tie-break (keeps replay deterministic).
+* **Steal-on-idle** — placement is a plan, not a commitment.  A
+  worker that drains its own queue steals from the *back* of the
+  longest queue (the victim's least-local work), so load imbalance
+  from skewed tile costs self-corrects.
+
+The scheduler is pure bookkeeping — it never touches comms, processes
+or tiles — which is what makes it unit-testable in isolation and
+reusable when a worker dies: :meth:`remove_worker` returns everything
+the dead worker held so the executor can snapshot-restore and replay
+onto survivors (PR 5 recovery loop).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..task import Task, TileRef
+
+__all__ = ["WorkerState", "DynamicScheduler"]
+
+
+class WorkerState:
+    """Scheduler-side view of one worker process."""
+
+    __slots__ = ("wid", "queue", "inflight", "resident", "alive",
+                 "tasks_done", "steals")
+
+    def __init__(self, wid: int):
+        self.wid = wid
+        #: Planned (assigned but not yet dispatched) tids, FIFO.
+        self.queue: Deque[int] = deque()
+        #: Dispatched, completion pending.
+        self.inflight: Set[int] = set()
+        #: Tile refs this worker has read or written this window.
+        self.resident: Set[TileRef] = set()
+        self.alive = True
+        self.tasks_done = 0
+        self.steals = 0
+
+    @property
+    def load(self) -> int:
+        return len(self.queue) + len(self.inflight)
+
+
+class DynamicScheduler:
+    """Ready-set bookkeeping for one ``[start, end)`` window.
+
+    ``worker_ok`` marks tasks eligible for worker processes; the rest
+    ("driver tasks": scalar reductions and other tasks touching
+    driver-local state) surface through :meth:`next_driver` and run
+    inline in the parent.
+    """
+
+    def __init__(self, tasks: Sequence[Task], start: int, end: int,
+                 worker_ok: Dict[int, bool],
+                 pipeline_depth: int = 2):
+        self.start = start
+        self.end = end
+        self.pipeline = max(1, pipeline_depth)
+        self.workers: Dict[int, WorkerState] = {}
+        self._worker_ok = worker_ok
+        #: tid -> number of unfinished in-window dependencies.
+        self.indeg: Dict[int, int] = {}
+        #: tid -> in-window successors.
+        self.succ: Dict[int, List[int]] = {}
+        self.done: Set[int] = set()
+        self._driver_ready: List[int] = []
+        self._pool: List[int] = []          # ready, unassigned (heap)
+        self._reads: Dict[int, Tuple[TileRef, ...]] = {}
+        for t in tasks[start:end]:
+            deps = [d for d in t.deps if start <= d < end]
+            self.indeg[t.tid] = len(deps)
+            for d in deps:
+                self.succ.setdefault(d, []).append(t.tid)
+            self._reads[t.tid] = tuple(t.reads) + tuple(t.writes)
+            if not deps:
+                self._make_ready(t.tid)
+
+    # -- workers ---------------------------------------------------------
+
+    def add_worker(self, wid: int) -> WorkerState:
+        ws = WorkerState(wid)
+        self.workers[wid] = ws
+        return ws
+
+    def remove_worker(self, wid: int) -> Tuple[List[int], List[int]]:
+        """Mark ``wid`` dead; returns ``(queued, inflight)`` — the tids
+        it held — for the executor to requeue or fail."""
+        ws = self.workers.get(wid)
+        if ws is None or not ws.alive:
+            return [], []
+        ws.alive = False
+        queued = list(ws.queue)
+        inflight = sorted(ws.inflight)
+        ws.queue.clear()
+        ws.inflight.clear()
+        return queued, inflight
+
+    def alive_workers(self) -> List[WorkerState]:
+        return [w for w in self.workers.values() if w.alive]
+
+    # -- readiness -------------------------------------------------------
+
+    def _make_ready(self, tid: int) -> None:
+        if self._worker_ok.get(tid, False):
+            heapq.heappush(self._pool, tid)
+        else:
+            heapq.heappush(self._driver_ready, tid)
+
+    def requeue(self, tids: Iterable[int]) -> None:
+        """Put previously-assigned (e.g. revoked) tasks back in the
+        ready pool."""
+        for tid in tids:
+            self._make_ready(tid)
+
+    def next_driver(self) -> Optional[int]:
+        if self._driver_ready:
+            return heapq.heappop(self._driver_ready)
+        return None
+
+    def on_done(self, tid: int, wid: Optional[int] = None) -> List[int]:
+        """Record completion; returns the tids that just became ready."""
+        self.done.add(tid)
+        if wid is not None:
+            ws = self.workers.get(wid)
+            if ws is not None:
+                ws.inflight.discard(tid)
+                ws.tasks_done += 1
+                ws.resident.update(self._reads.get(tid, ()))
+        newly = []
+        for s in self.succ.get(tid, ()):
+            self.indeg[s] -= 1
+            if self.indeg[s] == 0:
+                self._make_ready(s)
+                newly.append(s)
+        return newly
+
+    @property
+    def pending(self) -> int:
+        """Tasks in the window not yet completed."""
+        return (self.end - self.start) - len(self.done)
+
+    # -- placement -------------------------------------------------------
+
+    def _score(self, ws: WorkerState, tid: int) -> Tuple[int, int]:
+        reads = self._reads.get(tid, ())
+        hits = sum(1 for r in reads if r in ws.resident)
+        # Higher locality first, then lighter load.
+        return (-hits, ws.load)
+
+    def assign_ready(self) -> None:
+        """Drain the ready pool into per-worker queues (locality-aware,
+        lowest tid first)."""
+        alive = self.alive_workers()
+        if not alive:
+            return
+        while self._pool:
+            tid = heapq.heappop(self._pool)
+            ws = min(alive, key=lambda w: self._score(w, tid) + (w.wid,))
+            ws.queue.append(tid)
+
+    def next_for(self, wid: int) -> Optional[int]:
+        """Next tid for ``wid`` to execute, stealing if its own queue
+        is empty.  Caller dispatches it; the tid moves to in-flight."""
+        ws = self.workers.get(wid)
+        if ws is None or not ws.alive:
+            return None
+        if len(ws.inflight) >= self.pipeline:
+            return None
+        self.assign_ready()
+        if ws.queue:
+            tid = ws.queue.popleft()
+        else:
+            victim = max(
+                (w for w in self.alive_workers()
+                 if w.wid != wid and w.queue),
+                key=lambda w: len(w.queue), default=None)
+            if victim is None:
+                return None
+            tid = victim.queue.pop()        # least-local end
+            ws.steals += 1
+        ws.inflight.add(tid)
+        return tid
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "steals": sum(w.steals for w in self.workers.values()),
+            "workers": len(self.workers),
+        }

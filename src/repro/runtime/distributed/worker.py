@@ -1,0 +1,205 @@
+"""Worker-process side of the distributed runtime.
+
+Workers are **forked per execution window**.  Task payloads recorded
+by the deferred runtime are closures over driver objects (tile
+payloads, ``QRFactors``, scalar boxes) and are not picklable, so
+instead of shipping code we ship *nothing*: the fork inherits the task
+graph, the payload table, and every shared-memory tile mapping
+copy-on-write, and the parent then streams tiny ``task`` messages
+(tid + attempt + any side entries) over the comm layer.  Matrix tiles
+are shared memory, so payload writes land directly in the parent's
+(and every sibling's) view — zero-copy by construction.
+
+What executes here mirrors the threaded executor's recovering worker
+(`ParallelExecutor._execute_r`) minus cross-thread claims, which do
+not exist across processes: injected stalls sleep, injected transients
+raise, payloads run inside a sanitizer frame when the task asks for
+one, injected corruption and non-finite scrubbing act on the local
+(shared) tiles.  Snapshots are *not* taken here — the parent snapshots
+write tiles before dispatching so a SIGKILL at any instant leaves it
+able to restore and replay (lineage recovery, PR 5).
+
+The worker never touches the shared-memory registry, never spawns
+threads, and exits through ``os._exit`` so a teardown cannot corrupt
+parent-owned resources (atexit handlers, shm unlinking and the
+multiprocessing resource tracker all belong to the parent).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from time import perf_counter
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .comm import Comm, CommClosedError, CommError, connect
+
+__all__ = ["worker_main", "retryable_exception", "SideEntry"]
+
+#: ``(mat_id, key, value)`` — one side-store entry in flight.
+SideEntry = Tuple[int, object, object]
+
+
+def retryable_exception(exc: BaseException) -> bool:
+    """Same classification as ``ParallelExecutor._retryable`` —
+    evaluated worker-side so the verdict survives exceptions that do
+    not pickle faithfully."""
+    from ..parallel import OrderingViolationError
+    from ...resilience.live import (InjectedTransientError,
+                                    TileCorruptionDetected)
+    if isinstance(exc, (InjectedTransientError, TileCorruptionDetected)):
+        return True
+    if not isinstance(exc, Exception):
+        return False
+    if isinstance(exc, (OrderingViolationError, np.linalg.LinAlgError)):
+        return False
+    if isinstance(exc, CommError):
+        return exc.retryable
+    if type(exc).__module__.startswith("repro.analysis"):
+        return False
+    return True
+
+
+def _portable_exc(exc: BaseException) -> BaseException:
+    """Return ``exc`` if it pickles cleanly, else a plain stand-in
+    (the ``retryable`` verdict travels separately)."""
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return RuntimeError(f"{type(exc).__name__}: {exc}")
+
+
+def _install_side_entries(rt, entries: List[SideEntry]) -> None:
+    for mat_id, key, value in entries or ():
+        store = rt._side_stores.get(mat_id)
+        if store is not None:
+            store.mapping[key] = value
+
+
+def _collect_side_writes(rt, task) -> List[SideEntry]:
+    out: List[SideEntry] = []
+    for ref in task.writes:
+        store = rt._side_stores.get(ref[0])
+        if store is None:
+            continue
+        key = store.key_of(ref)
+        if key in store.mapping:
+            out.append((ref[0], key, store.mapping[key]))
+    return out
+
+
+def _run_one(rt, graph, fns, injector, tiles, sanitizer, scrub_writes,
+             tid: int, attempt: int, side: List[SideEntry]):
+    """Execute one task; returns the reply message (``done``/``fail``)."""
+    t = graph.tasks[tid]
+    events: List[Tuple[str, str]] = []
+    t0 = t1 = cpu = 0.0
+    try:
+        _install_side_entries(rt, side)
+        if injector is not None:
+            stall = injector.stall_seconds(tid, t.kind.value, attempt)
+            if stall > 0.0:
+                events.append(("stall",
+                               f"injected stall {stall * 1e3:.0f}ms "
+                               f"(attempt {attempt})"))
+                time.sleep(stall)
+        if (injector is not None
+                and injector.transient_fires(tid, attempt)):
+            from ...resilience.live import InjectedTransientError
+            raise InjectedTransientError(
+                f"injected transient on task {tid} attempt {attempt}")
+        fn = fns.get(tid)
+        t0 = perf_counter()
+        if fn is not None:
+            c0 = time.thread_time()
+            if sanitizer is not None and t.sanitize:
+                with sanitizer.task_scope(t):
+                    fn()
+            else:
+                fn()
+            cpu = time.thread_time() - c0
+            injected_corruption = False
+            if injector is not None and tiles is not None:
+                corr = injector.corruption_for(
+                    tid, t.kind.value, attempt, len(t.writes))
+                if corr is not None:
+                    ref = t.writes[corr[0]]
+                    if tiles.corrupt(ref, corr[1]):
+                        injected_corruption = True
+                        events.append((
+                            "corruption",
+                            f"injected {corr[1]} into tile {ref}"))
+            if scrub_writes and tiles is not None:
+                bad = tiles.nonfinite(t.writes)
+                if bad:
+                    if not injected_corruption:
+                        events.append((
+                            "corruption",
+                            f"non-finite output tiles {bad}"))
+                    from ...resilience.live import TileCorruptionDetected
+                    raise TileCorruptionDetected(
+                        f"task {tid} produced non-finite tiles {bad}")
+        t1 = perf_counter()
+    except BaseException as exc:
+        return {"op": "fail", "tid": tid, "attempt": attempt,
+                "t0": t0 or perf_counter(), "t1": perf_counter(),
+                "cpu": cpu, "events": events,
+                "retryable": retryable_exception(exc),
+                "exc": _portable_exc(exc)}
+    return {"op": "done", "tid": tid, "attempt": attempt,
+            "t0": t0, "t1": t1, "cpu": cpu, "events": events,
+            "counted": fns.get(tid) is not None,
+            "side": _collect_side_writes(rt, t)}
+
+
+def worker_main(wid: int, address: str, rt, start: int, end: int,
+                injector=None, scrub_writes: bool = False) -> None:
+    """Entry point of a forked worker.  Never returns — exits the
+    process via ``os._exit``."""
+    code = 0
+    comm: Optional[Comm] = None
+    try:
+        # Inherited driver state must not re-enter the deferred
+        # machinery: accessing a tile or scalar box inside a payload
+        # would otherwise try to sync the runtime recursively.
+        rt._in_execution = True
+        rt._worker_mode = True
+        graph = rt.graph
+        fns = rt._pending_fns
+        sanitizer = rt.sanitizer
+        tiles = None
+        if injector is not None or scrub_writes:
+            from ...resilience.live import TileAccessor
+            tiles = TileAccessor(rt._matrices)
+        comm = connect(address, timeout=10.0)
+        comm.send({"op": "hello", "wid": wid, "pid": os.getpid(),
+                   "clock": perf_counter()})
+        while True:
+            msg = comm.recv(timeout=None)
+            op = msg.get("op")
+            if op == "shutdown":
+                break
+            if op != "task":
+                continue
+            reply = _run_one(rt, graph, fns, injector, tiles, sanitizer,
+                             scrub_writes, msg["tid"], msg["attempt"],
+                             msg.get("side") or [])
+            comm.send(reply)
+    except (CommClosedError, KeyboardInterrupt):
+        code = 0  # parent went away / interrupted: silent exit
+    except BaseException:
+        code = 1
+    finally:
+        try:
+            if comm is not None:
+                comm.close()
+        except Exception:
+            pass
+        # Skip interpreter teardown entirely: the fork inherited
+        # atexit hooks, shm objects and executor state that belong to
+        # the parent.
+        os._exit(code)

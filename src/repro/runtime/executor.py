@@ -44,6 +44,7 @@ class Runtime:
                  collect_graph: bool = True,
                  tile_dim_hint: Optional[int] = None,
                  deferred: bool = False,
+                 backend: str = "threads",
                  workers: Optional[int] = None,
                  sink=None,
                  lookahead: Optional[int] = None,
@@ -83,8 +84,12 @@ class Runtime:
         #: ParallelExecutor when it runs a recorded payload — never
         #: both, and never for payload-less (symbolic) tasks.
         self._kernel_counters: dict = {}
-        #: Deferred-execution state (threaded backend).
+        #: Deferred-execution state (threaded or processes backend).
         self.deferred = bool(deferred)
+        if backend not in ("threads", "processes"):
+            raise ValueError(f"unknown execution backend {backend!r} "
+                             f"(expected 'threads' or 'processes')")
+        self.backend = backend
         self._workers = workers
         self._exec_sink = sink
         self._exec_lookahead = lookahead
@@ -105,6 +110,13 @@ class Runtime:
         #: accessor (snapshot/restore/corrupt on recovery).
         self._matrices: "weakref.WeakValueDictionary" = \
             weakref.WeakValueDictionary()
+        #: mat_id -> side store: driver-held dict state written inside
+        #: payloads under declared pseudo-tile refs (e.g. QR T factors
+        #: in ``QRFactors.aux``).  The processes backend ships these
+        #: entries between parent and workers by ref; the threads and
+        #: eager backends ignore them (shared address space).
+        self._side_stores: dict = {}
+        self._closed = False
         #: TileSan footprint sanitizer (``sanitize="warn"|"raise"|None``;
         #: default comes from the REPRO_SANITIZE env var).  Only numeric
         #: runtimes instrument payloads — symbolic mode never runs any.
@@ -253,9 +265,24 @@ class Runtime:
         """Track a DistMatrix for executor-side tile access (weakly)."""
         self._matrices[mat.mat_id] = mat
 
+    def register_side_store(self, mat_id: int, mapping, key_of) -> None:
+        """Declare driver-held dict state behind a pseudo-matrix id.
+
+        ``mapping`` is the dict that payloads read/write under tile
+        refs ``(mat_id, i, j)``; ``key_of(ref)`` maps a ref to the
+        dict key it denotes.  The processes backend uses this to ship
+        produced entries from workers back to the scheduler and out to
+        whichever worker later needs them; entries are write-once (the
+        graph's WAW edges already serialise conflicting writers).
+        """
+        from .distributed.executor import SideStore
+        self._side_stores[mat_id] = SideStore(mapping=mapping,
+                                              key_of=key_of)
+
     def enable_deferred(self, *, workers: Optional[int] = None,
                         sink=None, lookahead: Optional[int] = None,
-                        faults=None, recovery=None) -> None:
+                        faults=None, recovery=None,
+                        backend: Optional[str] = None) -> None:
         """Switch this runtime to deferred execution.
 
         Tasks submitted so far (eagerly executed) stay as they are;
@@ -265,6 +292,14 @@ class Runtime:
         """
         if not self.numeric:
             raise ValueError("deferred execution requires numeric mode")
+        if backend is not None and backend != self.backend:
+            if backend not in ("threads", "processes"):
+                raise ValueError(f"unknown execution backend {backend!r}")
+            if self._executor is not None:
+                self.sync()
+                self._executor.close()
+                self._executor = None
+            self.backend = backend
         if workers is not None and self._executor is not None \
                 and workers != self._executor.workers:
             self.sync()
@@ -292,21 +327,31 @@ class Runtime:
 
     @property
     def executor(self):
-        """The lazily created :class:`ParallelExecutor` (deferred mode)."""
+        """The lazily created executor for the configured backend
+        (:class:`ParallelExecutor` for threads,
+        :class:`~repro.runtime.distributed.ProcessExecutor` for
+        processes)."""
         if self._executor is None:
-            from .parallel import ParallelExecutor
             injector = tiles = None
             if self.fault_plan is not None or self.recovery_policy is not None:
                 from ..resilience.live import LiveFaultInjector, TileAccessor
                 if self.fault_plan is not None:
                     injector = LiveFaultInjector(self.fault_plan)
                 tiles = TileAccessor(self._matrices)
-            self._executor = ParallelExecutor(
-                self.graph, self._pending_fns, workers=self._workers,
-                lookahead=self._exec_lookahead, sink=self._exec_sink,
-                sanitizer=self._sanitizer,
-                recovery=self.recovery_policy, injector=injector,
-                tiles=tiles)
+            if self.backend == "processes":
+                from .distributed.executor import ProcessExecutor
+                self._executor = ProcessExecutor(
+                    self, workers=self._workers, sink=self._exec_sink,
+                    recovery=self.recovery_policy, injector=injector,
+                    tiles=tiles)
+            else:
+                from .parallel import ParallelExecutor
+                self._executor = ParallelExecutor(
+                    self.graph, self._pending_fns, workers=self._workers,
+                    lookahead=self._exec_lookahead, sink=self._exec_sink,
+                    sanitizer=self._sanitizer,
+                    recovery=self.recovery_policy, injector=injector,
+                    tiles=tiles)
         return self._executor
 
     @property
@@ -359,9 +404,21 @@ class Runtime:
         self._pending_fns.clear()
 
     def close(self) -> None:
-        """Release the threaded backend's worker pool, if any."""
+        """Release every backend resource: worker pools or processes,
+        comm listeners, and shared-memory segments.  Idempotent — safe
+        to call from both an explicit ``with`` block and a teardown
+        path that does not know whether the runtime was ever used."""
+        if self._closed:
+            return
+        self._closed = True
         if self._executor is not None:
             self._executor.close()
+
+    def __enter__(self) -> "Runtime":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def register_tiles(self, refs: Iterable[TileRef], nbytes_each: int,
                        owner: int = -1) -> None:

@@ -154,6 +154,11 @@ class ExecutionStats:
     #: High-water resident set of the whole process, sampled after
     #: every execution window (bytes; 0 when unavailable).
     peak_rss_bytes: int = 0
+    #: Scheduler<->worker control-plane traffic (processes backend
+    #: only; tiles travel through shared memory and are not counted
+    #: here).  Zero on the threads backend.
+    comm_messages: int = 0
+    comm_bytes: int = 0
     #: Live recovery accounting (retries, timeouts, speculation,
     #: injected faults); all-zero on fault-free runs.
     recovery: object = field(default_factory=_new_recovery_stats)

@@ -134,6 +134,10 @@ def _geqrf_flat(rt: Runtime, a: DistMatrix) -> QRFactors:
     fac = QRFactors(a=a, kt=kt, aux_mat=rt.new_matrix_id())
     fac.panel = "flat"
     aux = fac.aux
+    # Processes backend: aux entries (T factors, V blocks) are driver
+    # dict state written inside payloads; declaring the store lets the
+    # scheduler ship them between workers by their pseudo-tile refs.
+    rt.register_side_store(fac.aux_mat, aux, lambda ref: (ref[1], ref[2]))
     itemsize = a.dtype.itemsize
     for k in range(kt):
         rt.advance_phase()
@@ -223,6 +227,11 @@ def _geqrf_tree(rt: Runtime, a: DistMatrix) -> QRFactors:
     fac = QRFactors(a=a, kt=kt, aux_mat=rt.new_matrix_id(),
                     tt_mat=rt.new_matrix_id(), panel="tree")
     aux = fac.aux
+    # Both pseudo-matrix ids resolve into the same aux dict; the tree
+    # combine entries are keyed ("tt", i2, k) (see QRFactors docstring).
+    rt.register_side_store(fac.aux_mat, aux, lambda ref: (ref[1], ref[2]))
+    rt.register_side_store(fac.tt_mat, aux,
+                           lambda ref: ("tt", ref[1], ref[2]))
     itemsize = a.dtype.itemsize
     for k in range(kt):
         rt.advance_phase()

@@ -4,8 +4,8 @@ Hypothesis drives random problem shapes (rectangular m >= n), all four
 supported dtypes, and condition numbers spanning well-conditioned to
 the paper's worst case (kappa = 1e16), and checks every execution path
 of the tiled implementation — eager, threads x 1 worker, threads x 4
-workers — against the dense reference driver and an SVD-built ground
-truth.  The invariants are the paper's accuracy metrics: backward
+workers, plus the multi-process backend on fixed problems — against
+the dense reference driver and an SVD-built ground truth.  The invariants are the paper's accuracy metrics: backward
 error ||A - U_p H|| / ||A|| and orthogonality ||U_p^H U_p - I||, both
 at the roundoff level of the dtype.
 """
@@ -161,6 +161,22 @@ class TestDifferential:
         assert rep.orthogonality < ORTH_TOL[np.float64]
         assert rep.backward < berr_tol
         assert rep0.backward < berr_tol
+
+    @pytest.mark.parametrize("cond", [1e0, 1e8])
+    def test_processes_backend_bit_identical_to_eager(self, cond):
+        # The distributed backend replays the same recorded graph with
+        # the same kernels on shared-memory tiles, so it owes exact
+        # bit-identity with eager — at any worker count, not just 1.
+        a = generate_matrix(72, 48, cond=cond, dtype=np.float64, seed=21)
+        u0, h0 = _run_tiled(a, 16, "eager")
+        for workers in (1, 2):
+            u, h = _run_tiled(a, 16, "processes", workers)
+            label = f"processes x{workers}"
+            assert np.array_equal(u, u0), f"{label} U differs from eager"
+            assert np.array_equal(h, h0), f"{label} H differs from eager"
+        rep = polar_report(a, u0, h0)
+        assert rep.orthogonality < ORTH_TOL[np.float64]
+        assert rep.backward < _berr_tol(np.float64, cond)
 
     @pytest.mark.parametrize("dtype", ALL_DTYPES)
     def test_worst_case_kappa_all_dtypes_threads(self, dtype):

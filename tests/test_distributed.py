@@ -1,0 +1,373 @@
+"""Tests for the multi-process distributed runtime.
+
+Three layers, tested at three granularities:
+
+* :class:`DynamicScheduler` — pure bookkeeping, unit-tested with
+  hand-built task lists (dependency counting, locality placement,
+  steal-on-idle, worker removal for crash recovery).
+* :class:`SharedTileStore` — shm segment lifecycle: pin/migrate,
+  refcounts, evacuation of live results at close, and the
+  ``/dev/shm`` scan that grounds the leak gates.
+* :class:`ProcessExecutor` end to end via ``tiled_qdwh
+  (backend="processes")`` — bit-identity with the eager backend,
+  real SIGKILL crash recovery, and the zero-leak invariants.
+"""
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.tiled_qdwh import tiled_qdwh
+from repro.dist import DistMatrix, ProcessGrid
+from repro.matrices import generate_matrix, polar_report
+from repro.runtime import Runtime
+from repro.runtime.distributed import (
+    DynamicScheduler,
+    SharedTileStore,
+    scan_segments,
+)
+from repro.runtime.task import Task, TaskKind
+
+
+def _task(tid, deps=(), reads=(), writes=()):
+    return Task(tid=tid, kind=TaskKind.GEMM, reads=tuple(reads),
+                writes=tuple(writes), rank=0, phase=0, deps=tuple(deps))
+
+
+def _sched(tasks, worker_ok=None, pipeline_depth=2):
+    ok = worker_ok if worker_ok is not None \
+        else {t.tid: True for t in tasks}
+    return DynamicScheduler(tasks, 0, len(tasks), ok,
+                            pipeline_depth=pipeline_depth)
+
+
+class TestDynamicScheduler:
+    def test_dependency_counting_releases_successors(self):
+        tasks = [_task(0), _task(1, deps=(0,)), _task(2, deps=(0, 1))]
+        s = _sched(tasks)
+        s.add_worker(0)
+        assert s.next_for(0) == 0
+        assert s.next_for(0) is None        # 1 and 2 still blocked
+        assert s.on_done(0, 0) == [1]
+        assert s.next_for(0) == 1
+        assert s.on_done(1, 0) == [2]
+        assert s.next_for(0) == 2
+        s.on_done(2, 0)
+        assert s.pending == 0
+
+    def test_driver_tasks_never_reach_workers(self):
+        tasks = [_task(0), _task(1)]
+        s = _sched(tasks, worker_ok={0: True, 1: False})
+        s.add_worker(0)
+        assert s.next_driver() == 1
+        assert s.next_for(0) == 0
+        assert s.next_driver() is None
+
+    def test_locality_prefers_resident_tiles(self):
+        warm = (1, 0, 0)
+        tasks = [_task(0, reads=[warm]), _task(1, reads=[warm]),
+                 _task(2, reads=[(2, 5, 5)])]
+        s = _sched(tasks, pipeline_depth=4)
+        s.add_worker(0)
+        s.add_worker(1)
+        # Worker 1 already touched the warm tile this window.
+        s.workers[1].resident.add(warm)
+        s.assign_ready()
+        # Both warm-tile tasks landed on worker 1's plan queue.
+        assert list(s.workers[1].queue)[:2] == [0, 1]
+
+    def test_steal_takes_back_of_longest_queue(self):
+        tasks = [_task(i) for i in range(6)]
+        s = _sched(tasks, pipeline_depth=8)
+        w0 = s.add_worker(0)
+        s.add_worker(1)
+        s.assign_ready()
+        # Force the imbalance: pile everything on worker 0's queue.
+        s.workers[1].queue.clear()
+        w0.queue.clear()
+        w0.queue.extend([0, 1, 2, 3, 4, 5])
+        got = s.next_for(1)
+        assert got == 5                     # stolen from the back
+        assert s.workers[1].steals == 1
+        assert s.next_for(0) == 0           # owner still drains FIFO
+
+    def test_pipeline_depth_caps_inflight(self):
+        tasks = [_task(i) for i in range(4)]
+        s = _sched(tasks, pipeline_depth=2)
+        s.add_worker(0)
+        assert s.next_for(0) is not None
+        assert s.next_for(0) is not None
+        assert s.next_for(0) is None        # cap reached
+        s.on_done(0, 0)
+        assert s.next_for(0) is not None
+
+    def test_remove_worker_returns_held_work_for_replay(self):
+        tasks = [_task(i) for i in range(5)]
+        s = _sched(tasks, pipeline_depth=2)
+        s.add_worker(0)
+        a, b = s.next_for(0), s.next_for(0)
+        s.assign_ready()                    # rest queue on worker 0
+        queued, inflight = s.remove_worker(0)
+        assert inflight == sorted([a, b])
+        assert set(queued) == {2, 3, 4} - {a, b}
+        # Requeued work flows to a survivor.
+        s.requeue(queued + inflight)
+        s.add_worker(1)
+        seen = {s.next_for(1), s.next_for(1)}
+        assert seen <= set(range(5))
+        # A dead worker never receives work again.
+        assert s.next_for(0) is None
+        assert s.remove_worker(0) == ([], [])
+
+    def test_out_of_window_deps_are_external(self):
+        tasks = [_task(0), _task(1, deps=(0,)), _task(2, deps=(0, 1))]
+        s = DynamicScheduler(tasks, 1, 3, {1: True, 2: True})
+        s.add_worker(0)
+        # dep 0 predates the window: task 1 is born ready.
+        assert s.next_for(0) == 1
+
+
+class TestSharedTileStore:
+    def _mat(self, rt, n=8, nb=4):
+        a = np.arange(n * n, dtype=np.float64).reshape(n, n)
+        return a, DistMatrix.from_array(rt, a, nb)
+
+    def test_pin_is_idempotent_and_scannable(self):
+        rt = Runtime(ProcessGrid(1, 1))
+        _, d = self._mat(rt)
+        store = SharedTileStore()
+        arr = store.pin_tile(d, 0, 0, (4, 4), np.float64)
+        assert d._tiles[(0, 0)] is arr
+        assert store.pin_tile(d, 0, 0, (4, 4), np.float64) is arr
+        assert len(store.live_segments()) == 1
+        assert scan_segments(store.prefix) == store.live_segments()
+        store.close()
+        rt.close()
+
+    def test_driver_replaced_tile_migrates_back(self):
+        rt = Runtime(ProcessGrid(1, 1))
+        _, d = self._mat(rt)
+        store = SharedTileStore()
+        arr = store.pin_tile(d, 0, 0, (4, 4), np.float64)
+        fresh = np.full((4, 4), 7.0)
+        d._tiles[(0, 0)] = fresh            # heap array, not the segment
+        again = store.pin_tile(d, 0, 0, (4, 4), np.float64)
+        assert again is arr                 # same segment reused
+        assert np.array_equal(arr, fresh)
+        assert len(store.live_segments()) == 1
+        store.close()
+        rt.close()
+
+    def test_refcounts_pin_segments_past_release(self):
+        rt = Runtime(ProcessGrid(1, 1))
+        _, d = self._mat(rt)
+        store = SharedTileStore()
+        store.pin_tile(d, 0, 0, (4, 4), np.float64)
+        name = store.segment_of((d.mat_id, 0, 0))
+        assert store.refcount(name) == 1
+        store.incref(name)
+        store.decref(name)
+        assert store.refcount(name) == 1
+        store.decref(name)
+        assert store.refcount(name) == 0
+        assert scan_segments(store.prefix) == []
+        store.close()
+        rt.close()
+
+    def test_close_unlinks_everything_and_is_idempotent(self):
+        rt = Runtime(ProcessGrid(1, 1))
+        _, d = self._mat(rt)
+        store = SharedTileStore()
+        for i in range(2):
+            for j in range(2):
+                store.pin_tile(d, i, j, (4, 4), np.float64)
+        assert len(scan_segments(store.prefix)) == 4
+        store.close()
+        assert scan_segments(store.prefix) == []
+        assert store.closed
+        store.close()                       # idempotent
+        rt.close()
+
+    def test_close_evacuates_live_results(self):
+        # Results outlive the store: after close() the matrix's tiles
+        # must be private copies, not views over unmapped segments
+        # (reading a stale view would segfault, not raise).
+        rt = Runtime(ProcessGrid(1, 1))
+        a, d = self._mat(rt)
+        store = SharedTileStore()
+        for i in range(2):
+            for j in range(2):
+                store.pin_tile(
+                    d, i, j, (d.tile_rows(i), d.tile_cols(j)),
+                    np.float64)
+        store.close()
+        assert np.array_equal(d.to_array(), a)
+        rt.close()
+
+
+def _run_eager(a, nb):
+    rt = Runtime(ProcessGrid(1, 1))
+    d = DistMatrix.from_array(rt, a.copy(), nb)
+    res = tiled_qdwh(rt, d)
+    u, h = res.u.to_array(), res.h.to_array()
+    rt.close()
+    return u, h, res
+
+
+def _run_processes(a, nb, workers, faults=None, recovery=None):
+    rt = Runtime(ProcessGrid(1, 1), faults=faults, recovery=recovery)
+    d = DistMatrix.from_array(rt, a.copy(), nb)
+    res = tiled_qdwh(rt, d, backend="processes", workers=workers)
+    u, h = res.u.to_array(), res.h.to_array()
+    ex = rt._executor
+    leaked = ex.inflight_attempts
+    prefix = ex.store.prefix
+    stats = rt.exec_stats
+    rt.close()
+    return u, h, res, stats, leaked, scan_segments(prefix)
+
+
+class TestProcessesBackend:
+    N, NB = 96, 32
+
+    def test_single_worker_bit_identical_to_eager(self):
+        a = generate_matrix(self.N, cond=1e8, seed=3)
+        u0, h0, res0 = _run_eager(a, self.NB)
+        u1, h1, res1, _, leaked, shm = _run_processes(a, self.NB, 1)
+        assert res1.iterations == res0.iterations
+        assert np.array_equal(u1, u0)
+        assert np.array_equal(h1, h0)
+        assert leaked == 0 and shm == []
+
+    def test_multi_worker_matches_eager(self):
+        a = generate_matrix(self.N, cond=1e8, seed=3)
+        u0, h0, _ = _run_eager(a, self.NB)
+        u, h, res, stats, leaked, shm = _run_processes(a, self.NB, 2)
+        assert res.converged
+        assert np.array_equal(u, u0)
+        assert np.array_equal(h, h0)
+        assert leaked == 0 and shm == []
+        assert stats.comm_messages > 0
+        assert stats.comm_bytes > 0
+
+    def test_results_survive_runtime_close(self):
+        # The factors are read *after* rt.close() above; also verify a
+        # fresh read of every tile works (evacuation, not luck).
+        a = generate_matrix(64, cond=1e4, seed=11)
+        u, h, _, _, _, _ = _run_processes(a, 32, 2)
+        rep = polar_report(a, u, h)
+        assert rep.orthogonality < 1e-12
+
+
+class TestCrashRecovery:
+    def test_sigkilled_worker_is_replayed_to_convergence(self):
+        from repro.resilience import plan_from_spec
+        from repro.resilience.live import RecoveryPolicy
+
+        n, nb, workers = 128, 32, 3
+        a = generate_matrix(n, cond=1e8, seed=5)
+        u0, h0, _ = _run_eager(a, nb)
+        plan = plan_from_spec(seed=5, crash=("1@0.05",))
+        pol = RecoveryPolicy(max_retries=3)
+        u, h, res, stats, leaked, shm = _run_processes(
+            a, nb, workers, faults=plan, recovery=pol)
+        rec = stats.recovery
+        assert rec.crashes == 1
+        assert rec.dead_ranks
+        assert rec.replayed_tasks >= 0
+        assert res.converged
+        # Recovery must be numerically invisible: bit-identical replay.
+        assert np.array_equal(u, u0)
+        assert np.array_equal(h, h0)
+        # The zero-leak invariants CI gates on.
+        assert leaked == 0
+        assert shm == []
+
+    def test_crash_only_plan_forces_recovery_on(self):
+        # A plan with only crashes has no live in-payload faults, so
+        # LiveFaultInjector.active is False — the executor must still
+        # honour it (read the plan directly) instead of dropping it.
+        from repro.resilience import plan_from_spec
+
+        a = generate_matrix(96, cond=1e4, seed=9)
+        plan = plan_from_spec(seed=9, crash=("0@0.02",))
+        u, h, res, stats, leaked, shm = _run_processes(
+            a, 32, 2, faults=plan)
+        assert stats.recovery.crashes == 1
+        assert res.converged and leaked == 0 and shm == []
+
+
+class TestRuntimeLifecycle:
+    def test_close_is_idempotent(self):
+        rt = Runtime(ProcessGrid(1, 1), deferred=True, workers=1)
+        a = generate_matrix(48, cond=1e2, seed=1)
+        d = DistMatrix.from_array(rt, a, 24)
+        tiled_qdwh(rt, d, backend="processes", workers=1)
+        rt.close()
+        rt.close()
+
+    def test_context_manager_closes(self):
+        with Runtime(ProcessGrid(1, 1), deferred=True, workers=1) as rt:
+            a = generate_matrix(48, cond=1e2, seed=1)
+            d = DistMatrix.from_array(rt, a, 24)
+            res = tiled_qdwh(rt, d, backend="processes", workers=1)
+            ex = rt._executor
+            prefix = ex.store.prefix
+        assert res.converged
+        assert rt._closed
+        assert scan_segments(prefix) == []
+
+    def test_backend_validation(self):
+        with pytest.raises(ValueError):
+            Runtime(ProcessGrid(1, 1), backend="carrier-pigeon")
+
+
+class TestWorkerDeathByHand:
+    def test_external_sigkill_mid_run_recovers(self):
+        # Not via the injector: kill a live worker process from the
+        # test, exactly what the OOM killer would do.
+        from repro.resilience.live import RecoveryPolicy
+
+        n, nb, workers = 128, 32, 2
+        a = generate_matrix(n, cond=1e4, seed=13)
+        rt = Runtime(ProcessGrid(1, 1), deferred=True, workers=workers,
+                     recovery=RecoveryPolicy(max_retries=2))
+        d = DistMatrix.from_array(rt, a.copy(), nb)
+
+        killed = {"done": False}
+
+        def killer():
+            deadline = time.time() + 10.0
+            while time.time() < deadline and not killed["done"]:
+                ex = rt._executor
+                pool = getattr(ex, "_pool", None) if ex else None
+                if pool:
+                    for w in list(pool.values()):
+                        if w.proc.is_alive():
+                            os.kill(w.pid, signal.SIGKILL)
+                            killed["done"] = True
+                            return
+                time.sleep(0.005)
+
+        import threading
+        t = threading.Thread(target=killer)
+        t.start()
+        res = tiled_qdwh(rt, d, backend="processes", workers=workers)
+        t.join(timeout=10.0)
+        u, h = res.u.to_array(), res.h.to_array()
+        leaked = rt._executor.inflight_attempts
+        prefix = rt._executor.store.prefix
+        rec = rt.exec_stats.recovery
+        rt.close()
+
+        assert res.converged
+        assert killed["done"]
+        assert rec.crashes >= 1
+        rep = polar_report(a, u, h)
+        assert rep.orthogonality < 1e-12
+        assert rep.backward < 1e-10
+        assert leaked == 0
+        assert scan_segments(prefix) == []
