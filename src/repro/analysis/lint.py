@@ -28,7 +28,28 @@ REP004   No ``.to_array()`` call and no ``.value`` read of a known
          scalar result inside a payload — both are sync points, and a
          re-entrant sync inside a payload is suppressed on deferred
          runtimes, yielding stale data.
+REP005   A function that calls ``.incref(`` on a shared-memory store
+         must also call ``.decref(`` (or hand the segment to a
+         ``close``/``release`` path) somewhere in the same function —
+         an acquire with no release in scope leaks ``/dev/shm``
+         segments on every early exit.
+REP006   No blocking ``.recv(`` on a comm-like receiver inside a
+         ``with <lock>`` block: the distributed executor's reader
+         threads and completion path share those locks, so a recv
+         under a lock can deadlock the event loop.
+REP007   ``Process(...)`` spawns must not capture fork-unsafe state in
+         ``args=``/``kwargs=``: locks, sockets, comms, listeners or
+         threads captured at fork time are dead weight (or deadlocks)
+         in the child.
+REP008   ``backend=`` string literals at call sites must name a known
+         runtime backend (``dense``/``eager``/``threads``/
+         ``processes``) — a typo like ``"proceses"`` otherwise
+         surfaces only at runtime as a fallback to the default path.
 =======  =================================================================
+
+REP005–REP008 target the distributed runtime
+(:mod:`repro.runtime.distributed`) but apply everywhere, so user code
+driving the processes backend is linted by the same pass.
 
 Suppression: put ``# repro-lint: ignore`` (all rules) or
 ``# repro-lint: ignore[REP002]`` / ``ignore[REP002, REP003]`` on the
@@ -41,15 +62,50 @@ import ast
 import os
 import re
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
+from typing import (Dict, FrozenSet, Iterator, List, Optional, Sequence,
+                    Set, Tuple, Union)
 
 FOOTPRINT_MISSING = "REP001"
 PAYLOAD_FOOTPRINT = "REP002"
 BYTES_OUT_MISSING = "REP003"
 SYNC_IN_PAYLOAD = "REP004"
+SHM_UNRELEASED = "REP005"
+RECV_UNDER_LOCK = "REP006"
+FORK_UNSAFE_ARG = "REP007"
+BACKEND_UNKNOWN = "REP008"
 
 ALL_RULES = (FOOTPRINT_MISSING, PAYLOAD_FOOTPRINT, BYTES_OUT_MISSING,
-             SYNC_IN_PAYLOAD)
+             SYNC_IN_PAYLOAD, SHM_UNRELEASED, RECV_UNDER_LOCK,
+             FORK_UNSAFE_ARG, BACKEND_UNKNOWN)
+
+#: Valid values for a ``backend=`` string literal (REP008).
+KNOWN_BACKENDS = frozenset({"dense", "eager", "threads", "processes"})
+
+#: Identifier tokens marking a lock-like object (REP006 ``with``
+#: context) — matched against ``_``-split tokens so ``_recv_lock``
+#: hits but ``block`` does not.
+_LOCK_TOKENS = frozenset({"lock", "rlock", "mutex"})
+
+#: Identifier tokens marking a comm-like receiver (REP006).
+_COMM_TOKENS = frozenset({"comm", "conn", "channel", "sock", "socket"})
+
+#: Identifier tokens marking fork-unsafe captured state (REP007).
+_FORK_UNSAFE_TOKENS = frozenset({
+    "lock", "rlock", "mutex", "sock", "socket", "comm", "listener",
+    "thread", "threads", "queue", "cond", "condition", "event",
+    "semaphore",
+})
+
+#: Factory call names whose result is fork-unsafe (REP007).
+_FORK_UNSAFE_FACTORIES = frozenset({
+    "Lock", "RLock", "Condition", "Event", "Semaphore",
+    "BoundedSemaphore", "Barrier", "socket", "Queue", "Thread",
+    "connect", "listen",
+})
+
+#: Release-path method names that satisfy REP005 within a scope.
+_RELEASE_ATTRS = frozenset({"decref", "release", "close",
+                            "_decref_name", "_release_many"})
 
 #: Methods returning pseudo-tile refs (scalars, side buffers).  Entries
 #: built from these carry data the payload reads through captured
@@ -133,7 +189,7 @@ class _Scope:
         return False
 
 
-def _scope_walk(node: ast.AST):
+def _scope_walk(node: ast.AST) -> Iterator[ast.AST]:
     """Walk a scope's own nodes without entering nested function bodies."""
 
     stack = list(ast.iter_child_nodes(node))
@@ -280,12 +336,16 @@ class _Linter:
 
     def run(self, tree: ast.Module) -> None:
         self._visit_scope(_Scope(tree, None))
+        self._check_recv_under_lock(tree)
+        self._check_fork_args(tree)
+        self._check_backend_literals(tree)
 
     def _visit_scope(self, scope: _Scope) -> None:
         _collect_scope_env(scope)
         for n in _scope_walk(scope.node):
             if isinstance(n, ast.Call) and _is_task_submit(n):
                 self._check_submit(n, scope)
+        self._check_shm_balance(scope)
         for n in _scope_walk(scope.node):
             if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
                 self._visit_scope(_Scope(n, scope))
@@ -388,6 +448,137 @@ class _Linter:
                                f"{_src(n.args[1])}) but that tile is not in "
                                "the declared reads=/writes=", n,
                                (submit.lineno,))
+
+
+    # ----------------------------------------------- distributed rules
+
+    def _check_shm_balance(self, scope: _Scope) -> None:
+        """REP005: incref without any release path in the same scope."""
+        increfs: List[ast.Call] = []
+        released = False
+        for n in _scope_walk(scope.node):
+            if not (isinstance(n, ast.Call)
+                    and isinstance(n.func, ast.Attribute)):
+                continue
+            if n.func.attr == "incref":
+                increfs.append(n)
+            elif n.func.attr in _RELEASE_ATTRS:
+                released = True
+        if released:
+            return
+        for call in increfs:
+            self._flag(SHM_UNRELEASED,
+                       "shm segment incref'd with no decref/release/"
+                       "close in the same function: every early exit "
+                       "leaks the /dev/shm segment", call)
+
+    def _check_recv_under_lock(self, tree: ast.Module) -> None:
+        """REP006: blocking comm recv inside a ``with <lock>`` body."""
+
+        def visit(node: ast.AST, under: Optional[ast.AST]) -> None:
+            for child in ast.iter_child_nodes(node):
+                inner = under
+                if isinstance(child, (ast.With, ast.AsyncWith)) and any(
+                        _ident_matches(i.context_expr, _LOCK_TOKENS)
+                        for i in child.items):
+                    inner = child
+                if (under is not None and isinstance(child, ast.Call)
+                        and isinstance(child.func, ast.Attribute)
+                        and child.func.attr == "recv"
+                        and _ident_matches(child.func.value,
+                                           _COMM_TOKENS)):
+                    self._flag(RECV_UNDER_LOCK,
+                               f"blocking {_src(child.func.value)}"
+                               ".recv(...) while holding "
+                               f"{_src_with(under)}: reader threads "
+                               "and the completion path share comm "
+                               "locks, so this can deadlock the event "
+                               "loop", child, (under.lineno,))
+                visit(child, inner)
+
+        visit(tree, None)
+
+    def _check_fork_args(self, tree: ast.Module) -> None:
+        """REP007: fork-unsafe state captured in Process payloads."""
+        for n in ast.walk(tree):
+            if not isinstance(n, ast.Call):
+                continue
+            fname = None
+            if isinstance(n.func, ast.Name):
+                fname = n.func.id
+            elif isinstance(n.func, ast.Attribute):
+                fname = n.func.attr
+            if fname != "Process":
+                continue
+            payload: List[ast.AST] = []
+            for kw in n.keywords:
+                if kw.arg == "args" and isinstance(kw.value,
+                                                   (ast.Tuple, ast.List)):
+                    payload.extend(kw.value.elts)
+                elif kw.arg == "kwargs" and isinstance(kw.value, ast.Dict):
+                    payload.extend(v for v in kw.value.values
+                                   if v is not None)
+            for elt in payload:
+                if isinstance(elt, ast.Starred):
+                    elt = elt.value
+                if isinstance(elt, ast.Call):
+                    cname = None
+                    if isinstance(elt.func, ast.Name):
+                        cname = elt.func.id
+                    elif isinstance(elt.func, ast.Attribute):
+                        cname = elt.func.attr
+                    if cname in _FORK_UNSAFE_FACTORIES:
+                        self._flag(FORK_UNSAFE_ARG,
+                                   f"Process(...) captures {cname}() "
+                                   "in its payload: locks/sockets/"
+                                   "threads made in the parent are "
+                                   "fork-unsafe in the child", elt,
+                                   (n.lineno,))
+                elif _ident_matches(elt, _FORK_UNSAFE_TOKENS):
+                    self._flag(FORK_UNSAFE_ARG,
+                               f"Process(...) captures {_src(elt)} in "
+                               "its payload: lock/socket/thread state "
+                               "does not survive fork", elt,
+                               (n.lineno,))
+
+    def _check_backend_literals(self, tree: ast.Module) -> None:
+        """REP008: unknown ``backend=`` string literal at a call."""
+        for n in ast.walk(tree):
+            if not isinstance(n, ast.Call):
+                continue
+            val = _kw(n, "backend")
+            if (isinstance(val, ast.Constant)
+                    and isinstance(val.value, str)
+                    and val.value not in KNOWN_BACKENDS):
+                known = "/".join(sorted(KNOWN_BACKENDS))
+                self._flag(BACKEND_UNKNOWN,
+                           f"unknown backend {val.value!r} (known: "
+                           f"{known}): a typo here silently falls "
+                           "back to the default execution path", val,
+                           (n.lineno,))
+
+
+def _ident_tokens(name: str) -> Set[str]:
+    return {t for t in re.split(r"[_\W\d]+", name.lower()) if t}
+
+
+def _ident_matches(expr: ast.AST, tokens: FrozenSet[str]) -> bool:
+    """True when the trailing identifier of a name/attribute chain
+    carries one of ``tokens`` (``w.comm`` -> comm, ``self._recv_lock``
+    -> recv+lock).  Non-name expressions never match."""
+    if isinstance(expr, ast.Name):
+        return bool(_ident_tokens(expr.id) & tokens)
+    if isinstance(expr, ast.Attribute):
+        return bool(_ident_tokens(expr.attr) & tokens)
+    return False
+
+
+def _src_with(node: ast.AST) -> str:
+    items = getattr(node, "items", ())
+    for item in items:
+        if _ident_matches(item.context_expr, _LOCK_TOKENS):
+            return _src(item.context_expr)
+    return "a lock"
 
 
 def _src(node: ast.AST) -> str:

@@ -47,6 +47,7 @@ than declared accesses; findings are also forwarded to a trace sink as
 
 from __future__ import annotations
 
+import contextlib
 import os
 import threading
 import warnings
@@ -56,6 +57,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 from ..runtime.task import Task, TileRef
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..obs.timeline import TraceSink
     from ..runtime.graph import TaskGraph
 
 #: Recognized sanitizer modes (``None`` means "off" and is also valid).
@@ -158,7 +160,8 @@ class _TaskScope:
         self.san._stack().append(self.frame)
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(self, exc_type: Optional[type],
+                 exc: Optional[BaseException], tb: object) -> bool:
         frame = self.frame
         self.san._stack().pop()
         # Record what we saw even on failure so post-mortem race checks
@@ -177,7 +180,8 @@ class TileSanitizer:
     ``tile()`` calls, gathers) are ignored.
     """
 
-    def __init__(self, graph: "TaskGraph", mode: str = "raise", sink=None):
+    def __init__(self, graph: "TaskGraph", mode: str = "raise",
+                 sink: Optional["TraceSink"] = None):
         if mode not in SANITIZE_MODES:
             raise ValueError(f"sanitize mode {mode!r}: expected one of {SANITIZE_MODES}")
         self.graph = graph
@@ -291,7 +295,8 @@ class TileSanitizer:
         with self._lock:
             self.findings.append(finding)
         if self.sink is not None:
-            try:
+            # Sinks must never break a run.
+            with contextlib.suppress(Exception):  # pragma: no cover
                 from ..obs.timeline import SanitizerEvent
 
                 self.sink.on_sanitizer(
@@ -304,8 +309,6 @@ class TileSanitizer:
                         detail=finding.detail,
                     )
                 )
-            except Exception:  # pragma: no cover - sinks must not break runs
-                pass
         if self.mode == "raise":
             raise SanitizerError(finding)
         warnings.warn(finding.message(), SanitizerWarning, stacklevel=4)

@@ -730,15 +730,123 @@ def _lint_sanitize(args: argparse.Namespace) -> int:
     return 1 if dirty else 0
 
 
+def _distsan_trace(findings, path: str) -> None:
+    """Write DistSan findings to a chrome trace as instant events."""
+    from .obs.export import write_chrome_trace
+    from .obs.timeline import AnalysisEvent, TimelineSink
+
+    sink = TimelineSink()
+    for checker, f in findings:
+        sink.on_analysis(AnalysisEvent(
+            checker=checker,
+            kind=getattr(f, "invariant", None) or getattr(f, "rule", None)
+            or getattr(f, "kind", "finding"),
+            tid=getattr(f, "first", -1) if hasattr(f, "first")
+            else getattr(f, "tid", -1),
+            detail=f.message() if hasattr(f, "message") else str(f)))
+    write_chrome_trace(sink, path)
+    print(f"distsan trace written to {path}")
+
+
+def _lint_dist(args: argparse.Namespace) -> int:
+    """Record a processes-backend QDWH run, then check it with the
+    DistSan happens-before, refcount and protocol checkers."""
+    import numpy as np
+
+    from .analysis.dist import audit_refcounts, check_frames, check_hb
+    from .core.tiled_qdwh import tiled_qdwh
+    from .dist import DistMatrix, ProcessGrid
+    from .matrices import generate_matrix
+    from .runtime import Runtime
+    from .runtime.distributed.events import DistTraceRecorder
+
+    a = generate_matrix(args.n, cond=args.cond, dtype=np.float64,
+                        seed=args.seed)
+    rt = Runtime(ProcessGrid(2, 2))
+    recorder = DistTraceRecorder()
+    rt.dist_recorder = recorder
+    da = DistMatrix.from_array(rt, a.copy(), args.nb)
+    tiled_qdwh(rt, da, backend="processes", workers=args.workers)
+    rt.sync()
+    tasks = list(rt.graph.tasks)
+    rt.close()
+
+    hb = check_hb(recorder, tasks)
+    refs = audit_refcounts(recorder)
+    proto = check_frames(recorder)
+    for f in hb:
+        print(f"  hb: {f.message()}")
+    for f in refs:
+        print(f"  refcount: {f.message()}")
+    for f in proto:
+        print(f"  protocol: {f.message()}")
+    s = recorder.summary()
+    print(f"distsan[processes]: {s.get('dispatch', 0)} dispatch(es), "
+          f"{s.get('driver', 0)} driver task(s), {s.get('pin', 0)} shm "
+          f"segment(s), {s.get('frames', 0)} frame(s) | "
+          f"{len(hb)} hb + {len(refs)} refcount + {len(proto)} protocol "
+          f"finding(s)")
+    if getattr(args, "chrome_trace", None):
+        _distsan_trace([("hb", f) for f in hb]
+                       + [("refcount", f) for f in refs]
+                       + [("protocol", f) for f in proto],
+                       args.chrome_trace)
+    return 1 if hb or refs or proto else 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
-    """Static AST rules and/or a QDWH run under the TileSan sanitizer."""
-    run_static = args.static or not args.sanitize
-    run_sanitize = args.sanitize or not args.static
+    """Static AST rules, a QDWH run under the TileSan sanitizer,
+    and/or a recorded processes run under the DistSan checkers."""
+    any_selected = args.static or args.sanitize or args.dist
     rc = 0
-    if run_static:
+    if args.static or not any_selected:
         rc |= _lint_static(args)
-    if run_sanitize:
+    if args.sanitize or not any_selected:
         rc |= _lint_sanitize(args)
+    if args.dist:
+        rc |= _lint_dist(args)
+    return rc
+
+
+def cmd_explore(args: argparse.Namespace) -> int:
+    """Model-check the distributed scheduler's schedule space."""
+    from .analysis.dist import builtin_scenarios, explore, mutant_gate
+
+    scenarios = builtin_scenarios()
+    if args.scenario:
+        scenarios = [s for s in scenarios if s.name == args.scenario]
+        if not scenarios:
+            names = ", ".join(s.name for s in builtin_scenarios())
+            print(f"unknown scenario {args.scenario!r} (have: {names})")
+            return 2
+    findings = []
+    for sc in scenarios:
+        rep = explore(sc, preemption_bound=args.bound,
+                      max_schedules=args.max_schedules)
+        cover = "truncated" if rep.truncated else "exhaustive"
+        print(f"explore[{sc.name}]: {rep.schedules} schedule(s), "
+              f"{rep.steps} step(s), bound {rep.preemption_bound} "
+              f"({cover}) | {len(rep.findings)} finding(s)")
+        for f in rep.findings:
+            print(f"  {f}")
+        findings.extend(rep.findings)
+    rc = 1 if findings else 0
+    if args.mutants:
+        gate = mutant_gate(preemption_bound=args.bound,
+                           max_schedules=args.max_schedules)
+        for r in gate.results:
+            verdict = (f"killed by {r.killing_invariant!r} "
+                       f"on {r.scenario}" if r.killed else "SURVIVED")
+            print(f"mutant[{r.name}]: {verdict} "
+                  f"({r.schedules} schedule(s))")
+        print(f"mutant gate: {len(gate.results)} mutant(s), "
+              f"{len(gate.survivors)} survivor(s), "
+              f"{len(gate.clean_findings)} clean finding(s)")
+        if not gate.ok:
+            rc = 1
+    if args.chrome_trace:
+        _distsan_trace([("explore", f) for f in findings],
+                       args.chrome_trace)
     return rc
 
 
@@ -963,6 +1071,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run only a small QDWH (eager + threads) under "
                         "the TileSan footprint sanitizer and the "
                         "happens-before race checker")
+    p.add_argument("--dist", action="store_true",
+                   help="record a small processes-backend QDWH and "
+                        "check it with the DistSan happens-before, "
+                        "shm-refcount and wire-protocol checkers")
+    p.add_argument("--chrome-trace", default=None, metavar="PATH",
+                   help="with --dist: write findings to a chrome "
+                        "trace as instant events")
     p.add_argument("paths", nargs="*",
                    help="files/directories for --static (default: the "
                         "installed repro package)")
@@ -976,6 +1091,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=4,
                    help="threads-backend worker count (default 4)")
     p.set_defaults(fn=cmd_lint)
+
+    p = sub.add_parser(
+        "explore",
+        help="model-check the distributed scheduler: systematic "
+             "bounded interleavings of completion/steal/crash events "
+             "with invariant checks, plus the seeded-mutant gate")
+    p.add_argument("--scenario", default=None,
+                   help="explore one builtin scenario by name "
+                        "(default: all)")
+    p.add_argument("--bound", type=int, default=2,
+                   help="preemption bound: max deviations from the "
+                        "default schedule per run (default 2)")
+    p.add_argument("--max-schedules", type=int, default=400,
+                   help="schedule budget per scenario (default 400)")
+    p.add_argument("--mutants", action="store_true",
+                   help="also run the seeded-mutant gate: every known-"
+                        "bad scheduler/store variant must be killed")
+    p.add_argument("--chrome-trace", default=None, metavar="PATH",
+                   help="write findings to a chrome trace as instant "
+                        "events")
+    p.set_defaults(fn=cmd_explore)
 
     p = sub.add_parser(
         "bench",

@@ -64,6 +64,7 @@ from .timeline import (
     STALL_DEPENDENCY,
     STALL_GATE,
     STALL_LINK,
+    AnalysisEvent,
     BarrierEvent,
     FaultEvent,
     SanitizerEvent,
@@ -114,6 +115,7 @@ __all__ = [
     "STALL_DEPENDENCY",
     "STALL_GATE",
     "STALL_LINK",
+    "AnalysisEvent",
     "BarrierEvent",
     "SanitizerEvent",
     "StallEvent",

@@ -117,7 +117,8 @@ def chrome_trace(timeline: TimelineSink) -> Dict[str, object]:
             (0, "barriers", timeline.barriers),
             (1, "stalls", timeline.stalls),
             (2, "faults / health", getattr(timeline, "faults", ())),
-            (3, "sanitizer", getattr(timeline, "sanitizer", ()))):
+            (3, "sanitizer", getattr(timeline, "sanitizer", ())),
+            (4, "distsan", getattr(timeline, "analysis", ()))):
         if stream:
             events.append({"name": "thread_name", "ph": "M",
                            "pid": sched_pid, "tid": tid,
@@ -210,6 +211,20 @@ def chrome_trace(timeline: TimelineSink) -> Dict[str, object]:
             "args": {"tid": s.tid, "kind": s.kind,
                      "task_kind": s.task_kind, "label": s.label,
                      "ref": list(s.ref), "detail": s.detail},
+        })
+
+    # DistSan findings (model checker / HB / protocol) as instants.
+    for a in getattr(timeline, "analysis", ()):
+        events.append({
+            "name": f"{a.checker}:{a.kind}",
+            "cat": "distsan",
+            "ph": "i",
+            "s": "g",
+            "ts": a.time * 1e6,
+            "pid": sched_pid,
+            "tid": 4,
+            "args": {"tid": a.tid, "checker": a.checker,
+                     "kind": a.kind, "detail": a.detail},
         })
 
     return {"traceEvents": events, "displayTimeUnit": "ms"}

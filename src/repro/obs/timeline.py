@@ -136,6 +136,24 @@ class SanitizerEvent:
     time: float = 0.0
 
 
+@dataclass(frozen=True)
+class AnalysisEvent:
+    """One DistSan finding (distributed-runtime analysis).
+
+    ``checker`` names the producing pass (``explore`` / ``hb`` /
+    ``protocol`` / ``refcount``); ``kind`` is the checker-specific
+    finding kind (an invariant name, a race kind, a protocol rule).
+    """
+
+    checker: str
+    kind: str
+    tid: int = -1
+    detail: str = ""
+    #: Trace-time placement; analysis is post-hoc and leaves 0.0
+    #: (findings render at the trace origin).
+    time: float = 0.0
+
+
 class TraceSink:
     """Callback interface the scheduler drives.  All no-ops here."""
 
@@ -157,6 +175,9 @@ class TraceSink:
     def on_sanitizer(self, ev: SanitizerEvent) -> None:  # pragma: no cover
         pass
 
+    def on_analysis(self, ev: AnalysisEvent) -> None:  # pragma: no cover
+        pass
+
 
 class TimelineSink(TraceSink):
     """Collects every event in arrival order.
@@ -173,6 +194,7 @@ class TimelineSink(TraceSink):
         self.stalls: List[StallEvent] = []
         self.faults: List[FaultEvent] = []
         self.sanitizer: List[SanitizerEvent] = []
+        self.analysis: List[AnalysisEvent] = []
 
     # -- collection ----------------------------------------------------
 
@@ -193,6 +215,9 @@ class TimelineSink(TraceSink):
 
     def on_sanitizer(self, ev: SanitizerEvent) -> None:
         self.sanitizer.append(ev)
+
+    def on_analysis(self, ev: AnalysisEvent) -> None:
+        self.analysis.append(ev)
 
     # -- aggregations --------------------------------------------------
 
@@ -254,4 +279,12 @@ class TimelineSink(TraceSink):
         out: Dict[str, int] = {}
         for s in self.sanitizer:
             out[s.kind] = out.get(s.kind, 0) + 1
+        return out
+
+    def analysis_counts(self) -> Dict[str, int]:
+        """DistSan findings by ``checker:kind``."""
+        out: Dict[str, int] = {}
+        for a in self.analysis:
+            key = f"{a.checker}:{a.kind}"
+            out[key] = out.get(key, 0) + 1
         return out

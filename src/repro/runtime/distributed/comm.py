@@ -36,6 +36,7 @@ never hangs past its timeout.
 
 from __future__ import annotations
 
+import contextlib
 import pickle
 import queue
 import socket
@@ -166,6 +167,12 @@ class Comm:
         self.sent_bytes = 0
         self.received_messages = 0
         self.received_bytes = 0
+        #: Optional frame observer (DistSan protocol recording):
+        #: ``observer(direction, msg, nbytes, codec, declared)`` is
+        #: called just before each frame is written, after each
+        #: successful recv, and once with ``("close", None, 0, -1,
+        #: -1)`` when the comm closes.
+        self.observer = None
         self._closed = False
 
     # -- transport hooks -------------------------------------------------
@@ -189,6 +196,13 @@ class Comm:
             raise CommClosedError(f"send on closed comm to "
                                   f"{self.peer_address}")
         frame = encode_frame(msg)
+        if self.observer is not None:
+            # Record *before* the wire write: the peer's reply is
+            # recorded by a reader thread, and observing after the
+            # write would let a fast reply appear first in the frame
+            # log, inverting the send→recv happens-before edge.
+            length, codec = _HEADER.unpack(frame[:_HEADER.size])
+            self.observer("send", msg, len(frame), codec, length)
         self._send_frame(frame)
         self.sent_messages += 1
         self.sent_bytes += len(frame)
@@ -208,7 +222,10 @@ class Comm:
         self.received_bytes += nbytes
         if self.counters is not None:
             self.counters.record(self.path, nbytes)
-        return decode_frame(codec, payload)
+        msg = decode_frame(codec, payload)
+        if self.observer is not None:
+            self.observer("recv", msg, nbytes, codec, len(payload))
+        return msg
 
     def close(self) -> None:
         """Idempotent close; the peer's next recv sees EOF."""
@@ -216,11 +233,13 @@ class Comm:
             return
         self._closed = True
         self._close_transport()
+        if self.observer is not None:
+            self.observer("close", None, 0, -1, -1)
 
     def __enter__(self) -> "Comm":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -245,7 +264,7 @@ class Listener:
     def __enter__(self) -> "Listener":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
 
@@ -333,10 +352,8 @@ class InProcComm(Comm):
         return _HEADER.unpack(item[:_HEADER.size])[1], item[_HEADER.size:]
 
     def _close_transport(self) -> None:
-        try:
+        with contextlib.suppress(Exception):  # pragma: no cover - in-memory
             self._tx.put(_CLOSE)
-        except Exception:  # pragma: no cover - queue is in-memory
-            pass
 
 
 class InProcListener(Listener):
@@ -413,13 +430,13 @@ class TCPComm(Comm):
     def __init__(self, sock: socket.socket,
                  counters: Optional[CommCounters] = None,
                  path: TransferPath = TransferPath.INTRA_NODE):
-        try:
+        with contextlib.suppress(OSError):  # pragma: no cover - AF dependent
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        except OSError:  # pragma: no cover - AF dependent
-            pass
-        local = "tcp://%s:%d" % sock.getsockname()[:2]
+        host, port = sock.getsockname()[:2]
+        local = f"tcp://{host}:{port}"
         try:
-            peer = "tcp://%s:%d" % sock.getpeername()[:2]
+            host, port = sock.getpeername()[:2]
+            peer = f"tcp://{host}:{port}"
         except OSError:  # pragma: no cover - already reset
             peer = "tcp://?"
         super().__init__(local, peer, counters, path)
@@ -479,14 +496,10 @@ class TCPComm(Comm):
         return codec, payload
 
     def _close_transport(self) -> None:
-        try:
+        with contextlib.suppress(OSError):
             self._sock.shutdown(socket.SHUT_RDWR)
-        except OSError:
-            pass
-        try:
+        with contextlib.suppress(OSError):  # pragma: no cover
             self._sock.close()
-        except OSError:  # pragma: no cover
-            pass
 
     def fileno(self) -> int:
         return self._sock.fileno()
@@ -507,7 +520,8 @@ class TCPListener(Listener):
                 f"cannot bind tcp://{host}:{port}: {e}") from e
         sock.listen(128)
         self._sock = sock
-        self.address = "tcp://%s:%d" % sock.getsockname()[:2]
+        host, port = sock.getsockname()[:2]
+        self.address = f"tcp://{host}:{port}"
         self._closed = False
 
     def accept(self, timeout: Optional[float] = DEFAULT_TIMEOUT) -> Comm:
@@ -530,10 +544,8 @@ class TCPListener(Listener):
         if self._closed:
             return
         self._closed = True
-        try:
+        with contextlib.suppress(OSError):  # pragma: no cover
             self._sock.close()
-        except OSError:  # pragma: no cover
-            pass
 
 
 def _parse_hostport(rest: str) -> Tuple[str, int]:

@@ -38,6 +38,7 @@ so ``Runtime.sync`` drives either backend unchanged.
 
 from __future__ import annotations
 
+import contextlib
 import heapq
 import multiprocessing
 import os
@@ -46,12 +47,15 @@ import signal
 import threading
 import time
 from time import perf_counter
-from typing import Callable, Dict, List, NamedTuple, Optional, Set, Tuple
+from typing import (Any, Callable, Dict, Iterable, List, NamedTuple,
+                    Optional, Set, Tuple)
 
 from ..graph import TaskGraph
 from ..parallel import (ExecutionStats, _peak_rss_bytes, default_workers)
 from ..task import Task, TaskKind, TileRef
-from .comm import CommError, Listener, listen
+from .comm import Comm, CommError, Listener, listen
+from .events import (EV_CLOSE, EV_COMPLETE, EV_DEATH, EV_DISPATCH,
+                     EV_DRIVER, EV_FAIL, EV_REPLAY, EV_SPAWN)
 from .scheduling import DynamicScheduler
 from .shm import SharedTileStore
 from .worker import (SideEntry, retryable_exception, worker_main, _run_one)
@@ -77,7 +81,8 @@ class _Worker:
     __slots__ = ("wid", "lane", "proc", "comm", "pid", "clock_offset",
                  "reader", "shipped", "kill_reason")
 
-    def __init__(self, wid: int, proc, comm, pid: int,
+    def __init__(self, wid: int, proc: multiprocessing.process.BaseProcess,
+                 comm: Comm, pid: int,
                  clock_offset: float, lane: int = 0):
         self.wid = wid
         #: Stable timeline slot (0..workers-1).  wids grow monotonically
@@ -98,9 +103,10 @@ class _Worker:
 class ProcessExecutor:
     """Replay a recorded task graph on forked worker processes."""
 
-    def __init__(self, rt, *, workers: Optional[int] = None,
-                 sink=None, validate: bool = True,
-                 recovery=None, injector=None, tiles=None,
+    def __init__(self, rt: Any, *, workers: Optional[int] = None,
+                 sink: Any = None, validate: bool = True,
+                 recovery: Any = None, injector: Any = None,
+                 tiles: Any = None,
                  pipeline_depth: int = 2) -> None:
         self.rt = rt
         self.graph: TaskGraph = rt.graph
@@ -126,6 +132,12 @@ class ProcessExecutor:
         self.stats = ExecutionStats(workers=self.workers)
         self.comm_counters = CommCounters()
         self.store = SharedTileStore()
+        #: DistSan event recorder, attached by the owner as
+        #: ``rt.dist_recorder`` before the first sync.  Strictly
+        #: opt-in: with no recorder every hook site is a None check.
+        self.recorder = getattr(rt, "dist_recorder", None)
+        if self.recorder is not None:
+            self.store.observer = self.recorder.store_observer()
         if validate:
             self.graph.validate()
         #: Injected crashes (live): fired once each, by time since the
@@ -182,13 +194,16 @@ class ProcessExecutor:
             self._listener.close()
             self._listener = None
         self.store.close()
+        if self.recorder is not None:
+            self.recorder.leaked = self.store.leaked_segments()
+            self.recorder.record(EV_CLOSE)
         from ...obs.metrics import get_registry
         self.comm_counters.publish(get_registry(), prefix="dist.comm")
 
     def __enter__(self) -> "ProcessExecutor":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
     # ------------------------------------------------------------------
@@ -268,10 +283,17 @@ class ProcessExecutor:
             daemon=True, name=f"repro-dist-w{wid}")
         proc.start()
         comm = self._listener.accept(timeout=15.0)
+        if self.recorder is not None:
+            comm.observer = self.recorder.frame_observer(f"pending{wid}")
         hello = comm.recv(timeout=15.0)
         if not (isinstance(hello, dict) and hello.get("op") == "hello"):
             comm.close()
             raise CommError(f"bad hello from worker {wid}: {hello!r}")
+        if self.recorder is not None:
+            comm.observer = self.recorder.frame_observer(f"w{hello['wid']}")
+            self.recorder.rename_connection(f"pending{wid}",
+                                            f"w{hello['wid']}")
+            self.recorder.record(EV_SPAWN, wid=int(hello["wid"]))
         offset = perf_counter() - float(hello["clock"])
         used = {w.lane for w in self._pool.values()
                 if w.proc.is_alive() and w.kill_reason is None}
@@ -310,13 +332,19 @@ class ProcessExecutor:
             wids.append(wid)
             procs.append(proc)
         by_wid = dict(zip(wids, procs))
-        for _ in range(n):
+        for k in range(n):
             comm = lst.accept(timeout=15.0)
+            if self.recorder is not None:
+                comm.observer = self.recorder.frame_observer(f"accept{k}")
             hello = comm.recv(timeout=15.0)
             if not (isinstance(hello, dict) and hello.get("op") == "hello"):
                 comm.close()
                 raise CommError(f"bad worker hello: {hello!r}")
             wid = hello["wid"]
+            if self.recorder is not None:
+                comm.observer = self.recorder.frame_observer(f"w{wid}")
+                self.recorder.rename_connection(f"accept{k}", f"w{wid}")
+                self.recorder.record(EV_SPAWN, wid=int(wid))
             offset = perf_counter() - float(hello["clock"])
             w = _Worker(wid, by_wid[wid], comm, int(hello["pid"]),
                         offset, lane=wids.index(wid))
@@ -342,10 +370,8 @@ class ProcessExecutor:
     def _shutdown_pool(self, force: bool = False) -> None:
         for w in list(self._pool.values()):
             if not w.comm.closed:
-                try:
+                with contextlib.suppress(CommError):
                     w.comm.send({"op": "shutdown"})
-                except CommError:
-                    pass
         deadline = time.monotonic() + (0.1 if force else 5.0)
         for w in list(self._pool.values()):
             w.proc.join(timeout=max(0.0, deadline - time.monotonic()))
@@ -483,6 +509,9 @@ class ProcessExecutor:
                 return False
             self._inflight += 1
             dispatch_t[tid] = perf_counter()
+            if self.recorder is not None:
+                self.recorder.record(EV_DISPATCH, tid=tid, wid=wid,
+                                     attempt=a)
             return True
 
         completed = [0]
@@ -527,7 +556,9 @@ class ProcessExecutor:
                     duration=dur, label=t.label, measured=True,
                     cpu=cpu))
 
-        def apply_events(tid: int, events, rank: int) -> None:
+        def apply_events(tid: int,
+                         events: Optional[Iterable[Tuple[str, str]]],
+                         rank: int) -> None:
             from ...obs.timeline import FAULT_CORRUPTION, FAULT_STALL
             for kind, detail in events or ():
                 if kind == "stall":
@@ -576,6 +607,9 @@ class ProcessExecutor:
                 if dispatch_t.pop(tid, None) is not None:
                     self._inflight -= 1
             reason = w.kill_reason if w is not None else None
+            if self.recorder is not None:
+                self.recorder.record(EV_DEATH, wid=wid,
+                                     detail=reason or "eof")
             if w is not None:
                 w.comm.close()
                 w.proc.join(timeout=5.0)
@@ -608,6 +642,9 @@ class ProcessExecutor:
                 fault_event(FAULT_REPLAY, tid,
                             f"replaying task {tid} lost to worker "
                             f"{wid}", rank=wid)
+            if self.recorder is not None:
+                for tid in queued + inflight:
+                    self.recorder.record(EV_REPLAY, tid=tid, wid=wid)
             sched.requeue(queued + inflight)
             if not sched.alive_workers() and sched.pending > 0:
                 nw = self._spawn_worker(start, end)
@@ -689,6 +726,10 @@ class ProcessExecutor:
                     self._inflight -= 1
                     apply_events(dtid, reply.get("events"),
                                  tasks[dtid].rank)
+                    if self.recorder is not None:
+                        self.recorder.record(
+                            EV_DRIVER if reply["op"] == "done" else EV_FAIL,
+                            tid=dtid, attempt=a)
                     if reply["op"] == "done":
                         complete(dtid, None, reply["t0"] - t_epoch,
                                  reply["t1"] - t_epoch, reply["cpu"],
@@ -743,6 +784,11 @@ class ProcessExecutor:
                 self._inflight -= 1
                 del dispatch_t[tid]
                 apply_events(tid, msg.get("events"), tasks[tid].rank)
+                if self.recorder is not None:
+                    self.recorder.record(
+                        EV_COMPLETE if op == "done" else EV_FAIL,
+                        tid=tid, wid=wid,
+                        attempt=int(msg.get("attempt", 0)))
                 if op == "done":
                     off = w.clock_offset - self._epoch
                     complete(tid, wid, msg["t0"] + off,
@@ -762,7 +808,8 @@ class ProcessExecutor:
 
     # -- helpers -------------------------------------------------------
 
-    def _wait_budget(self, retry_at, poll: float) -> float:
+    def _wait_budget(self, retry_at: List[Tuple[float, int]],
+                     poll: float) -> float:
         budget = poll
         now = perf_counter()
         if retry_at:
@@ -786,14 +833,13 @@ class ProcessExecutor:
         counter.inc()
 
 
-def _worker_entry(wid: int, address: str, rt, start: int, end: int,
-                  injector, scrub: bool, close_fds: List[int]) -> None:
+def _worker_entry(wid: int, address: str, rt: Any, start: int, end: int,
+                  injector: Any, scrub: bool,
+                  close_fds: List[int]) -> None:
     """Child-process bootstrap: drop inherited sibling fds, then run
     the worker loop (never returns)."""
     for fd in close_fds:
-        try:
+        with contextlib.suppress(OSError):
             os.close(fd)
-        except OSError:
-            pass
     worker_main(wid, address, rt, start, end, injector=injector,
                 scrub_writes=scrub)

@@ -28,12 +28,13 @@ internal bookkeeping.
 
 from __future__ import annotations
 
+import contextlib
 import os
 import secrets
 import threading
 import weakref
 from multiprocessing import shared_memory
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -73,6 +74,10 @@ class SharedTileStore:
         if prefix is None:
             prefix = f"repro{os.getpid()}x{secrets.token_hex(3)}"
         self.prefix = prefix
+        #: Optional lifecycle observer (DistSan refcount audit):
+        #: ``observer(kind, segment_name, refs_after, ref)`` with kind
+        #: one of pin/incref/decref/unlink/evacuate/close.
+        self.observer = None
         self._lock = threading.Lock()
         self._seq = 0
         self._segments: Dict[str, _Segment] = {}
@@ -105,7 +110,7 @@ class SharedTileStore:
             self._segments[name] = _Segment(shm, arr, refs=1)
         return name, arr
 
-    def pin_tile(self, mat, i: int, j: int,
+    def pin_tile(self, mat: Any, i: int, j: int,
                  shape: Tuple[int, ...], dtype: np.dtype) -> np.ndarray:
         """Ensure tile ``(i, j)`` of ``mat`` is backed by shared memory.
 
@@ -130,6 +135,8 @@ class SharedTileStore:
             names = self._mat_refs.setdefault(mat.mat_id, [])
             names.append(name)
             self._mats[mat.mat_id] = weakref.ref(mat)
+            if self.observer is not None:
+                self.observer("pin", name, 1, ref)
             if first:
                 # One finalizer per matrix releases every segment the
                 # matrix ever owned (the list keeps growing after
@@ -157,6 +164,9 @@ class SharedTileStore:
             if seg is None:
                 raise KeyError(f"unknown shm segment {name!r}")
             seg.refs += 1
+            refs = seg.refs
+        if self.observer is not None:
+            self.observer("incref", name, refs, ())
 
     def decref(self, name: str) -> None:
         self._decref_name(name)
@@ -167,10 +177,16 @@ class SharedTileStore:
             if seg is None:
                 return
             seg.refs -= 1
-            if seg.refs > 0:
-                return
-            del self._segments[name]
+            refs = seg.refs
+            if refs <= 0:
+                del self._segments[name]
+        if self.observer is not None:
+            self.observer("decref", name, max(refs, 0), ())
+        if refs > 0:
+            return
         self._destroy(seg)
+        if self.observer is not None:
+            self.observer("unlink", name, 0, ())
 
     def _release_many(self, names: List[str]) -> None:
         for name in names:
@@ -179,17 +195,13 @@ class SharedTileStore:
     @staticmethod
     def _destroy(seg: _Segment) -> None:
         seg.array = None  # drop our view before closing the mapping
-        try:
+        # BufferError: someone still holds a numpy view (snapshot, user
+        # code).  The mapping stays until those views die; unlink below
+        # still removes the /dev/shm entry, so nothing leaks.
+        with contextlib.suppress(BufferError):  # pragma: no cover
             seg.shm.close()
-        except BufferError:  # pragma: no cover - external views alive
-            # Someone still holds a numpy view (snapshot, user code).
-            # The mapping stays until those views die; unlink below
-            # still removes the /dev/shm entry, so nothing leaks.
-            pass
-        try:
+        with contextlib.suppress(FileNotFoundError):  # pragma: no cover
             seg.shm.unlink()
-        except FileNotFoundError:  # pragma: no cover - already gone
-            pass
 
     # -- queries ---------------------------------------------------------
 
@@ -249,17 +261,23 @@ class SharedTileStore:
                 return
             self._closed = True
         self._evacuate()
+        if self.observer is not None:
+            self.observer("evacuate", "", -1, ())
         with self._lock:
-            segs = list(self._segments.values())
+            named = list(self._segments.items())
             self._segments.clear()
             self._of_ref.clear()
             self._mat_refs.clear()
             self._mats.clear()
-        for seg in segs:
+        for name, seg in named:
             self._destroy(seg)
+            if self.observer is not None:
+                self.observer("unlink", name, 0, ())
+        if self.observer is not None:
+            self.observer("close", "", -1, ())
 
     def __enter__(self) -> "SharedTileStore":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()

@@ -27,11 +27,12 @@ multiprocessing resource tracker all belong to the parent).
 
 from __future__ import annotations
 
+import contextlib
 import os
 import pickle
 import time
 from time import perf_counter
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -73,14 +74,14 @@ def _portable_exc(exc: BaseException) -> BaseException:
         return RuntimeError(f"{type(exc).__name__}: {exc}")
 
 
-def _install_side_entries(rt, entries: List[SideEntry]) -> None:
+def _install_side_entries(rt: Any, entries: List[SideEntry]) -> None:
     for mat_id, key, value in entries or ():
         store = rt._side_stores.get(mat_id)
         if store is not None:
             store.mapping[key] = value
 
 
-def _collect_side_writes(rt, task) -> List[SideEntry]:
+def _collect_side_writes(rt: Any, task: Any) -> List[SideEntry]:
     out: List[SideEntry] = []
     for ref in task.writes:
         store = rt._side_stores.get(ref[0])
@@ -92,8 +93,10 @@ def _collect_side_writes(rt, task) -> List[SideEntry]:
     return out
 
 
-def _run_one(rt, graph, fns, injector, tiles, sanitizer, scrub_writes,
-             tid: int, attempt: int, side: List[SideEntry]):
+def _run_one(rt: Any, graph: Any, fns: Dict[int, Any], injector: Any,
+             tiles: Any, sanitizer: Any, scrub_writes: bool,
+             tid: int, attempt: int,
+             side: List[SideEntry]) -> Dict[str, Any]:
     """Execute one task; returns the reply message (``done``/``fail``)."""
     t = graph.tasks[tid]
     events: List[Tuple[str, str]] = []
@@ -156,8 +159,9 @@ def _run_one(rt, graph, fns, injector, tiles, sanitizer, scrub_writes,
             "side": _collect_side_writes(rt, t)}
 
 
-def worker_main(wid: int, address: str, rt, start: int, end: int,
-                injector=None, scrub_writes: bool = False) -> None:
+def worker_main(wid: int, address: str, rt: Any, start: int, end: int,
+                injector: Any = None,
+                scrub_writes: bool = False) -> None:
     """Entry point of a forked worker.  Never returns — exits the
     process via ``os._exit``."""
     code = 0
@@ -194,11 +198,9 @@ def worker_main(wid: int, address: str, rt, start: int, end: int,
     except BaseException:
         code = 1
     finally:
-        try:
-            if comm is not None:
+        if comm is not None:
+            with contextlib.suppress(Exception):
                 comm.close()
-        except Exception:
-            pass
         # Skip interpreter teardown entirely: the fork inherited
         # atexit hooks, shm objects and executor state that belong to
         # the parent.

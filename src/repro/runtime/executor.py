@@ -116,6 +116,12 @@ class Runtime:
         #: entries between parent and workers by ref; the threads and
         #: eager backends ignore them (shared address space).
         self._side_stores: dict = {}
+        #: Optional DistSan event recorder
+        #: (:class:`repro.runtime.distributed.events.DistTraceRecorder`).
+        #: Set it before the first ``sync()`` of a processes-backend run
+        #: and the executor records dispatch/completion, shm lifecycle,
+        #: and wire-frame events for the ``repro lint --dist`` checkers.
+        self.dist_recorder = None
         self._closed = False
         #: TileSan footprint sanitizer (``sanitize="warn"|"raise"|None``;
         #: default comes from the REPRO_SANITIZE env var).  Only numeric

@@ -249,7 +249,7 @@ def _r_norm1(rt: Runtime, fac: QRFactors) -> ScalarResult:
 
     def reduce_body():
         cols = {}
-        for (k, j), v in parts.items():
+        for (_k, j), v in parts.items():
             cols[j] = v if j not in cols else cols[j] + v
         box[0] = max((float(np.max(c)) for c in cols.values()), default=0.0)
 

@@ -101,7 +101,7 @@ def norm_one(rt: Runtime, a: DistMatrix) -> ScalarResult:
     rt.begin_op()
     def combine(parts):
         cols: Dict[int, np.ndarray] = {}
-        for (i, j), v in parts.items():
+        for (_i, j), v in parts.items():
             cols[j] = v if j not in cols else cols[j] + v
         return max((float(np.max(c)) for c in cols.values()), default=0.0)
 
@@ -118,7 +118,7 @@ def norm_inf(rt: Runtime, a: DistMatrix) -> ScalarResult:
     rt.begin_op()
     def combine(parts):
         rows: Dict[int, np.ndarray] = {}
-        for (i, j), v in parts.items():
+        for (i, _j), v in parts.items():
             rows[i] = v if i not in rows else rows[i] + v
         return max((float(np.max(r)) for r in rows.values()), default=0.0)
 

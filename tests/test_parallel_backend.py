@@ -183,17 +183,17 @@ class TestParallelExecutor:
         g = _graph([((), (0,)), ((0,), (1,))])
         g.tasks[1].deps = ()
         fns = {0: lambda: time.sleep(0.1), 1: lambda: None}
-        with ParallelExecutor(g, fns, workers=2, validate=False) as ex:
-            with pytest.raises(OrderingViolationError):
-                ex.run()
+        with ParallelExecutor(g, fns, workers=2, validate=False) as ex, \
+                pytest.raises(OrderingViolationError):
+            ex.run()
 
     def test_detects_concurrent_writers_at_runtime(self):
         g = _graph([((), (0,)), ((), (0,))])
         g.tasks[1].deps = ()
         fns = {0: lambda: time.sleep(0.1), 1: lambda: None}
-        with ParallelExecutor(g, fns, workers=2, validate=False) as ex:
-            with pytest.raises(OrderingViolationError):
-                ex.run()
+        with ParallelExecutor(g, fns, workers=2, validate=False) as ex, \
+                pytest.raises(OrderingViolationError):
+            ex.run()
 
     def test_payload_exception_propagates(self):
         g = _graph([((), (0,))])
@@ -201,9 +201,9 @@ class TestParallelExecutor:
         def boom():
             raise ZeroDivisionError("payload failure")
 
-        with ParallelExecutor(g, {0: boom}) as ex:
-            with pytest.raises(ZeroDivisionError):
-                ex.run()
+        with ParallelExecutor(g, {0: boom}) as ex, \
+                pytest.raises(ZeroDivisionError):
+            ex.run()
 
     def test_measured_sink_events(self):
         from repro.obs.export import chrome_trace

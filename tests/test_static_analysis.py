@@ -32,9 +32,13 @@ from repro.analysis import (
     lint_source,
 )
 from repro.analysis.lint import (
+    BACKEND_UNKNOWN,
     BYTES_OUT_MISSING,
     FOOTPRINT_MISSING,
+    FORK_UNSAFE_ARG,
     PAYLOAD_FOOTPRINT,
+    RECV_UNDER_LOCK,
+    SHM_UNRELEASED,
     SYNC_IN_PAYLOAD as LINT_SYNC_IN_PAYLOAD,
 )
 from repro.analysis.sanitizer import (
@@ -581,6 +585,133 @@ def drain(pool, work):
         from repro.analysis import lint_paths
 
         assert lint_paths([os.path.dirname(repro.__file__)]) == []
+
+
+class TestDistributedLintRules:
+    """REP005-REP008: rules targeting the distributed runtime."""
+
+    def test_rep005_incref_without_release(self):
+        src = """
+def pin(store, name):
+    store.incref(name)
+    return name
+"""
+        (f,) = lint_source(src)
+        assert f.rule == SHM_UNRELEASED
+
+    def test_rep005_balanced_scope_is_clean(self):
+        src = """
+def pin(store, name):
+    store.incref(name)
+    try:
+        use(name)
+    finally:
+        store.decref(name)
+"""
+        assert lint_source(src) == []
+
+    def test_rep005_close_counts_as_release(self):
+        src = """
+def pin(store, name):
+    store.incref(name)
+    store.close()
+"""
+        assert lint_source(src) == []
+
+    def test_rep006_recv_under_lock(self):
+        src = """
+def pump(self, w):
+    with self._send_lock:
+        return w.comm.recv(timeout=None)
+"""
+        (f,) = lint_source(src)
+        assert f.rule == RECV_UNDER_LOCK
+
+    def test_rep006_recv_outside_lock_is_clean(self):
+        src = """
+def pump(self, w):
+    with self._send_lock:
+        w.comm.send(msg)
+    return w.comm.recv(timeout=None)
+"""
+        assert lint_source(src) == []
+
+    def test_rep006_block_is_not_a_lock(self):
+        # 'block' must not token-match 'lock'.
+        src = """
+def pump(self, w, block):
+    with block:
+        return w.comm.recv(timeout=None)
+"""
+        assert lint_source(src) == []
+
+    def test_rep006_nonblocking_receiver_names_are_clean(self):
+        src = """
+def pump(self, q):
+    with self._lock:
+        return q.recv()
+"""
+        assert lint_source(src) == []
+
+    def test_rep007_lock_in_process_args(self):
+        src = """
+def spawn(ctx, fn):
+    lock = threading.Lock()
+    return ctx.Process(target=fn, args=(1, lock))
+"""
+        (f,) = lint_source(src)
+        assert f.rule == FORK_UNSAFE_ARG
+
+    def test_rep007_factory_call_in_args(self):
+        src = """
+def spawn(ctx, fn):
+    return ctx.Process(target=fn, args=(Lock(),))
+"""
+        (f,) = lint_source(src)
+        assert f.rule == FORK_UNSAFE_ARG
+
+    def test_rep007_comm_attribute_in_args(self):
+        src = """
+def spawn(ctx, fn, w):
+    return ctx.Process(target=fn, args=(w.wid, w.comm))
+"""
+        (f,) = lint_source(src)
+        assert f.rule == FORK_UNSAFE_ARG
+
+    def test_rep007_plain_data_args_are_clean(self):
+        src = """
+def spawn(ctx, fn, address, close_fds):
+    return ctx.Process(target=fn,
+                       args=(3, address, "tcp://x", close_fds))
+"""
+        assert lint_source(src) == []
+
+    def test_rep008_unknown_backend_literal(self):
+        src = """
+def run(rt, da):
+    return tiled_qdwh(rt, da, backend="proceses", workers=4)
+"""
+        (f,) = lint_source(src)
+        assert f.rule == BACKEND_UNKNOWN
+        assert "proceses" in f.message
+
+    def test_rep008_known_backends_are_clean(self):
+        src = """
+def run(rt, da):
+    a = tiled_qdwh(rt, da, backend="processes", workers=4)
+    b = tiled_qdwh(rt, da, backend="threads")
+    c = tiled_qdwh(rt, da, backend="eager")
+    d = tiled_qdwh(rt, da, backend="dense")
+    return a, b, c, d
+"""
+        assert lint_source(src) == []
+
+    def test_new_rules_respect_suppression(self):
+        src = """
+def pin(store, name):
+    store.incref(name)  # repro-lint: ignore[REP005]
+"""
+        assert lint_source(src) == []
 
 
 # ---------------------------------------------------------------------------

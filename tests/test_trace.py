@@ -82,7 +82,7 @@ class TestGantt:
         assert len(rows) == 100
         starts = [s for _, _, s, _ in rows]
         assert starts == sorted(starts)
-        for rank, kind, s, f in rows:
+        for _rank, kind, s, f in rows:
             assert f >= s
             assert isinstance(kind, str)
 
