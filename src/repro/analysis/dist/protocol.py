@@ -11,13 +11,23 @@ through an explicit state machine and flags every deviation.
 
 Checked per connection (parent-side view, one comm per worker):
 
-* framing: codec tag is a known codec; the length prefix matches the
-  observed frame size (header + payload).
-* handshake: the first inbound frame is exactly one ``hello``.
-* vocabulary: inbound ops ⊆ {hello, done, fail}; outbound ops ⊆
-  {task, shutdown}.
+* framing: codec tag is a known codec (the ``FLAG_CRC`` high bit —
+  a CRC32 trailer inside the declared length — is masked off first);
+  the length prefix matches the observed frame size (header +
+  payload).
+* handshake: the first inbound frame is exactly one ``hello`` — or
+  exactly one ``resync`` (the reliable layer's reconnect handshake),
+  in which case the connection may carry nothing but that resync and
+  one outbound ``resync-ack`` before being spliced under the worker's
+  comm.
+* vocabulary: inbound ops ⊆ {hello, done, fail, hb}; outbound ops ⊆
+  {task, shutdown}.  ``hb`` heartbeats (reliable layer) may arrive
+  any time after the hello and need no reply matching.
 * lifecycle: no frame in either direction after close; no task
-  dispatched after shutdown was sent.
+  dispatched after shutdown was sent.  A ``reopen`` mark (the
+  reliable layer re-attached the connection after a link break) is
+  informational while the connection is live but a violation after
+  close.
 * matching: every done/fail reply matches an outstanding
   ``(tid, attempt)`` task sent on the same connection, at most once.
 * retry classification: a fail reply carrying an exception whose
@@ -32,14 +42,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Sequence, Set, Tuple, Union
 
-from ...runtime.distributed.comm import _HEADER, CODEC_MSGPACK, CODEC_PICKLE
+from ...runtime.distributed.comm import (_HEADER, CODEC_MSGPACK,
+                                         CODEC_PICKLE, FLAG_CRC)
 from ...runtime.distributed.events import DistTraceRecorder, FrameRecord
 from ...runtime.distributed.worker import retryable_exception
 
 __all__ = ["ProtocolFinding", "check_connection", "check_frames"]
 
 _KNOWN_CODECS = (CODEC_PICKLE, CODEC_MSGPACK)
-_INBOUND_OPS = frozenset({"hello", "done", "fail"})
+_INBOUND_OPS = frozenset({"hello", "done", "fail", "hb"})
 _OUTBOUND_OPS = frozenset({"task", "shutdown"})
 
 
@@ -63,6 +74,7 @@ def check_connection(conn: str,
     outstanding: Set[Tuple[int, int]] = set()   # sent, unanswered
     answered: Set[Tuple[int, int]] = set()
     hello_seen = False
+    resync_seen = False
     shutdown_sent = False
     closed = False
 
@@ -78,14 +90,29 @@ def check_connection(conn: str,
             flag(i, "frame-after-close",
                  f"{fr.direction} of {fr.op or '?'} after close")
             continue
-        if fr.codec not in _KNOWN_CODECS:
+        if fr.direction == "reopen":
+            # Reliable-layer resync: the link broke and was re-attached.
+            # Informational — the stream's seq/ack state carried over.
+            continue
+        if fr.codec & ~FLAG_CRC not in _KNOWN_CODECS:
             flag(i, "bad-codec", f"unknown codec tag {fr.codec}")
         if fr.declared >= 0 and fr.nbytes != fr.declared + _HEADER.size:
             flag(i, "length-mismatch",
                  f"frame is {fr.nbytes}B but prefix declares "
                  f"{fr.declared}B payload (+{_HEADER.size}B header)")
         if fr.direction == "recv":
+            if resync_seen:
+                flag(i, "bad-op",
+                     f"inbound {fr.op!r} on a resync connection "
+                     f"(handshake carries exactly one resync)")
+                continue
             if not hello_seen:
+                if fr.op == "resync":
+                    # Reliable-layer reconnect: this connection exists
+                    # only to carry the resync/resync-ack handshake
+                    # before being spliced under the worker's comm.
+                    resync_seen = True
+                    continue
                 if fr.op != "hello":
                     flag(i, "hello-first",
                          f"first inbound frame is {fr.op or '?'}, "
@@ -124,6 +151,12 @@ def check_connection(conn: str,
                              f"but {type(fr.exc).__name__} classifies "
                              f"as not retryable")
         elif fr.direction == "send":
+            if resync_seen:
+                if fr.op != "resync-ack":
+                    flag(i, "bad-op",
+                         f"outbound {fr.op!r} on a resync connection "
+                         f"(only resync-ack is valid)")
+                continue
             if fr.op not in _OUTBOUND_OPS:
                 flag(i, "bad-op", f"unexpected outbound op {fr.op!r}")
                 continue
@@ -139,7 +172,7 @@ def check_connection(conn: str,
                          f"tid {fr.tid} attempt {fr.attempt} "
                          f"dispatched twice")
                 outstanding.add(key)
-    if not hello_seen and frames:
+    if not hello_seen and not resync_seen and frames:
         flag(len(frames) - 1, "no-hello",
              "connection carried frames but never a hello")
     return findings

@@ -226,9 +226,13 @@ def _polar_tiled(args: argparse.Namespace, a: np.ndarray) -> int:
         line += f" | in-flight after close {leaked}"
         print(line)
         if stats.comm_messages:
-            print(f"comm: {stats.comm_messages} messages | "
-                  f"{stats.comm_bytes / 2**20:.1f} MiB on the wire | "
-                  f"leaked shm segments {leaked_shm}")
+            line = (f"comm: {stats.comm_messages} messages | "
+                    f"{stats.comm_bytes / 2**20:.1f} MiB on the wire | "
+                    f"leaked shm segments {leaked_shm}")
+            if stats.comm_retrans_messages:
+                line += (f" | {stats.comm_retrans_messages} frame(s) "
+                         f"retransmitted")
+            print(line)
         print(recovery_report(stats.recovery), end="")
         if leaked:
             print(f"WARNING: {leaked} attempt(s) still in flight "
@@ -443,6 +447,11 @@ def _faults_live(args: argparse.Namespace) -> int:
 
     backend = args.backend
     processes = backend == "processes"
+    chaos = bool(getattr(args, "chaos", False))
+    if chaos and not processes:
+        raise SystemExit("--chaos injects network faults into the "
+                         "driver<->worker comm layer; it needs "
+                         "--backend processes")
     plan = _fault_plan_from_args(args, max(1, args.workers), 0.0)
     if plan is None:
         if processes:
@@ -461,6 +470,13 @@ def _faults_live(args: argparse.Namespace) -> int:
         raise SystemExit("rank crashes need --backend processes, where "
                          "a crash SIGKILLs a real worker; threads "
                          "cannot lose a worker (drop --crash/--mttf)")
+    if chaos:
+        import dataclasses
+
+        from .resilience.net import default_chaos_plan
+
+        plan = dataclasses.replace(
+            plan, net=default_chaos_plan(seed=args.fault_seed))
     pol = RecoveryPolicy(
         max_retries=args.retries if args.retries is not None else 3,
         task_timeout=args.task_timeout,
@@ -497,7 +513,8 @@ def _faults_live(args: argparse.Namespace) -> int:
           and rep.backward <= tol)
     print(f"live fault smoke: backend={backend} n={args.live_n} "
           f"nb={args.live_nb} cond={args.cond:g} "
-          f"workers={args.workers} seed={args.fault_seed}")
+          f"workers={args.workers} seed={args.fault_seed}"
+          + (" chaos=on" if chaos else ""))
     print(f"  faulty:     converged={res.converged} "
           f"iterations={res.iterations} backward={rep.backward:.3e}"
           + (" [degraded to dense]" if res.degraded else ""))
@@ -510,6 +527,10 @@ def _faults_live(args: argparse.Namespace) -> int:
         print(f"  health: {msg}")
     if stats is not None:
         print(recovery_report(stats.recovery), end="")
+        if stats.comm_retrans_messages:
+            print(f"  wire: {stats.comm_retrans_messages} retransmitted "
+                  f"frame(s), {stats.comm_retrans_bytes / 2**10:.1f} KiB "
+                  f"(app-level bytes counted once)")
     counts = sink.fault_counts()
     if counts:
         print("  events:    " + "  ".join(
@@ -762,7 +783,17 @@ def _lint_dist(args: argparse.Namespace) -> int:
 
     a = generate_matrix(args.n, cond=args.cond, dtype=np.float64,
                         seed=args.seed)
-    rt = Runtime(ProcessGrid(2, 2))
+    if getattr(args, "chaos", False):
+        from .resilience import FaultPlan
+        from .resilience.live import RecoveryPolicy
+        from .resilience.net import default_chaos_plan
+
+        rt = Runtime(ProcessGrid(2, 2),
+                     faults=FaultPlan(seed=args.seed,
+                                      net=default_chaos_plan(args.seed)),
+                     recovery=RecoveryPolicy())
+    else:
+        rt = Runtime(ProcessGrid(2, 2))
     recorder = DistTraceRecorder()
     rt.dist_recorder = recorder
     da = DistMatrix.from_array(rt, a.copy(), args.nb)
@@ -1023,6 +1054,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker pool for --live (default threads; "
                         "processes SIGKILLs real workers for rank "
                         "crashes)")
+    p.add_argument("--chaos", action="store_true",
+                   help="with --live --backend processes: run under "
+                        "the seeded ChaosComm network fault plan "
+                        "(frame drops, duplicates, delays, one corrupt "
+                        "frame, one partition window, one connection "
+                        "cut) on top of the process fault plan")
     p.add_argument("--live-n", type=int, default=256,
                    help="matrix size for --live (default 256)")
     p.add_argument("--live-nb", type=int, default=64,
@@ -1078,6 +1115,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--chrome-trace", default=None, metavar="PATH",
                    help="with --dist: write findings to a chrome "
                         "trace as instant events")
+    p.add_argument("--chaos", action="store_true",
+                   help="with --dist: record the run under the seeded "
+                        "ChaosComm network fault plan — the protocol "
+                        "checkers must stay clean across CRC'd frames, "
+                        "retransmissions and resyncs")
     p.add_argument("paths", nargs="*",
                    help="files/directories for --static (default: the "
                         "installed repro package)")

@@ -18,6 +18,8 @@ Two execution modes share this one code path:
 
 from __future__ import annotations
 
+import contextlib
+import dataclasses
 import math
 import warnings
 from dataclasses import dataclass, field
@@ -245,8 +247,98 @@ def _chol_iteration(rt: Runtime, a: DistMatrix, wa: float, wb: float,
 #: Execution backends for numeric tiled runs.
 BACKENDS = ("eager", "threads", "processes")
 
+#: Graceful-degradation chain: when a parallel backend's recovery
+#: budget is exhausted mid-run (worker crashes and network faults past
+#: what the policy can absorb), the factorization is redone one rung
+#: down, on the pristine input.
+_BACKEND_FALLBACK = {"processes": "threads", "threads": "eager"}
+
+
+def _demote_backend(rt: Runtime, backend: str) -> None:
+    """Tear down a failed parallel executor and re-home ``rt`` on
+    ``backend``.  Pending payloads are abandoned (their tile writes
+    are untrustworthy) and live fault injection is disarmed — a
+    degraded rerun must not replay the fault plan against the
+    fallback backend."""
+    with contextlib.suppress(Exception):
+        rt.abandon_pending()
+    if rt._executor is not None:
+        with contextlib.suppress(Exception):
+            rt._executor.close()
+        rt._executor = None
+    rt.fault_plan = None
+    if backend == "eager":
+        rt.disable_deferred()
+    else:
+        rt.enable_deferred(backend=backend)
+
 
 def tiled_qdwh(rt: Runtime, a: DistMatrix, *,
+               cond_est: Optional[float] = None,
+               max_iter: int = QDWH_HARD_ITERATION_CAP,
+               norm2est_sweeps: Optional[int] = None,
+               condest_cycles: Optional[int] = None,
+               iter_log: Optional["IterationLog"] = None,
+               backend: str = "eager",
+               workers: Optional[int] = None,
+               checkpoint: Optional["QdwhCheckpointer"] = None
+               ) -> TiledQdwhResult:
+    """Algorithm 1 on the tiled substrate — see
+    :func:`_tiled_qdwh_impl` for the full parameter reference.
+
+    This wrapper adds **graceful backend degradation** (numeric mode):
+    an unrecoverable executor failure on a parallel backend — a
+    :class:`~repro.runtime.distributed.WorkerCrashError` or
+    :class:`~repro.runtime.distributed.comm.CommError` surfacing after
+    the recovery budget is spent — does not abort the factorization.
+    The input copy taken before the first recorded task is scattered
+    back and the run is redone one rung down the chain *processes →
+    threads → eager* (fault injection disarmed), with ``degraded=True``
+    on the result and the demotion recorded in ``health_log``.
+    """
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; expected one of "
+                         f"{BACKENDS}")
+    if backend == "eager" or not rt.numeric:
+        return _tiled_qdwh_impl(
+            rt, a, cond_est=cond_est, max_iter=max_iter,
+            norm2est_sweeps=norm2est_sweeps,
+            condest_cycles=condest_cycles, iter_log=iter_log,
+            backend=backend, workers=workers, checkpoint=checkpoint)
+    from ..runtime.distributed.comm import CommError
+    from ..runtime.distributed.executor import WorkerCrashError
+    # Captured before any task is recorded: whatever a parallel
+    # backend later does to the shared tiles, this copy is pristine.
+    pristine = a.to_array()
+    health_log: List[str] = []
+    bk = backend
+    while True:
+        try:
+            res = _tiled_qdwh_impl(
+                rt, a, cond_est=cond_est, max_iter=max_iter,
+                norm2est_sweeps=norm2est_sweeps,
+                condest_cycles=condest_cycles, iter_log=iter_log,
+                backend=bk, workers=workers, checkpoint=checkpoint)
+        except (WorkerCrashError, CommError) as exc:
+            fb = _BACKEND_FALLBACK.get(bk)
+            if fb is None:
+                raise
+            _health(rt, health_log,
+                    f"{bk} backend failed ({type(exc).__name__}: {exc}); "
+                    f"degrading to the {fb} backend on the pristine "
+                    f"input")
+            _demote_backend(rt, fb)
+            _scatter_dense(a, pristine)
+            bk = fb
+            continue
+        if health_log:
+            res = dataclasses.replace(
+                res, degraded=True,
+                health_log=health_log + res.health_log)
+        return res
+
+
+def _tiled_qdwh_impl(rt: Runtime, a: DistMatrix, *,
                cond_est: Optional[float] = None,
                max_iter: int = QDWH_HARD_ITERATION_CAP,
                norm2est_sweeps: Optional[int] = None,

@@ -22,7 +22,7 @@ from __future__ import annotations
 import json
 from typing import Dict, List, Optional, Tuple
 
-from .timeline import TimelineSink
+from .timeline import NET_FAULT_KINDS, TimelineSink
 
 #: Chrome-trace thread ids: cpu/thr slot i -> i, gpu slot i -> base + i.
 GPU_TID_BASE = 1000
@@ -113,12 +113,16 @@ def chrome_trace(timeline: TimelineSink) -> Dict[str, object]:
     # Label the scheduler-process rows Perfetto would otherwise show as
     # bare tids; only rows that actually carry events get a name, so
     # traces without faults/stalls are unchanged.
+    all_faults = list(getattr(timeline, "faults", ()))
+    net_faults = [f for f in all_faults if f.kind in NET_FAULT_KINDS]
+    other_faults = [f for f in all_faults if f.kind not in NET_FAULT_KINDS]
     for tid, name, stream in (
             (0, "barriers", timeline.barriers),
             (1, "stalls", timeline.stalls),
-            (2, "faults / health", getattr(timeline, "faults", ())),
+            (2, "faults / health", other_faults),
             (3, "sanitizer", getattr(timeline, "sanitizer", ())),
-            (4, "distsan", getattr(timeline, "analysis", ()))):
+            (4, "distsan", getattr(timeline, "analysis", ())),
+            (5, "chaos / net", net_faults)):
         if stream:
             events.append({"name": "thread_name", "ph": "M",
                            "pid": sched_pid, "tid": tid,
@@ -184,16 +188,19 @@ def chrome_trace(timeline: TimelineSink) -> Dict[str, object]:
             "args": {"tid": s.tid},
         })
 
-    # Fault/recovery actions as instant events on the scheduler row.
-    for f in getattr(timeline, "faults", ()):
+    # Fault/recovery actions as instant events on the scheduler row;
+    # network-chaos kinds land on their own lane (tid 5) so a trace of
+    # a chaotic run separates injected wire trouble from recovery.
+    for f in all_faults:
+        chaotic = f.kind in NET_FAULT_KINDS
         events.append({
             "name": f"{f.kind} r{f.rank}",
-            "cat": "fault",
+            "cat": "chaos" if chaotic else "fault",
             "ph": "i",
             "s": "g",
             "ts": f.time * 1e6,
             "pid": sched_pid,
-            "tid": 2,
+            "tid": 5 if chaotic else 2,
             "args": {"tid": f.tid, "kind": f.kind, "rank": f.rank,
                      "detail": f.detail},
         })

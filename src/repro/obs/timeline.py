@@ -87,6 +87,19 @@ FAULT_STALL = "stall"
 FAULT_CORRUPTION = "corruption"
 #: Algorithm-level numerical health interventions (tiled_qdwh guards).
 FAULT_HEALTH = "health"
+#: Network-chaos events (processes backend: ChaosComm / ReliableComm /
+#: heartbeat failure detection).  Rendered on their own chaos lane in
+#: chrome traces.
+FAULT_NET_DROP = "net-drop"
+FAULT_NET_CORRUPT = "net-corrupt"
+FAULT_NET_PARTITION = "net-partition"
+FAULT_HEARTBEAT_SUSPECT = "heartbeat-suspect"
+
+#: Fault kinds that belong to the chaos/net lane.
+NET_FAULT_KINDS = frozenset({
+    FAULT_NET_DROP, FAULT_NET_CORRUPT, FAULT_NET_PARTITION,
+    FAULT_HEARTBEAT_SUSPECT,
+})
 
 
 @dataclass(frozen=True)

@@ -49,6 +49,19 @@ from .live import (
     TileAccessor,
     TileCorruptionDetected,
 )
+from .net import (
+    BackoffSchedule,
+    ConnectionCut,
+    FrameCorrupt,
+    FrameDelay,
+    FrameDrop,
+    FrameDuplicate,
+    LinkStall,
+    NetFaultPlan,
+    NetPartition,
+    PhiAccrualDetector,
+    default_chaos_plan,
+)
 from .recovery import (
     AllRanksDead,
     FaultToleranceExceeded,
@@ -74,6 +87,17 @@ __all__ = [
     "TransientFaults",
     "WorkerStall",
     "plan_from_spec",
+    "BackoffSchedule",
+    "ConnectionCut",
+    "FrameCorrupt",
+    "FrameDelay",
+    "FrameDrop",
+    "FrameDuplicate",
+    "LinkStall",
+    "NetFaultPlan",
+    "NetPartition",
+    "PhiAccrualDetector",
+    "default_chaos_plan",
     "InjectedTransientError",
     "LiveFaultInjector",
     "RecoveryPolicy",

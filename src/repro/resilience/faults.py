@@ -43,6 +43,8 @@ import random
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .net import NetFaultPlan
+
 _INF = float("inf")
 
 
@@ -223,6 +225,9 @@ class FaultPlan:
     #: Delay between a crash and the survivors reacting to it
     #: (failure-detector latency; charged before any replay dispatch).
     crash_detect_delay: float = 0.0
+    #: Live network faults for the processes backend (injected by
+    #: ChaosComm on the real wire; ignored by the simulator).
+    net: Optional[NetFaultPlan] = None
 
     def __post_init__(self) -> None:
         # Tolerate lists from hand-built plans / JSON round-trips.
@@ -249,7 +254,8 @@ class FaultPlan:
         return (not self.crashes and not self.links and not self.stragglers
                 and not self.live_faults
                 and (self.transient is None
-                     or self.transient.probability == 0.0))
+                     or self.transient.probability == 0.0)
+                and (self.net is None or self.net.empty))
 
     @property
     def live_faults(self) -> bool:
@@ -347,12 +353,14 @@ class FaultPlan:
                  "max_events": c.max_events,
                  "kinds": (None if c.kinds is None else list(c.kinds))}
                 for c in self.corruptions]
+        if self.net is not None:
+            out["net"] = self.net.as_dict()
         return out
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "FaultPlan":
         known = {"seed", "crashes", "transient", "links", "stragglers",
-                 "stalls", "corruptions",
+                 "stalls", "corruptions", "net",
                  "speculation", "speculation_factor", "crash_detect_delay"}
         unknown = set(data) - known
         if unknown:
@@ -391,6 +399,8 @@ class FaultPlan:
                 kinds=(None if c.get("kinds") is None
                        else tuple(c["kinds"])))
                 for c in data.get("corruptions", ())),
+            net=(NetFaultPlan.from_dict(data["net"])
+                 if data.get("net") else None),
             speculation=bool(data.get("speculation", True)),
             speculation_factor=float(data.get("speculation_factor", 2.0)),
             crash_detect_delay=float(data.get("crash_detect_delay", 0.0)),
@@ -435,6 +445,12 @@ class RecoveryStats:
     #: Algorithm-level health interventions (NaN guard, Cholesky→QR
     #: fallback, estimator defaults, dense degradation).
     health_events: int = 0
+    #: Network resilience counters (processes backend; driver-side).
+    net_drops: int = 0
+    net_corrupt_frames: int = 0
+    net_retransmits: int = 0
+    net_reconnects: int = 0
+    heartbeat_suspects: int = 0
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -454,6 +470,11 @@ class RecoveryStats:
             "corrupted_tiles": self.corrupted_tiles,
             "injected_stalls": self.injected_stalls,
             "health_events": self.health_events,
+            "net_drops": self.net_drops,
+            "net_corrupt_frames": self.net_corrupt_frames,
+            "net_retransmits": self.net_retransmits,
+            "net_reconnects": self.net_reconnects,
+            "heartbeat_suspects": self.heartbeat_suspects,
         }
 
     def publish(self, registry, prefix: str = "resilience") -> None:
@@ -473,7 +494,12 @@ class RecoveryStats:
                 ("timeouts", self.timeouts),
                 ("corrupted_tiles", self.corrupted_tiles),
                 ("injected_stalls", self.injected_stalls),
-                ("health_events", self.health_events)):
+                ("health_events", self.health_events),
+                ("net_drops", self.net_drops),
+                ("net_corrupt_frames", self.net_corrupt_frames),
+                ("net_retransmits", self.net_retransmits),
+                ("net_reconnects", self.net_reconnects),
+                ("heartbeat_suspects", self.heartbeat_suspects)):
             if value:
                 registry.counter(f"{prefix}.{name}").inc(value)
 

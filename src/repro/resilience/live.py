@@ -117,6 +117,24 @@ class RecoveryPolicy:
     #: as :class:`TileCorruptionDetected` (restore + retry).  Off by
     #: default: scrubbing costs a full pass over every output tile.
     scrub_writes: bool = False
+    #: Heartbeat period for processes-backend workers (seconds);
+    #: ``None`` disables heartbeats and phi-accrual failure detection.
+    heartbeat_interval: Optional[float] = 0.05
+    #: No suspicion verdicts before this many seconds after a worker
+    #: spawns (lets the heartbeat window warm up).
+    heartbeat_grace: float = 0.25
+    #: Phi-accrual thresholds (see
+    #: :class:`~repro.resilience.net.PhiAccrualDetector`): above
+    #: ``phi_suspect`` the scheduler stops placing new work on the
+    #: worker; above ``phi_dead`` the driver declares it hung, kills
+    #: it, and replays its in-flight tasks — well before
+    #: ``task_timeout`` has to fire.
+    phi_suspect: float = 4.0
+    phi_dead: float = 8.0
+    #: Wall-clock budget for one reconnect-and-resync handshake after
+    #: a dropped connection (ReliableComm); exhausting it surfaces a
+    #: worker death instead of a silent hang.
+    net_deadline: float = 2.0
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
@@ -141,6 +159,20 @@ class RecoveryPolicy:
         if self.poll_interval <= 0.0:
             raise ValueError(
                 f"poll_interval must be > 0, got {self.poll_interval}")
+        if (self.heartbeat_interval is not None
+                and self.heartbeat_interval <= 0.0):
+            raise ValueError(
+                f"heartbeat_interval must be > 0 or None, got "
+                f"{self.heartbeat_interval}")
+        if self.heartbeat_grace < 0.0:
+            raise ValueError("heartbeat_grace must be >= 0")
+        if not 0.0 < self.phi_suspect <= self.phi_dead:
+            raise ValueError(
+                f"need 0 < phi_suspect <= phi_dead, got "
+                f"{self.phi_suspect} / {self.phi_dead}")
+        if self.net_deadline <= 0.0:
+            raise ValueError(
+                f"net_deadline must be > 0, got {self.net_deadline}")
 
     def backoff_seconds(self, plan_seed: int, tid: int,
                         attempt: int) -> float:

@@ -13,8 +13,17 @@ Messages are arbitrary picklable Python objects.  On the wire each
 message is one *frame*::
 
     8 bytes   payload length, big-endian unsigned
-    1 byte    codec tag (``CODEC_PICKLE`` or ``CODEC_MSGPACK``)
+    1 byte    codec tag (``CODEC_PICKLE`` or ``CODEC_MSGPACK``,
+              optionally OR'd with ``FLAG_CRC``)
     n bytes   payload
+
+With ``FLAG_CRC`` set (``encode_frame(msg, crc=True)`` or a comm's
+``crc_frames``) the last four payload bytes are a big-endian CRC32 of
+the rest, *inside* the declared length — transports and anything that
+reasons about frame sizes are oblivious to the trailer.  A mismatch
+raises :class:`FrameCorruptError` (retryable) without desynchronising
+the stream: the frame was read in full, only its bytes are bad, so
+the reliable layer can simply ask for it again.
 
 msgpack is used opportunistically when (a) the package is importable
 and (b) the message is plain data (dict/list/str/int/float/bytes/None);
@@ -42,6 +51,7 @@ import queue
 import socket
 import struct
 import threading
+import zlib
 from typing import Callable, Dict, Optional, Tuple
 
 try:  # pragma: no cover - exercised only where msgpack is installed
@@ -59,13 +69,16 @@ __all__ = [
     "CommClosedError",
     "CommTimeoutError",
     "AddressInUseError",
+    "FrameCorruptError",
     "connect",
     "listen",
     "register_transport",
     "encode_frame",
     "decode_frame",
+    "verify_crc",
     "CODEC_PICKLE",
     "CODEC_MSGPACK",
+    "FLAG_CRC",
     "DEFAULT_TIMEOUT",
 ]
 
@@ -78,6 +91,10 @@ _HEADER = struct.Struct(">QB")  # (payload_len, codec)
 
 CODEC_PICKLE = 0
 CODEC_MSGPACK = 1
+
+#: High bit of the codec byte: the payload carries a 4-byte CRC32
+#: trailer (counted in the declared length).
+FLAG_CRC = 0x80
 
 
 class CommError(RuntimeError):
@@ -106,6 +123,17 @@ class AddressInUseError(CommError):
     retryable = False
 
 
+class FrameCorruptError(CommError):
+    """A CRC-protected frame arrived damaged.
+
+    The stream itself is still synchronised (the frame was consumed
+    in full), so the right reaction is to discard the frame and ask
+    the peer to retransmit — which is exactly what the reliable layer
+    does."""
+
+    retryable = True
+
+
 # ---------------------------------------------------------------------------
 # Framing
 # ---------------------------------------------------------------------------
@@ -121,19 +149,48 @@ def _msgpack_safe(msg: object) -> bool:
     return False
 
 
-def encode_frame(msg: object) -> bytes:
-    """Serialise ``msg`` into one length-prefixed frame."""
+def encode_frame(msg: object, crc: bool = False) -> bytes:
+    """Serialise ``msg`` into one length-prefixed frame.
+
+    With ``crc`` a CRC32 trailer is appended to the payload (and the
+    declared length covers it), and ``FLAG_CRC`` is set on the codec
+    byte."""
     if msgpack is not None and _msgpack_safe(msg):  # pragma: no cover
         payload = msgpack.packb(msg, use_bin_type=True)
         codec = CODEC_MSGPACK
     else:
         payload = pickle.dumps(msg, protocol=pickle.HIGHEST_PROTOCOL)
         codec = CODEC_PICKLE
+    if crc:
+        payload += struct.pack(">I", zlib.crc32(payload) & 0xFFFFFFFF)
+        codec |= FLAG_CRC
     return _HEADER.pack(len(payload), codec) + payload
 
 
+def verify_crc(codec: int, payload: bytes) -> Tuple[int, bytes]:
+    """Strip and check a frame's CRC trailer when ``FLAG_CRC`` is set.
+
+    Returns the bare ``(codec, payload)``; raises
+    :class:`FrameCorruptError` on a checksum mismatch or a truncated
+    trailer."""
+    if not codec & FLAG_CRC:
+        return codec, payload
+    if len(payload) < 4:
+        raise FrameCorruptError(
+            f"CRC frame too short for its trailer ({len(payload)} bytes)")
+    body, trailer = payload[:-4], payload[-4:]
+    expect = struct.unpack(">I", trailer)[0]
+    got = zlib.crc32(body) & 0xFFFFFFFF
+    if got != expect:
+        raise FrameCorruptError(
+            f"frame CRC mismatch: computed {got:#010x}, "
+            f"trailer {expect:#010x} ({len(body)} payload bytes)")
+    return codec & ~FLAG_CRC, body
+
+
 def decode_frame(codec: int, payload: bytes) -> object:
-    """Inverse of :func:`encode_frame` (header already consumed)."""
+    """Inverse of :func:`encode_frame` (header already consumed; any
+    CRC trailer already stripped via :func:`verify_crc`)."""
     if codec == CODEC_PICKLE:
         return pickle.loads(payload)
     if codec == CODEC_MSGPACK:
@@ -173,6 +230,10 @@ class Comm:
         #: successful recv, and once with ``("close", None, 0, -1,
         #: -1)`` when the comm closes.
         self.observer = None
+        #: Append a CRC32 trailer to every sent frame (and expect the
+        #: peer to verify).  Inbound CRC frames are always verified,
+        #: flag or no flag — the codec byte says what each frame has.
+        self.crc_frames = False
         self._closed = False
 
     # -- transport hooks -------------------------------------------------
@@ -190,12 +251,17 @@ class Comm:
     def closed(self) -> bool:
         return self._closed
 
+    def fileno(self) -> int:
+        """OS-level descriptor of the transport, or ``-1`` when the
+        transport has none (in-process queues)."""
+        return -1
+
     def send(self, msg: object) -> int:
         """Send one message; returns the frame size in bytes."""
         if self._closed:
             raise CommClosedError(f"send on closed comm to "
                                   f"{self.peer_address}")
-        frame = encode_frame(msg)
+        frame = encode_frame(msg, crc=self.crc_frames)
         if self.observer is not None:
             # Record *before* the wire write: the peer's reply is
             # recorded by a reader thread, and observing after the
@@ -216,15 +282,17 @@ class Comm:
         if self._closed:
             raise CommClosedError(f"recv on closed comm to "
                                   f"{self.peer_address}")
-        codec, payload = self._recv_frame(timeout)
+        wire_codec, payload = self._recv_frame(timeout)
         nbytes = _HEADER.size + len(payload)
+        declared = len(payload)  # on-wire length: CRC trailer included
         self.received_messages += 1
         self.received_bytes += nbytes
         if self.counters is not None:
             self.counters.record(self.path, nbytes)
+        codec, payload = verify_crc(wire_codec, payload)
         msg = decode_frame(codec, payload)
         if self.observer is not None:
-            self.observer("recv", msg, nbytes, codec, len(payload))
+            self.observer("recv", msg, nbytes, wire_codec, declared)
         return msg
 
     def close(self) -> None:
@@ -354,6 +422,10 @@ class InProcComm(Comm):
     def _close_transport(self) -> None:
         with contextlib.suppress(Exception):  # pragma: no cover - in-memory
             self._tx.put(_CLOSE)
+        # Wake any thread blocked in our *own* recv as well (TCP gets
+        # this for free: closing the fd errors a blocked read).
+        with contextlib.suppress(Exception):  # pragma: no cover - in-memory
+            self._rx.put(_CLOSE)
 
 
 class InProcListener(Listener):
@@ -371,11 +443,18 @@ class InProcListener(Listener):
             raise CommClosedError(f"accept on closed listener "
                                   f"{self.address}")
         try:
-            a2b, b2a, client_addr = self._pending.get(timeout=timeout)
+            item = self._pending.get(timeout=timeout)
         except queue.Empty:
             raise CommTimeoutError(
                 f"accept on {self.address} timed out after "
                 f"{timeout} s") from None
+        if item is _CLOSE or self._closed:
+            # close() raced us: re-arm the sentinel for any other
+            # blocked accepter and surface the close, never hang.
+            self._pending.put(_CLOSE)
+            raise CommClosedError(f"listener {self.address} closed "
+                                  f"during accept")
+        a2b, b2a, client_addr = item
         return InProcComm(self.address, client_addr, rx=a2b, tx=b2a,
                           counters=self._counters, path=self._path)
 
@@ -386,6 +465,8 @@ class InProcListener(Listener):
         with _inproc_lock:
             if _inproc_listeners.get(self.name) is self:
                 del _inproc_listeners[self.name]
+        # Wake threads blocked in accept(); they raise CommClosedError.
+        self._pending.put(_CLOSE)
 
 
 def _inproc_listen(name: str, counters: Optional[CommCounters],
@@ -536,14 +617,28 @@ class TCPListener(Listener):
                 f"accept on {self.address} timed out after "
                 f"{timeout} s") from None
         except OSError as e:
+            if self._closed:
+                raise CommClosedError(
+                    f"listener {self.address} closed during "
+                    f"accept") from None
             raise CommClosedError(
                 f"accept on {self.address} failed: {e}") from e
+        if self._closed:  # close() raced the accept
+            with contextlib.suppress(OSError):
+                conn.close()
+            raise CommClosedError(f"listener {self.address} closed "
+                                  f"during accept")
         return TCPComm(conn, self._counters, self._path)
 
     def close(self) -> None:
         if self._closed:
             return
         self._closed = True
+        # shutdown() before close() pops any thread blocked in
+        # accept() out with an OSError (close() alone leaves it
+        # hanging until its timeout on some platforms).
+        with contextlib.suppress(OSError):
+            self._sock.shutdown(socket.SHUT_RDWR)
         with contextlib.suppress(OSError):  # pragma: no cover
             self._sock.close()
 

@@ -53,13 +53,16 @@ from typing import (Any, Callable, Dict, Iterable, List, NamedTuple,
 from ..graph import TaskGraph
 from ..parallel import (ExecutionStats, _peak_rss_bytes, default_workers)
 from ..task import Task, TaskKind, TileRef
-from .comm import Comm, CommError, Listener, listen
+from .chaos import assign_peer, clear_net_plan, install_net_plan
+from .comm import (Comm, CommError, CommTimeoutError, Listener, listen)
 from .events import (EV_CLOSE, EV_COMPLETE, EV_DEATH, EV_DISPATCH,
                      EV_DRIVER, EV_FAIL, EV_REPLAY, EV_SPAWN)
+from .reliable import ReliableComm
 from .scheduling import DynamicScheduler
 from .shm import SharedTileStore
 from .worker import (SideEntry, retryable_exception, worker_main, _run_one)
 from ...comm.counters import CommCounters
+from ...resilience.net import PhiAccrualDetector
 
 __all__ = ["ProcessExecutor", "SideStore", "WorkerCrashError"]
 
@@ -155,6 +158,38 @@ class ProcessExecutor:
                 from ...resilience.live import TileAccessor
                 self.tiles = TileAccessor(rt._matrices)
         self._crash_idx = 0
+        #: Live network faults (ChaosComm): active when the plan has a
+        #: non-empty ``net`` component.  Network chaos REQUIRES the
+        #: reliable layer with heartbeats — a dropped tail frame is only
+        #: recovered by heartbeat-driven retransmission sweeps — so a
+        #: net plan without a policy forces the default RecoveryPolicy.
+        net = plan.net if plan is not None else None
+        self._net_plan = net if net is not None and not net.empty else None
+        if self._net_plan is not None and not self._recover:
+            from ...resilience.live import RecoveryPolicy
+            self.recovery_policy = RecoveryPolicy()
+            self._recover = True
+            if self.tiles is None:
+                from ...resilience.live import TileAccessor
+                self.tiles = TileAccessor(rt._matrices)
+        pol = self.recovery_policy
+        #: Reliable (seq/ack/CRC/heartbeat) comm wrapping: on whenever
+        #: heartbeats are configured; off for plain runs so the
+        #: fault-free wire stays byte-identical to previous releases.
+        self._reliable = self._net_plan is not None or (
+            pol is not None and pol.heartbeat_interval is not None)
+        self._chaos_installed = False
+        #: (comm, hello, recorder-key, recv-time) of handshakes the
+        #: acceptor thread has fielded but no spawn has claimed yet.
+        self._hello_q: "queue.Queue[Tuple[Comm, Dict[str, Any], str, float]]" \
+            = queue.Queue()
+        self._acceptor: Optional[threading.Thread] = None
+        self._accept_seq = 0
+        #: Per-worker phi-accrual failure detectors (reliable mode) and
+        #: when each worker was adopted (suspicion grace anchor).
+        self._hb: Dict[int, PhiAccrualDetector] = {}
+        self._hb_since: Dict[int, float] = {}
+        self._suspected: Set[int] = set()
         #: Global side-entry registry: ref -> produced value.  Lives in
         #: the parent, so it survives any worker death (replay re-ships
         #: whatever a successor needs).
@@ -193,6 +228,12 @@ class ProcessExecutor:
         if self._listener is not None:
             self._listener.close()
             self._listener = None
+        if self._acceptor is not None:
+            self._acceptor.join(timeout=5.0)
+            self._acceptor = None
+        if self._chaos_installed:
+            clear_net_plan()
+            self._chaos_installed = False
         self.store.close()
         if self.recorder is not None:
             self.recorder.leaked = self.store.leaked_segments()
@@ -264,8 +305,145 @@ class ProcessExecutor:
     # Worker pool
     # ------------------------------------------------------------------
 
+    def _net_seed(self) -> int:
+        plan = self.rt.fault_plan
+        return int(plan.seed) if plan is not None else 0
+
+    def _net_deadline(self) -> float:
+        pol = self.recovery_policy
+        return float(pol.net_deadline) if pol is not None else 2.0
+
+    def _ensure_listener(self) -> Listener:
+        lst = self._listener
+        if lst is not None and not getattr(lst, "_closed", False):
+            return lst
+        scheme = ("chaos+tcp" if self._net_plan is not None else "tcp")
+        # In reliable mode the per-frame byte accounting moves up to
+        # the ReliableComm wrapper (which counts each application
+        # message exactly once); raw comms must not double-count.
+        self._listener = lst = listen(
+            f"{scheme}://127.0.0.1:0",
+            counters=None if self._reliable else self.comm_counters)
+        self._acceptor = threading.Thread(
+            target=self._acceptor_loop, args=(lst,), daemon=True,
+            name="repro-dist-accept")
+        self._acceptor.start()
+        return lst
+
+    def _acceptor_loop(self, lst: Listener) -> None:
+        """Owns ``accept`` for the listener's whole life: fields worker
+        hellos (handed to the spawn paths through ``_hello_q``) and
+        reconnect ``resync`` handshakes (spliced into the existing
+        :class:`ReliableComm` via :meth:`ReliableComm.attach`)."""
+        while True:
+            try:
+                comm = lst.accept(timeout=None)
+            except CommError:
+                return  # listener closed
+            if self._reliable:
+                comm.crc_frames = True
+            key = ""
+            if self.recorder is not None:
+                key = f"pending{self._accept_seq}"
+                self._accept_seq += 1
+                comm.observer = self.recorder.frame_observer(key)
+            try:
+                msg = comm.recv(timeout=10.0)
+            except CommError:
+                comm.close()
+                continue
+            t_recv = perf_counter()
+            if not isinstance(msg, dict):
+                comm.close()
+                continue
+            op = msg.get("op")
+            if op == "hello":
+                self._hello_q.put((comm, msg, key, t_recv))
+            elif op == "resync":
+                # The resync/resync-ack handshake is recorded on the
+                # pending connection (the protocol checker knows its
+                # shape); after the splice the connection reports
+                # under the worker's key (attach marks a "reopen").
+                self._handle_resync(comm, msg)
+            else:
+                comm.close()
+
+    def _handle_resync(self, comm: Comm, msg: Dict[str, Any]) -> None:
+        w = self._pool.get(int(msg.get("wid", -1)))
+        rc = w.comm if w is not None else None
+        if not isinstance(rc, ReliableComm):
+            comm.close()
+            return
+        try:
+            comm.send({"op": "resync-ack", "rx": rc.rx})
+        except CommError:
+            comm.close()
+            return
+        # Handshake recorded; from here the connection reports under
+        # the worker's key via the ReliableComm observer.
+        comm.observer = None
+        rc.attach(comm, int(msg.get("rx", 0)))
+
+    def _next_hello(self, deadline: float) -> Tuple[Comm, Dict[str, Any],
+                                                    str, float]:
+        try:
+            return self._hello_q.get(
+                timeout=max(0.001, deadline - time.monotonic()))
+        except queue.Empty:
+            raise CommTimeoutError(
+                "timed out waiting for a worker hello") from None
+
+    def _adopt(self, proc: multiprocessing.process.BaseProcess,
+               comm: Comm, hello: Dict[str, Any], key: str,
+               t_recv: float, lane: int) -> _Worker:
+        """Register a freshly-handshaken worker: reliable wrapping,
+        failure detector, chaos peer tagging, reader thread."""
+        wid = int(hello["wid"])
+        if self.recorder is not None:
+            comm.observer = self.recorder.frame_observer(f"w{wid}")
+            self.recorder.rename_connection(key, f"w{wid}")
+            self.recorder.record(EV_SPAWN, wid=wid)
+        if self._reliable:
+            observer = comm.observer
+            comm.observer = None
+            rc = ReliableComm(
+                comm, role="driver", wid=wid,
+                deadline=self._net_deadline(), seed=self._net_seed(),
+                counters=self.comm_counters, on_net=self._net_event)
+            rc.observer = observer
+            comm = rc
+        if self._net_plan is not None:
+            assign_peer(comm, wid, lane)
+        w = _Worker(wid, proc, comm, int(hello["pid"]),
+                    t_recv - float(hello["clock"]), lane=lane)
+        self._pool[wid] = w
+        pol = self.recovery_policy
+        if self._reliable and pol is not None \
+                and pol.heartbeat_interval is not None:
+            det = PhiAccrualDetector(pol.heartbeat_interval)
+            det.beat(t_recv)  # the hello counts as the first sign of life
+            self._hb[wid] = det
+            self._hb_since[wid] = t_recv
+        w.reader = threading.Thread(
+            target=self._reader, args=(w,), daemon=True,
+            name=f"repro-dist-r{wid}")
+        w.reader.start()
+        return w
+
+    def _fork_one(self, ctx: Any, wid: int, lane: int, address: str,
+                  start: int, end: int, scrub: bool,
+                  close_fds: List[int]) -> multiprocessing.process.BaseProcess:
+        proc = ctx.Process(
+            target=_worker_entry,
+            args=(wid, lane, address, self.rt, start, end, self.injector,
+                  scrub, close_fds, self.recovery_policy,
+                  self._reliable, self._net_seed()),
+            daemon=True, name=f"repro-dist-w{wid}")
+        proc.start()
+        return proc
+
     def _spawn_worker(self, start: int, end: int) -> _Worker:
-        assert self._listener is not None
+        lst = self._ensure_listener()
         wid = self._next_wid
         self._next_wid += 1
         scrub = bool(self.recovery_policy is not None
@@ -275,97 +453,148 @@ class ProcessExecutor:
         # EOF — the worker closes them before connecting.
         close_fds = [w.comm.fileno() for w in self._pool.values()
                      if not w.comm.closed]
-        ctx = multiprocessing.get_context("fork")
-        proc = ctx.Process(
-            target=_worker_entry,
-            args=(wid, self._listener.address, self.rt, start, end,
-                  self.injector, scrub, close_fds),
-            daemon=True, name=f"repro-dist-w{wid}")
-        proc.start()
-        comm = self._listener.accept(timeout=15.0)
-        if self.recorder is not None:
-            comm.observer = self.recorder.frame_observer(f"pending{wid}")
-        hello = comm.recv(timeout=15.0)
-        if not (isinstance(hello, dict) and hello.get("op") == "hello"):
-            comm.close()
-            raise CommError(f"bad hello from worker {wid}: {hello!r}")
-        if self.recorder is not None:
-            comm.observer = self.recorder.frame_observer(f"w{hello['wid']}")
-            self.recorder.rename_connection(f"pending{wid}",
-                                            f"w{hello['wid']}")
-            self.recorder.record(EV_SPAWN, wid=int(hello["wid"]))
-        offset = perf_counter() - float(hello["clock"])
+        # Reuse the lowest free lane — stable slots are what chaos
+        # plans and trace rows target, so they must be decided before
+        # the fork (the worker salts its injections with its lane).
         used = {w.lane for w in self._pool.values()
                 if w.proc.is_alive() and w.kill_reason is None}
         lane = next(i for i in range(len(self._pool) + 1)
                     if i not in used)
-        w = _Worker(hello["wid"], proc, comm, int(hello["pid"]), offset,
-                    lane=lane)
-        self._pool[w.wid] = w
-        w.reader = threading.Thread(
-            target=self._reader, args=(w,), daemon=True,
-            name=f"repro-dist-r{w.wid}")
-        w.reader.start()
-        return w
+        ctx = multiprocessing.get_context("fork")
+        proc = self._fork_one(ctx, wid, lane, lst.address, start, end,
+                              scrub, close_fds)
+        comm, hello, key, t_recv = self._next_hello(
+            time.monotonic() + 15.0)
+        if hello.get("wid") != wid:
+            comm.close()
+            raise CommError(f"bad hello from worker {wid}: {hello!r}")
+        return self._adopt(proc, comm, hello, key, t_recv, lane)
 
     def _spawn_pool(self, n: int, start: int, end: int) -> None:
-        lst = self._listener
-        if lst is None or getattr(lst, "_closed", False):
-            self._listener = lst = listen("tcp://127.0.0.1:0",
-                                          counters=self.comm_counters)
-        # Fork all children before accepting any connection: an
-        # accepted comm fd must never leak into a later fork (an
-        # inheriting sibling would mask the owner's death-EOF).
-        wids, procs = [], []
+        lst = self._ensure_listener()
+        # Fork all children before adopting any connection: an adopted
+        # comm fd must never leak into a later fork (an inheriting
+        # sibling would mask the owner's death-EOF).
+        wids: List[int] = []
         scrub = bool(self.recovery_policy is not None
                      and self.recovery_policy.scrub_writes)
         ctx = multiprocessing.get_context("fork")
-        for _ in range(n):
+        by_wid: Dict[int, multiprocessing.process.BaseProcess] = {}
+        for lane in range(n):
             wid = self._next_wid
             self._next_wid += 1
-            proc = ctx.Process(
-                target=_worker_entry,
-                args=(wid, lst.address, self.rt, start, end,
-                      self.injector, scrub, []),
-                daemon=True, name=f"repro-dist-w{wid}")
-            proc.start()
+            by_wid[wid] = self._fork_one(ctx, wid, lane, lst.address,
+                                         start, end, scrub, [])
             wids.append(wid)
-            procs.append(proc)
-        by_wid = dict(zip(wids, procs))
-        for k in range(n):
-            comm = lst.accept(timeout=15.0)
-            if self.recorder is not None:
-                comm.observer = self.recorder.frame_observer(f"accept{k}")
-            hello = comm.recv(timeout=15.0)
-            if not (isinstance(hello, dict) and hello.get("op") == "hello"):
+        deadline = time.monotonic() + 15.0
+        for _ in range(n):
+            comm, hello, key, t_recv = self._next_hello(deadline)
+            wid = int(hello.get("wid", -1))
+            if wid not in by_wid:
                 comm.close()
                 raise CommError(f"bad worker hello: {hello!r}")
-            wid = hello["wid"]
-            if self.recorder is not None:
-                comm.observer = self.recorder.frame_observer(f"w{wid}")
-                self.recorder.rename_connection(f"accept{k}", f"w{wid}")
-                self.recorder.record(EV_SPAWN, wid=int(wid))
-            offset = perf_counter() - float(hello["clock"])
-            w = _Worker(wid, by_wid[wid], comm, int(hello["pid"]),
-                        offset, lane=wids.index(wid))
-            self._pool[wid] = w
-        for w in self._pool.values():
-            if w.reader is None:
-                w.reader = threading.Thread(
-                    target=self._reader, args=(w,), daemon=True,
-                    name=f"repro-dist-r{w.wid}")
-                w.reader.start()
+            self._adopt(by_wid[wid], comm, hello, key, t_recv,
+                        lane=wids.index(wid))
 
     def _reader(self, w: _Worker) -> None:
         """Per-worker reader thread: streams replies into the event
-        queue; EOF (any cause) becomes a death event."""
+        queue; heartbeats feed the failure detector; EOF (any cause)
+        becomes a death event."""
         while True:
             try:
                 msg = w.comm.recv(timeout=None)
             except CommError:
                 self._events.put(("eof", w.wid, None))
                 return
+            if isinstance(msg, dict) and msg.get("op") == "hb":
+                det = self._hb.get(w.wid)
+                if det is not None:
+                    det.beat(perf_counter())
+                continue
             self._events.put(("msg", w.wid, msg))
+
+    def _net_event(self, kind: str, detail: str) -> None:
+        """Driver-side ReliableComm observability → recovery stats."""
+        rec = self.stats.recovery
+        if kind == "retransmit":
+            rec.net_retransmits += 1
+        elif kind == "reconnect":
+            rec.net_reconnects += 1
+        elif kind == "corrupt":
+            rec.net_corrupt_frames += 1
+
+    def _chaos_fault(self, kind: str, wid: int, detail: str) -> None:
+        """Driver-side ChaosComm injection hook → stats + trace lane."""
+        from ...obs.timeline import (FAULT_NET_CORRUPT, FAULT_NET_DROP,
+                                     FAULT_NET_PARTITION, FaultEvent)
+        rec = self.stats.recovery
+        fkind = None
+        if kind == "drop":
+            rec.net_drops += 1
+            fkind = FAULT_NET_DROP
+        elif kind == "corrupt":
+            rec.net_corrupt_frames += 1
+            fkind = FAULT_NET_CORRUPT
+        elif kind == "partition":
+            fkind = FAULT_NET_PARTITION
+        if fkind is None or self.sink is None or self._epoch is None:
+            return
+        self.sink.on_fault(FaultEvent(
+            kind=fkind, time=perf_counter() - self._epoch, rank=wid,
+            tid=-1, detail=detail))
+
+    def _check_heartbeats(self, sched: DynamicScheduler, now: float,
+                          fault_event: Callable[..., None]) -> None:
+        """Phi-accrual failure detection over worker heartbeats.
+
+        Above ``phi_suspect`` the scheduler stops placing new work on
+        the worker (it keeps what it holds); above ``phi_dead`` the
+        driver kills it outright, so a hung worker's tasks are replayed
+        onto survivors well before ``task_timeout`` would fire."""
+        from ...obs.timeline import FAULT_HEARTBEAT_SUSPECT
+        pol = self.recovery_policy
+        assert pol is not None
+        rec = self.stats.recovery
+        for wid, w in list(self._pool.items()):
+            if w.kill_reason is not None:
+                continue
+            det = self._hb.get(wid)
+            if det is None or now - self._hb_since.get(wid, now) \
+                    < pol.heartbeat_grace:
+                continue
+            phi = det.phi(now)
+            if phi >= pol.phi_dead:
+                if wid not in self._suspected:
+                    self._suspected.add(wid)
+                    rec.heartbeat_suspects += 1
+                w.kill_reason = (f"heartbeat silence: phi {phi:.1f} >= "
+                                 f"{pol.phi_dead:g}")
+                fault_event(FAULT_HEARTBEAT_SUSPECT, -1, w.kill_reason,
+                            rank=wid)
+                os.kill(w.pid, signal.SIGKILL)
+                self._mark_dead(w)
+            elif phi >= pol.phi_suspect:
+                if wid not in self._suspected:
+                    self._suspected.add(wid)
+                    rec.heartbeat_suspects += 1
+                    sched.mark_suspect(wid, True)
+                    fault_event(FAULT_HEARTBEAT_SUSPECT, -1,
+                                f"phi {phi:.1f} >= {pol.phi_suspect:g}; "
+                                f"placement avoiding worker {wid}",
+                                rank=wid)
+            elif wid in self._suspected:
+                # Heartbeats recovered (e.g. a transient stall, not a
+                # hang): lift the placement penalty.
+                self._suspected.discard(wid)
+                sched.mark_suspect(wid, False)
+
+    @staticmethod
+    def _mark_dead(w: _Worker) -> None:
+        """Short-circuit the reliable layer's reconnect wait when the
+        driver knows the worker is gone (deliberate kill or observed
+        process exit)."""
+        if isinstance(w.comm, ReliableComm):
+            w.comm.mark_dead()
 
     def _shutdown_pool(self, force: bool = False) -> None:
         for w in list(self._pool.values()):
@@ -381,7 +610,13 @@ class ProcessExecutor:
             w.comm.close()
             if w.reader is not None:
                 w.reader.join(timeout=5.0)
+            if isinstance(w.comm, ReliableComm):
+                self.stats.comm_retrans_messages += w.comm.retrans_messages
+                self.stats.comm_retrans_bytes += w.comm.retrans_bytes
         self._pool.clear()
+        self._hb.clear()
+        self._hb_since.clear()
+        self._suspected.clear()
         # Drain stale events from dead readers.
         while True:
             try:
@@ -419,6 +654,14 @@ class ProcessExecutor:
         t_wall0 = perf_counter()
         if self._epoch is None:
             self._epoch = t_wall0
+        if self._net_plan is not None and not self._chaos_installed:
+            # Arm before forking: workers inherit the plan (and the
+            # epoch anchoring its stall/partition windows) through
+            # fork; corruption events fire driver-side only, so the
+            # callback needs no cross-process plumbing.
+            install_net_plan(self._net_plan, epoch=self._epoch,
+                             on_fault=self._chaos_fault)
+            self._chaos_installed = True
 
         sched = DynamicScheduler(tasks, start, end, worker_ok,
                                  pipeline_depth=self._pipeline)
@@ -613,6 +856,11 @@ class ProcessExecutor:
             if w is not None:
                 w.comm.close()
                 w.proc.join(timeout=5.0)
+            self._hb.pop(wid, None)
+            self._hb_since.pop(wid, None)
+            if wid in self._suspected:
+                self._suspected.discard(wid)
+                sched.mark_suspect(wid, False)
             if not queued and not inflight and reason is None \
                     and sched.pending == 0:
                 return None  # clean exit race at window end
@@ -666,6 +914,16 @@ class ProcessExecutor:
                 victim = alive[c.rank % len(alive)]
                 victim.kill_reason = f"injected crash (rank {c.rank})"
                 os.kill(victim.pid, signal.SIGKILL)
+                self._mark_dead(victim)
+            # Liveness poll: a worker that exited without the driver
+            # killing it must not leave its reliable link waiting out
+            # the reconnect deadline — no process, no reconnect.
+            for w in self._pool.values():
+                if w.kill_reason is None and not w.proc.is_alive():
+                    self._mark_dead(w)
+            if pol is not None and pol.heartbeat_interval is not None \
+                    and self._hb:
+                self._check_heartbeats(sched, now, fault_event)
             if pol is not None and pol.task_timeout is not None:
                 for wid, w in list(self._pool.items()):
                     if w.kill_reason is not None:
@@ -685,6 +943,7 @@ class ProcessExecutor:
                             fault_event(FAULT_TIMEOUT, tid,
                                         w.kill_reason, rank=wid)
                             os.kill(w.pid, signal.SIGKILL)
+                            self._mark_dead(w)
                             break
 
         n_window = end - start
@@ -833,13 +1092,15 @@ class ProcessExecutor:
         counter.inc()
 
 
-def _worker_entry(wid: int, address: str, rt: Any, start: int, end: int,
-                  injector: Any, scrub: bool,
-                  close_fds: List[int]) -> None:
+def _worker_entry(wid: int, lane: int, address: str, rt: Any, start: int,
+                  end: int, injector: Any, scrub: bool,
+                  close_fds: List[int], policy: Any, reliable: bool,
+                  net_seed: int) -> None:
     """Child-process bootstrap: drop inherited sibling fds, then run
     the worker loop (never returns)."""
     for fd in close_fds:
         with contextlib.suppress(OSError):
             os.close(fd)
     worker_main(wid, address, rt, start, end, injector=injector,
-                scrub_writes=scrub)
+                scrub_writes=scrub, policy=policy, reliable=reliable,
+                net_seed=net_seed, lane=lane)

@@ -40,7 +40,7 @@ class WorkerState:
     """Scheduler-side view of one worker process."""
 
     __slots__ = ("wid", "queue", "inflight", "resident", "alive",
-                 "tasks_done", "steals")
+                 "suspected", "tasks_done", "steals")
 
     def __init__(self, wid: int):
         self.wid = wid
@@ -51,6 +51,11 @@ class WorkerState:
         #: Tile refs this worker has read or written this window.
         self.resident: Set[TileRef] = set()
         self.alive = True
+        #: Failure-detector suspicion (phi over the suspect threshold):
+        #: the worker still runs what it holds, but placement avoids it
+        #: until its heartbeats recover — losing a task to a truly hung
+        #: worker costs a full replay, so new work goes elsewhere first.
+        self.suspected = False
         self.tasks_done = 0
         self.steals = 0
 
@@ -113,6 +118,14 @@ class DynamicScheduler:
         ws.inflight.clear()
         return queued, inflight
 
+    def mark_suspect(self, wid: int, suspected: bool = True) -> None:
+        """Flag/unflag ``wid`` as suspected hung (heartbeat phi over
+        threshold).  Placement-only: queued and in-flight work stays
+        put — the kill decision belongs to the executor."""
+        ws = self.workers.get(wid)
+        if ws is not None:
+            ws.suspected = suspected
+
     def alive_workers(self) -> List[WorkerState]:
         return [w for w in self.workers.values() if w.alive]
 
@@ -159,11 +172,11 @@ class DynamicScheduler:
 
     # -- placement -------------------------------------------------------
 
-    def _score(self, ws: WorkerState, tid: int) -> Tuple[int, int]:
+    def _score(self, ws: WorkerState, tid: int) -> Tuple[int, int, int]:
         reads = self._reads.get(tid, ())
         hits = sum(1 for r in reads if r in ws.resident)
-        # Higher locality first, then lighter load.
-        return (-hits, ws.load)
+        # Healthy workers first, then higher locality, lighter load.
+        return (1 if ws.suspected else 0, -hits, ws.load)
 
     def assign_ready(self) -> None:
         """Drain the ready pool into per-worker queues (locality-aware,
@@ -181,6 +194,11 @@ class DynamicScheduler:
         is empty.  Caller dispatches it; the tid moves to in-flight."""
         ws = self.workers.get(wid)
         if ws is None or not ws.alive:
+            return None
+        if ws.suspected:
+            # No new dispatches to a suspected-hung worker: anything it
+            # holds will be replayed wholesale if the suspicion proves
+            # out, so don't grow the loss.
             return None
         if len(ws.inflight) >= self.pipeline:
             return None

@@ -203,6 +203,30 @@ class SharedTileStore:
         with contextlib.suppress(FileNotFoundError):  # pragma: no cover
             seg.shm.unlink()
 
+    def release_inherited(self) -> None:
+        """Worker-side: drop every mapping this *fork* inherited.
+
+        Called on the worker's ``os._exit`` path.  The parent owns the
+        segments — refcounts, unlinking and the observer all stay with
+        it — but each child holds its own mmap of every segment, and a
+        child that exits without closing them leaves the kernel-side
+        reference alive until process teardown gets around to it.
+        Releases views and mappings only: never unlinks, never touches
+        refcounts, never notifies the observer.
+        """
+        with self._lock:
+            segs = list(self._segments.values())
+            self._segments.clear()
+            self._of_ref.clear()
+            self._mat_refs.clear()
+            self._mats.clear()
+        for seg in segs:
+            seg.array = None
+            # BufferError: an inherited numpy view is still alive in a
+            # payload closure; the mapping dies with the process anyway.
+            with contextlib.suppress(BufferError):
+                seg.shm.close()
+
     # -- queries ---------------------------------------------------------
 
     def refcount(self, name: str) -> int:

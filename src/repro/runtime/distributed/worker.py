@@ -30,13 +30,16 @@ from __future__ import annotations
 import contextlib
 import os
 import pickle
+import threading
 import time
 from time import perf_counter
 from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from .chaos import active_net_plan, set_local_wid
 from .comm import Comm, CommClosedError, CommError, connect
+from .reliable import ReliableComm
 
 __all__ = ["worker_main", "retryable_exception", "SideEntry"]
 
@@ -159,13 +162,27 @@ def _run_one(rt: Any, graph: Any, fns: Dict[int, Any], injector: Any,
             "side": _collect_side_writes(rt, t)}
 
 
+def _heartbeat_loop(rc: ReliableComm, interval: float,
+                    stop: threading.Event) -> None:
+    """Worker-side liveness beacon.  A beat that cannot be written is
+    not an error here — the reliable layer marks the link broken and
+    the main loop's next recv drives the reconnect."""
+    while not stop.wait(interval):
+        try:
+            rc.send_heartbeat()
+        except CommError:
+            return
+
+
 def worker_main(wid: int, address: str, rt: Any, start: int, end: int,
-                injector: Any = None,
-                scrub_writes: bool = False) -> None:
+                injector: Any = None, scrub_writes: bool = False,
+                policy: Any = None, reliable: bool = False,
+                net_seed: int = 0, lane: int = -1) -> None:
     """Entry point of a forked worker.  Never returns — exits the
     process via ``os._exit``."""
     code = 0
     comm: Optional[Comm] = None
+    hb_stop = threading.Event()
     try:
         # Inherited driver state must not re-enter the deferred
         # machinery: accessing a tile or scalar box inside a payload
@@ -179,9 +196,29 @@ def worker_main(wid: int, address: str, rt: Any, start: int, end: int,
         if injector is not None or scrub_writes:
             from ...resilience.live import TileAccessor
             tiles = TileAccessor(rt._matrices)
+        if active_net_plan() is not None:
+            # Inherited over fork from the driver's install_net_plan;
+            # tag this process so our ChaosComms salt frame decisions
+            # with (worker side, wid) and match lane-targeted faults.
+            set_local_wid(wid, lane)
         comm = connect(address, timeout=10.0)
+        if reliable:
+            comm.crc_frames = True
+        # The hello travels on the raw transport: the driver's acceptor
+        # routes on it before any reliable wrapping exists.
         comm.send({"op": "hello", "wid": wid, "pid": os.getpid(),
                    "clock": perf_counter()})
+        if reliable:
+            comm = ReliableComm(
+                comm, role="worker", wid=wid, address=address,
+                deadline=(policy.net_deadline if policy is not None
+                          else 2.0),
+                seed=net_seed)
+            interval = getattr(policy, "heartbeat_interval", None)
+            if interval is not None:
+                threading.Thread(
+                    target=_heartbeat_loop, args=(comm, interval, hb_stop),
+                    daemon=True, name=f"repro-dist-hb{wid}").start()
         while True:
             msg = comm.recv(timeout=None)
             op = msg.get("op")
@@ -198,9 +235,17 @@ def worker_main(wid: int, address: str, rt: Any, start: int, end: int,
     except BaseException:
         code = 1
     finally:
+        hb_stop.set()
         if comm is not None:
             with contextlib.suppress(Exception):
                 comm.close()
+        # Release this fork's inherited shared-memory mappings (views
+        # and mmaps only — segments, refcounts and unlinking stay with
+        # the parent) so a worker exit never pins a dead mapping.
+        store = getattr(getattr(rt, "_executor", None), "store", None)
+        if store is not None:
+            with contextlib.suppress(Exception):
+                store.release_inherited()
         # Skip interpreter teardown entirely: the fork inherited
         # atexit hooks, shm objects and executor state that belong to
         # the parent.

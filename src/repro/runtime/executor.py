@@ -331,6 +331,22 @@ class Runtime:
             # Everything before this point already ran eagerly.
             self._exec_cursor = len(self.graph.tasks)
 
+    def disable_deferred(self) -> None:
+        """Return this runtime to eager execution.
+
+        The degradation path of :func:`~repro.core.tiled_qdwh`: when a
+        parallel backend is no longer trustworthy (e.g. the recovery
+        budget of the processes backend is exhausted mid-run), pending
+        payloads are abandoned, the executor torn down, and subsequent
+        submissions run inline at submit time.  Idempotent."""
+        if not self.deferred:
+            return
+        self.abandon_pending()
+        if self._executor is not None:
+            self._executor.close()
+            self._executor = None
+        self.deferred = False
+
     @property
     def executor(self):
         """The lazily created executor for the configured backend

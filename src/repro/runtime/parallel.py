@@ -159,6 +159,13 @@ class ExecutionStats:
     #: here).  Zero on the threads backend.
     comm_messages: int = 0
     comm_bytes: int = 0
+    #: Wire-level retransmission cost paid by the reliable comm layer
+    #: (processes backend under network faults).  Kept separate from
+    #: ``comm_messages``/``comm_bytes``, which count each application
+    #: message exactly once however many times its frame crossed the
+    #: wire.
+    comm_retrans_messages: int = 0
+    comm_retrans_bytes: int = 0
     #: Live recovery accounting (retries, timeouts, speculation,
     #: injected faults); all-zero on fault-free runs.
     recovery: object = field(default_factory=_new_recovery_stats)

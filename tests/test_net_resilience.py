@@ -1,0 +1,259 @@
+"""Property and unit tests for the network-resilience primitives.
+
+Covers the pure, deterministic layer under ChaosComm/ReliableComm:
+
+* :class:`BackoffSchedule` — hypothesis properties: every realised
+  delay sits inside the jitter band of its nominal
+  ``min(base * factor**k, max_delay)`` (after the monotone clamp),
+  sequences are monotone non-decreasing, the cumulative sleep never
+  exceeds the deadline, and identical ``(seed, key)`` streams are
+  bit-identical.
+* :class:`NetFaultPlan` — hypothesis round-trip: ``as_dict`` /
+  ``from_dict`` (and the JSON file form) reproduce the plan exactly,
+  including the per-frame RNG draws that decide which frames are
+  dropped/corrupted — a replayed plan injects the *same* faults.
+* :class:`PhiAccrualDetector` — suspicion grows with silence, and
+  ``suspicion_latency(phi_dead)`` quantifies the acceptance criterion
+  that a heartbeat-detected hang is recovered measurably faster than
+  a representative ``task_timeout``.
+"""
+
+import json
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.resilience.live import RecoveryPolicy
+from repro.resilience.net import (BackoffSchedule, ConnectionCut,
+                                  FrameCorrupt, FrameDelay, FrameDrop,
+                                  FrameDuplicate, LinkStall, NetFaultPlan,
+                                  NetPartition, PhiAccrualDetector,
+                                  default_chaos_plan)
+
+# ----------------------------------------------------------------------
+# BackoffSchedule
+# ----------------------------------------------------------------------
+
+schedules = st.builds(
+    BackoffSchedule,
+    base=st.floats(min_value=1e-4, max_value=0.05),
+    factor=st.floats(min_value=1.0, max_value=4.0),
+    max_delay=st.floats(min_value=0.05, max_value=1.0),
+    jitter=st.floats(min_value=0.0, max_value=0.9),
+    deadline=st.floats(min_value=0.01, max_value=5.0),
+)
+
+
+class TestBackoffSchedule:
+    @given(sched=schedules, seed=st.integers(0, 2**31), key=st.integers(0, 64))
+    @settings(max_examples=200, deadline=None)
+    def test_delays_inside_jitter_band(self, sched, seed, key):
+        delays = sched.delays(seed, key)
+        prev = 0.0
+        for k, d in enumerate(delays):
+            nominal = min(sched.base * sched.factor ** k, sched.max_delay)
+            hi = nominal * (1.0 + sched.jitter)
+            lo = min(nominal * (1.0 - sched.jitter), prev) \
+                if prev else nominal * (1.0 - sched.jitter)
+            # The monotone clamp can only *raise* a draw, and never
+            # above the previous delay — which itself sat under its
+            # own band's ceiling <= this one's (factor >= 1).
+            assert lo - 1e-12 <= d <= hi + 1e-12, \
+                f"delay[{k}]={d} outside [{lo}, {hi}]"
+            prev = d
+
+    @given(sched=schedules, seed=st.integers(0, 2**31), key=st.integers(0, 64))
+    @settings(max_examples=200, deadline=None)
+    def test_monotone_and_deadline_budgeted(self, sched, seed, key):
+        delays = sched.delays(seed, key)
+        assert all(b >= a for a, b in zip(delays, delays[1:]))
+        assert sum(delays) <= sched.deadline + 1e-12
+
+    @given(sched=schedules, seed=st.integers(0, 2**31), key=st.integers(0, 64))
+    @settings(max_examples=100, deadline=None)
+    def test_deterministic_per_stream(self, sched, seed, key):
+        assert sched.delays(seed, key) == sched.delays(seed, key)
+
+    def test_distinct_keys_get_distinct_jitter(self):
+        sched = BackoffSchedule(jitter=0.3, deadline=10.0)
+        assert sched.delays(0, key=0) != sched.delays(0, key=1)
+
+    def test_zero_jitter_is_pure_exponential(self):
+        sched = BackoffSchedule(base=0.01, factor=2.0, max_delay=0.08,
+                                jitter=0.0, deadline=10.0)
+        delays = sched.delays(7, 3)
+        expect = [0.01, 0.02, 0.04, 0.08, 0.08]
+        assert delays[:5] == pytest.approx(expect)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"base": 0.0}, {"base": -1.0}, {"factor": 0.5},
+        {"base": 0.5, "max_delay": 0.1}, {"jitter": 1.0},
+        {"jitter": -0.1}, {"deadline": 0.0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            BackoffSchedule(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# NetFaultPlan serialization round-trip
+# ----------------------------------------------------------------------
+
+probability = st.floats(min_value=0.0, max_value=1.0)
+window_start = st.floats(min_value=0.0, max_value=2.0)
+window_end = st.one_of(st.just(math.inf),
+                       st.floats(min_value=2.0, max_value=5.0))
+
+plans = st.builds(
+    NetFaultPlan,
+    seed=st.integers(0, 2**31),
+    drops=st.lists(st.builds(
+        FrameDrop, probability=probability,
+        max_events=st.one_of(st.none(), st.integers(1, 100))),
+        max_size=3).map(tuple),
+    duplicates=st.lists(st.builds(FrameDuplicate, probability=probability),
+                        max_size=3).map(tuple),
+    delays=st.lists(st.builds(
+        FrameDelay, probability=probability,
+        seconds=st.floats(min_value=1e-4, max_value=0.05),
+        min_seconds=st.just(0.0)),
+        max_size=3).map(tuple),
+    corrupts=st.lists(st.builds(
+        FrameCorrupt, probability=probability,
+        max_events=st.integers(1, 10)),
+        max_size=3).map(tuple),
+    stalls=st.lists(st.builds(
+        LinkStall, wid=st.integers(0, 7),
+        direction=st.sampled_from(["w2d", "d2w"]),
+        start=window_start, end=window_end),
+        max_size=2).map(tuple),
+    partitions=st.lists(st.builds(
+        NetPartition,
+        wids=st.lists(st.integers(0, 7), min_size=1, max_size=3,
+                      unique=True).map(tuple),
+        start=window_start, end=window_end),
+        max_size=2).map(tuple),
+    cuts=st.lists(st.builds(
+        ConnectionCut, wid=st.integers(0, 7),
+        after_frames=st.integers(1, 500)),
+        max_size=2, unique_by=lambda c: c.wid).map(tuple),
+)
+
+
+class TestNetFaultPlanRoundTrip:
+    @given(plan=plans)
+    @settings(max_examples=200, deadline=None)
+    def test_dict_round_trip_is_identity(self, plan):
+        assert NetFaultPlan.from_dict(plan.as_dict()) == plan
+
+    @given(plan=plans)
+    @settings(max_examples=100, deadline=None)
+    def test_json_text_round_trip_is_identity(self, plan):
+        text = json.dumps(plan.as_dict())
+        assert NetFaultPlan.from_dict(json.loads(text)) == plan
+
+    @given(plan=plans, salt=st.integers(0, 1000), index=st.integers(0, 5000))
+    @settings(max_examples=100, deadline=None)
+    def test_round_trip_preserves_frame_rng(self, plan, salt, index):
+        # The property that makes replay-under-chaos possible: a plan
+        # shipped through JSON injects the exact same faults, frame
+        # for frame.
+        back = NetFaultPlan.from_dict(plan.as_dict())
+        draws = [plan.frame_rng(salt, index).random() for _ in range(3)]
+        again = [back.frame_rng(salt, index).random() for _ in range(3)]
+        assert draws == again
+
+    def test_json_file_round_trip(self, tmp_path):
+        plan = default_chaos_plan(seed=42)
+        path = plan.to_json(str(tmp_path / "net.json"))
+        assert NetFaultPlan.from_json(path) == plan
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown net-plan keys"):
+            NetFaultPlan.from_dict({"seed": 0, "jams": []})
+
+    def test_duplicate_cut_wid_rejected(self):
+        with pytest.raises(ValueError, match="cut more than once"):
+            NetFaultPlan(cuts=(ConnectionCut(wid=1, after_frames=5),
+                               ConnectionCut(wid=1, after_frames=9)))
+
+    def test_empty_property(self):
+        assert NetFaultPlan().empty
+        assert NetFaultPlan(drops=(FrameDrop(probability=0.0),)).empty
+        assert not default_chaos_plan().empty
+
+
+# ----------------------------------------------------------------------
+# PhiAccrualDetector
+# ----------------------------------------------------------------------
+
+class TestPhiAccrual:
+    def test_phi_zero_before_first_beat(self):
+        det = PhiAccrualDetector(0.05)
+        assert det.phi(now=100.0) == 0.0
+
+    def test_phi_grows_with_silence(self):
+        det = PhiAccrualDetector(0.05)
+        t = 0.0
+        for _ in range(20):
+            det.beat(now=t)
+            t += 0.05
+        quiet = det.phi(now=t + 0.1)
+        quieter = det.phi(now=t + 0.3)
+        assert 0.0 < quiet < quieter
+
+    def test_on_time_beats_never_suspected(self):
+        det = PhiAccrualDetector(0.05)
+        t = 0.0
+        for _ in range(50):
+            det.beat(now=t)
+            assert det.phi(now=t + 0.05) < 1.0
+            t += 0.05
+
+    def test_suspicion_latency_inverts_phi(self):
+        det = PhiAccrualDetector(0.05)
+        t = 0.0
+        for _ in range(20):
+            det.beat(now=t)
+            t += 0.05
+        latency = det.suspicion_latency(8.0)
+        # phi at exactly last_beat + latency crosses the threshold.
+        assert det.phi(now=(t - 0.05) + latency) == pytest.approx(
+            8.0, abs=1e-6)
+
+    def test_hang_detected_well_before_task_timeout(self):
+        """The acceptance criterion: with the default policy, a hung
+        worker is declared dead (phi >= phi_dead, then SIGKILL +
+        replay) in well under a representative task timeout — the
+        heartbeat path recovers hangs measurably faster than the
+        timeout-of-last-resort ever could."""
+        pol = RecoveryPolicy(task_timeout=30.0)
+        det = PhiAccrualDetector(pol.heartbeat_interval)
+        t = 0.0
+        for _ in range(30):          # steady heartbeats, then a hang
+            det.beat(now=t)
+            t += pol.heartbeat_interval
+        latency = det.suspicion_latency(pol.phi_dead)
+        assert latency < 1.0                       # sub-second verdict
+        assert latency < pol.task_timeout / 10.0   # >=10x faster
+        # ... but not hair-triggered: a couple of late beats on a
+        # loaded CI machine must not read as death.
+        assert latency > 3.0 * pol.heartbeat_interval
+
+    def test_jittery_beats_widen_the_window(self):
+        steady = PhiAccrualDetector(0.05, min_std=1e-6)
+        noisy = PhiAccrualDetector(0.05, min_std=1e-6)
+        t_s = t_n = 0.0
+        rng_offsets = [0.0, 0.02, -0.01, 0.03, 0.0, 0.04, -0.02, 0.01]
+        for i in range(40):
+            steady.beat(now=t_s)
+            t_s += 0.05
+            noisy.beat(now=t_n)
+            t_n += 0.05 + rng_offsets[i % len(rng_offsets)]
+        assert noisy.suspicion_latency(8.0) > steady.suspicion_latency(8.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PhiAccrualDetector(0.0)
